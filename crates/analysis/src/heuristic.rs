@@ -1,0 +1,531 @@
+//! The two-pass mechanism-selection heuristic (§4.3).
+//!
+//! **Pass 1**, each control loop in isolation: select the induction
+//! variable whose update has the strongest path-affinity. Migration is
+//! chosen for it when the affinity reaches the 90 % threshold *or* the
+//! loop is parallelizable (migration is what lets Olden generate new
+//! threads); otherwise its dereferences are cached. Every other pointer
+//! variable is cached. A loop with no induction variable selects
+//! migration for the same variable as its parent loop.
+//!
+//! **Pass 2**, interactions between nested loops: inside a parallel loop,
+//! migrating on an inner structure whose root is *the same across
+//! iterations* would serialize every thread on that root's processor
+//! (Figure 5's `WalkAndTraverse`). The approximation from the paper: if
+//! the inner loop's induction-variable seed is updated in the parent
+//! loop, assume no bottleneck; otherwise force the inner loop to caching.
+//! Incorrect answers here cost time, never correctness.
+
+use crate::ast::{Expr, Program, Stmt};
+use crate::loops::{find_control_loops, LoopId, LoopKind};
+use crate::update::{update_matrix, UpdateMatrix};
+use crate::{Mech, MIGRATION_THRESHOLD};
+use std::collections::HashMap;
+
+/// The heuristic's decision for one control loop.
+#[derive(Clone, Debug)]
+pub struct LoopChoice {
+    pub loop_id: LoopId,
+    pub func: String,
+    pub kind: LoopKind,
+    pub parallel: bool,
+    /// The variable selected as the loop's traversal variable, if any.
+    pub selected: Option<String>,
+    /// Its update affinity (absent when inherited from the parent).
+    pub affinity: Option<f64>,
+    /// Whether the selection was inherited from the parent loop.
+    pub inherited: bool,
+    /// Mechanism per pointer variable appearing in the loop's matrix.
+    pub mechanisms: HashMap<String, Mech>,
+    /// Set by pass 2 when migration was demoted to caching to avoid a
+    /// bottleneck.
+    pub bottleneck: bool,
+}
+
+impl LoopChoice {
+    /// Mechanism for dereferences of `var` in this loop. Variables not
+    /// mentioned in the matrix are cached ("dereferences of all other
+    /// pointer variables are cached", §4.3).
+    pub fn mech(&self, var: &str) -> Mech {
+        self.mechanisms.get(var).copied().unwrap_or(Mech::Cache)
+    }
+
+    /// The variable this loop migrates on, if any.
+    pub fn migration_var(&self) -> Option<&str> {
+        self.selected
+            .as_deref()
+            .filter(|v| self.mechanisms.get(*v) == Some(&Mech::Migrate))
+    }
+}
+
+/// The complete selection for a program.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    pub loops: Vec<LoopChoice>,
+    matrices: Vec<UpdateMatrix>,
+}
+
+impl Selection {
+    /// All choices for loops belonging to `func`.
+    pub fn for_func(&self, func: &str) -> Vec<&LoopChoice> {
+        self.loops.iter().filter(|l| l.func == func).collect()
+    }
+
+    /// The choice for `func`'s recursion loop, if it has one.
+    pub fn recursion_of(&self, func: &str) -> Option<&LoopChoice> {
+        self.loops
+            .iter()
+            .find(|l| l.func == func && matches!(l.kind, LoopKind::Recursion))
+    }
+
+    /// Mechanism for dereferences of `var` anywhere in `func`: migrate if
+    /// any of the function's loops migrates on it, cache otherwise.
+    pub fn mech(&self, func: &str, var: &str) -> Mech {
+        for l in self.for_func(func) {
+            if l.migration_var() == Some(var) {
+                return Mech::Migrate;
+            }
+        }
+        Mech::Cache
+    }
+
+    /// The update matrix computed for a loop (kept for reporting and for
+    /// tests that reproduce Figures 3 and 4).
+    pub fn matrix(&self, id: LoopId) -> &UpdateMatrix {
+        &self.matrices[id.0]
+    }
+
+    /// Summary string: one line per loop (used by the heuristic-tour
+    /// example).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for l in &self.loops {
+            let kind = match &l.kind {
+                LoopKind::While { cond } => format!("while ({cond})"),
+                LoopKind::Recursion => "recursion".to_string(),
+            };
+            let sel = match (&l.selected, l.affinity) {
+                (Some(v), Some(a)) => format!("{v} @ {:.0}%", a * 100.0),
+                (Some(v), None) => format!("{v} (inherited)"),
+                _ => "-".to_string(),
+            };
+            let mech = l
+                .selected
+                .as_deref()
+                .map(|v| l.mech(v).name())
+                .unwrap_or("-");
+            let _ = writeln!(
+                s,
+                "{}: {} [{}{}] selected={} -> {}{}",
+                l.func,
+                kind,
+                if l.parallel { "parallel" } else { "serial" },
+                if l.bottleneck { ", bottleneck" } else { "" },
+                sel,
+                mech,
+                if l.inherited { " (from parent)" } else { "" },
+            );
+        }
+        s
+    }
+}
+
+/// Is `var` syntactically assigned anywhere in `stmts` (at any depth)?
+fn assigns(stmts: &[Stmt], var: &str) -> bool {
+    let mut found = false;
+    crate::ast::walk_stmts(stmts, &mut |s| {
+        if let Stmt::Assign { dst, .. } = s {
+            if dst == var {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Run the full three-step selection over a program.
+pub fn select(prog: &Program) -> Selection {
+    let loops = find_control_loops(prog);
+    let matrices: Vec<UpdateMatrix> = loops.iter().map(|l| update_matrix(prog, l)).collect();
+
+    // ---- Pass 1: each control loop in isolation -----------------------
+    let mut choices: Vec<LoopChoice> = Vec::with_capacity(loops.len());
+    for (cl, m) in loops.iter().zip(&matrices) {
+        let induction = m.induction_vars();
+        let mut mechanisms: HashMap<String, Mech> = HashMap::new();
+        for v in m.row_vars() {
+            mechanisms.insert(v.to_string(), Mech::Cache);
+        }
+        let (selected, affinity, inherited);
+        match induction.first() {
+            Some(&(var, aff)) => {
+                selected = Some(var.to_string());
+                affinity = Some(aff);
+                inherited = false;
+                let mech = if aff >= MIGRATION_THRESHOLD || cl.parallel {
+                    Mech::Migrate
+                } else {
+                    Mech::Cache
+                };
+                mechanisms.insert(var.to_string(), mech);
+            }
+            None => {
+                // Inherit the parent's migration variable (parents appear
+                // earlier in the vector).
+                let parent_var = cl
+                    .parent
+                    .and_then(|p| choices[p.0].migration_var().map(str::to_string));
+                inherited = parent_var.is_some();
+                affinity = None;
+                if let Some(v) = parent_var {
+                    mechanisms.insert(v.clone(), Mech::Migrate);
+                    selected = Some(v);
+                } else {
+                    selected = None;
+                }
+            }
+        }
+        choices.push(LoopChoice {
+            loop_id: cl.id,
+            func: cl.func.clone(),
+            kind: cl.kind.clone(),
+            parallel: cl.parallel,
+            selected,
+            affinity,
+            inherited,
+            mechanisms,
+            bottleneck: false,
+        });
+    }
+
+    // ---- Pass 2: interactions between nested loops --------------------
+    // For each parallelizable loop, examine (a) inner while loops in the
+    // same function and (b) called functions' recursion loops; demote
+    // migration to caching when the inner induction variable's seed is
+    // loop-invariant in the parent.
+    let mut demote: Vec<LoopId> = Vec::new();
+    for (pi, parent) in loops.iter().enumerate() {
+        if !parent.parallel {
+            continue;
+        }
+        let pm = &matrices[pi];
+        let seed_is_fresh = |base: &str| -> bool {
+            // "Updated in the parent loop": assigned in its body or has an
+            // update entry in its matrix (covers recursion parameters).
+            pm.updates(base) || assigns(&parent.body, base)
+        };
+
+        // (a) Directly nested loops in the same function.
+        for (ci, child) in loops.iter().enumerate() {
+            if child.parent != Some(parent.id) {
+                continue;
+            }
+            let Some(var) = choices[ci].migration_var().map(str::to_string) else {
+                continue;
+            };
+            // Seed: the variable itself, or what it is assigned from in
+            // the parent body before the loop.
+            let mut fresh = seed_is_fresh(&var);
+            if !fresh {
+                // Look for `var = expr` in the parent body; the seed base
+                // being fresh is enough.
+                crate::ast::walk_stmts(&parent.body, &mut |s| {
+                    if let Stmt::Assign { dst, src } = s {
+                        if dst == &var {
+                            if let Some((base, _)) = src.as_path() {
+                                if base != var && seed_is_fresh(base) {
+                                    fresh = true;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            if !fresh {
+                demote.push(child.id);
+            }
+        }
+
+        // (b) Calls out of the parallel loop into recursive functions.
+        let mut callee_seeds: Vec<(String, Option<String>)> = Vec::new();
+        crate::ast::walk_stmts(&parent.body, &mut |s| {
+            s.exprs(&mut |e| {
+                if let Expr::Call { func, args, .. } = e {
+                    if func == &parent.func {
+                        return; // the parent's own recursion
+                    }
+                    if let Some(g) = prog.func(func) {
+                        // Seed = base of the argument bound to the callee's
+                        // migration parameter; resolved below.
+                        for (i, _) in g.params.iter().enumerate() {
+                            let base = args
+                                .get(i)
+                                .and_then(|a| a.as_path())
+                                .map(|(b, _)| b.to_string());
+                            callee_seeds.push((format!("{func}#{i}"), base));
+                        }
+                    }
+                }
+            });
+        });
+        for (key, base) in callee_seeds {
+            let (callee, idx) = key.split_once('#').unwrap();
+            let idx: usize = idx.parse().unwrap();
+            let Some(g) = prog.func(callee) else { continue };
+            let Some(param) = g.params.get(idx) else { continue };
+            // Find the callee's recursion loop choice.
+            let Some((ci, _)) = loops
+                .iter()
+                .enumerate()
+                .find(|(_, l)| l.func == callee && matches!(l.kind, LoopKind::Recursion))
+            else {
+                continue;
+            };
+            if choices[ci].migration_var() != Some(param.as_str()) {
+                continue;
+            }
+            let fresh = base.as_deref().is_some_and(seed_is_fresh);
+            if !fresh {
+                demote.push(LoopId(ci));
+            }
+        }
+    }
+
+    for id in demote {
+        let c = &mut choices[id.0];
+        if let Some(v) = c.selected.clone() {
+            c.mechanisms.insert(v, Mech::Cache);
+            c.bottleneck = true;
+        }
+    }
+
+    Selection {
+        loops: choices,
+        matrices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn sel(src: &str) -> Selection {
+        select(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn tree_traversal_migrates_by_default() {
+        // §4.3: "by default … tree traversals will use computation
+        // migration". Two recursive calls at the 70 % default combine to
+        // 1 − 0.3² = 0.91 ≥ 0.90.
+        let s = sel(r#"
+            struct tree { tree *left; tree *right; };
+            void T(tree *t) {
+                if (t == null) { return; }
+                T(t->left);
+                T(t->right);
+            }
+        "#);
+        let c = s.recursion_of("T").unwrap();
+        assert_eq!(c.migration_var(), Some("t"));
+        assert!((c.affinity.unwrap() - 0.91).abs() < 1e-12);
+        assert_eq!(s.mech("T", "t"), Mech::Migrate);
+    }
+
+    #[test]
+    fn list_traversal_caches_by_default() {
+        // §4.3: "list traversals will use caching" — 70 % < 90 %.
+        let s = sel(r#"
+            struct list { list *next; };
+            void W(list *l) { while (l) { l = l->next; } }
+        "#);
+        let c = &s.for_func("W")[0];
+        assert_eq!(c.mech("l"), Mech::Cache);
+        assert_eq!(c.migration_var(), None);
+        assert_eq!(s.mech("W", "l"), Mech::Cache);
+    }
+
+    #[test]
+    fn tree_search_caches_by_default() {
+        // §4.3: "tree searches will use caching" — avg(70, 70) < 90.
+        let s = sel(r#"
+            struct tree { tree *left; tree *right; int val; };
+            void S(tree *t, int x) {
+                while (t) {
+                    if (x < t->val) { t = t->left; } else { t = t->right; }
+                }
+            }
+        "#);
+        assert_eq!(s.for_func("S")[0].mech("t"), Mech::Cache);
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        // Exactly 90 % migrates; 89 % caches.
+        let at = sel(r#"
+            struct l90 { l90 *next @ 90; };
+            void f(l90 *p) { while (p) { p = p->next; } }
+        "#);
+        assert_eq!(at.for_func("f")[0].mech("p"), Mech::Migrate);
+        let below = sel(r#"
+            struct l89 { l89 *next @ 89; };
+            void f(l89 *p) { while (p) { p = p->next; } }
+        "#);
+        assert_eq!(below.for_func("f")[0].mech("p"), Mech::Cache);
+    }
+
+    #[test]
+    fn parallelizable_loop_migrates_below_threshold() {
+        // Futures force migration so new threads can be generated.
+        let s = sel(r#"
+            struct list { list *next; work *item; };
+            struct work { int x; };
+            void f(list *l) {
+                while (l) {
+                    futurecall Do(l->item);
+                    l = l->next;
+                }
+            }
+        "#);
+        let c = &s.for_func("f")[0];
+        assert!(c.parallel);
+        assert_eq!(c.mech("l"), Mech::Migrate, "70% but parallelizable");
+    }
+
+    #[test]
+    fn other_variables_cache() {
+        let s = sel(r#"
+            struct node { node *next @ 95; node *peer; };
+            void f(node *a) {
+                while (a) {
+                    node *b = a->peer;
+                    a = a->next;
+                }
+            }
+        "#);
+        let c = &s.for_func("f")[0];
+        assert_eq!(c.mech("a"), Mech::Migrate);
+        assert_eq!(c.mech("b"), Mech::Cache);
+        assert_eq!(c.mech("anything_else"), Mech::Cache);
+    }
+
+    #[test]
+    fn loop_without_induction_var_inherits_parent() {
+        let s = sel(r#"
+            struct node { node *next @ 95; };
+            void f(node *a, int n) {
+                while (a) {
+                    int i = 0;
+                    while (i < n) { i = consume(a, i); }
+                    a = a->next;
+                }
+            }
+        "#);
+        let inner = &s.for_func("f")[1];
+        assert!(inner.inherited);
+        assert_eq!(inner.migration_var(), Some("a"));
+    }
+
+    const FIG5: &str = r#"
+        struct list { list *next; body *item; };
+        struct body { int x; };
+        struct tree { tree *left; tree *right; list *items; };
+
+        void Traverse(tree *t) {
+            if (t == null) { return; }
+            else { Traverse(t->left); Traverse(t->right); }
+        }
+
+        void Walk(list *l) {
+            while (l) { visit(l); l = l->next; }
+        }
+
+        void WalkAndTraverse(list *l, tree *t) {
+            while (l) {
+                futurecall Traverse(t);
+                l = l->next;
+            }
+        }
+
+        void TraverseAndWalk(tree *t) {
+            if (t == null) { return; }
+            else {
+                futurecall TraverseAndWalk(t->left);
+                futurecall TraverseAndWalk(t->right);
+                Walk(t->items);
+            }
+        }
+    "#;
+
+    #[test]
+    fn figure5_walk_and_traverse_bottleneck() {
+        let s = sel(FIG5);
+        // `t` is the same for every parallel iteration: Traverse's
+        // migration on `t` would serialize at the tree root — demoted.
+        let trav = s.recursion_of("Traverse").unwrap();
+        assert!(trav.bottleneck);
+        assert_eq!(trav.mech("t"), Mech::Cache);
+    }
+
+    #[test]
+    fn figure5_traverse_and_walk_no_bottleneck() {
+        let s = sel(FIG5);
+        // `t->items` differs at every node: Walk keeps its pass-1 choice
+        // (caching at 70 %, but *not* marked as a bottleneck).
+        let walk = &s.for_func("Walk")[0];
+        assert!(!walk.bottleneck);
+        // And the recursion of TraverseAndWalk itself migrates (parallel).
+        let rec = s.recursion_of("TraverseAndWalk").unwrap();
+        assert_eq!(rec.migration_var(), Some("t"));
+        assert!(!rec.bottleneck);
+    }
+
+    #[test]
+    fn bottleneck_demotion_requires_parallel_parent() {
+        // Same shape as WalkAndTraverse but without futures: no demotion.
+        let s = sel(r#"
+            struct list { list *next; };
+            struct tree { tree *left; tree *right; };
+            void Traverse(tree *t) {
+                if (t == null) { return; }
+                else { Traverse(t->left); Traverse(t->right); }
+            }
+            void serial(list *l, tree *t) {
+                while (l) { Traverse(t); l = l->next; }
+            }
+        "#);
+        let trav = s.recursion_of("Traverse").unwrap();
+        assert!(!trav.bottleneck);
+        assert_eq!(trav.mech("t"), Mech::Migrate);
+    }
+
+    #[test]
+    fn describe_mentions_every_loop() {
+        let s = sel(FIG5);
+        let d = s.describe();
+        assert!(d.contains("Traverse"));
+        assert!(d.contains("Walk"));
+        assert!(d.contains("bottleneck"));
+    }
+
+    #[test]
+    fn figure3_selection() {
+        let s = sel(r#"
+            struct node { node *left @ 90; node *right @ 70; };
+            void f(node *s, node *t, node *u) {
+                while (s) {
+                    s = s->left;
+                    t = t->right->left;
+                    u = s->right;
+                }
+            }
+        "#);
+        let c = &s.for_func("f")[0];
+        // s (90 %) beats t (63 %): s migrates at the threshold, t and u cache.
+        assert_eq!(c.migration_var(), Some("s"));
+        assert_eq!(c.mech("t"), Mech::Cache);
+        assert_eq!(c.mech("u"), Mech::Cache);
+    }
+}

@@ -1,0 +1,221 @@
+//! Control-loop discovery (§4.2).
+//!
+//! A *control loop* is either an iterative `while` loop or the set of
+//! direct recursive calls of a function. Loops nest: a `while` inside a
+//! function body nests inside the function's recursion loop (if the
+//! function is recursive) and inside enclosing `while` loops. As in the
+//! paper's prototype, the analysis is intraprocedural plus direct
+//! recursion — loops spanning mutual recursion are not modelled (§4.2).
+
+use crate::ast::{contains_future, Expr, FuncDef, Program, Stmt};
+
+/// Stable identifier of a control loop within a [`crate::Program`]'s
+/// analysis results. Parents always have smaller ids than their children.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct LoopId(pub usize);
+
+/// What kind of control loop.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoopKind {
+    /// An iterative `while` loop; the payload is a human-readable
+    /// description of its condition for reporting.
+    While { cond: String },
+    /// The set of direct recursive calls of `func`.
+    Recursion,
+}
+
+/// One control loop, with everything later passes need.
+#[derive(Clone, Debug)]
+pub struct ControlLoop {
+    pub id: LoopId,
+    pub func: String,
+    pub kind: LoopKind,
+    /// Loop body: the `while` body, or the whole function body for a
+    /// recursion loop.
+    pub body: Vec<Stmt>,
+    /// Innermost enclosing control loop, if any.
+    pub parent: Option<LoopId>,
+    /// Whether the loop is parallelizable — the Olden compiler "checks
+    /// for the presence of futures" (§4.3).
+    pub parallel: bool,
+    /// Function parameters (used by update-matrix computation for
+    /// recursion loops).
+    pub params: Vec<String>,
+}
+
+fn cond_string(e: &Expr) -> String {
+    match e {
+        Expr::Var(v) => v.clone(),
+        Expr::Path { base, fields } => {
+            let mut s = base.clone();
+            for f in fields {
+                s.push_str("->");
+                s.push_str(f);
+            }
+            s
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            format!("{} {} {}", cond_string(lhs), op, cond_string(rhs))
+        }
+        Expr::Unary { op, arg } => format!("{}{}", op, cond_string(arg)),
+        Expr::Null => "null".into(),
+        Expr::Int(n) => n.to_string(),
+        Expr::Call { func, .. } => format!("{func}(…)"),
+    }
+}
+
+/// True if `func`'s body contains a direct call to itself.
+pub fn is_directly_recursive(func: &FuncDef) -> bool {
+    let mut found = false;
+    crate::ast::walk_stmts(&func.body, &mut |s| {
+        s.exprs(&mut |e| {
+            if let Expr::Call { func: callee, .. } = e {
+                if *callee == func.name {
+                    found = true;
+                }
+            }
+        });
+    });
+    found
+}
+
+/// Discover every control loop in the program, parents before children.
+pub fn find_control_loops(prog: &Program) -> Vec<ControlLoop> {
+    let mut loops = Vec::new();
+    for f in &prog.funcs {
+        let rec_parent = if is_directly_recursive(f) {
+            let id = LoopId(loops.len());
+            loops.push(ControlLoop {
+                id,
+                func: f.name.clone(),
+                kind: LoopKind::Recursion,
+                body: f.body.clone(),
+                parent: None,
+                parallel: contains_future(&f.body),
+                params: f.params.clone(),
+            });
+            Some(id)
+        } else {
+            None
+        };
+        collect_whiles(f, &f.body, rec_parent, &mut loops);
+    }
+    loops
+}
+
+fn collect_whiles(
+    f: &FuncDef,
+    stmts: &[Stmt],
+    parent: Option<LoopId>,
+    out: &mut Vec<ControlLoop>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::While { cond, body } => {
+                let id = LoopId(out.len());
+                out.push(ControlLoop {
+                    id,
+                    func: f.name.clone(),
+                    kind: LoopKind::While {
+                        cond: cond_string(cond),
+                    },
+                    body: body.clone(),
+                    parent,
+                    parallel: contains_future(body),
+                    params: f.params.clone(),
+                });
+                collect_whiles(f, body, Some(id), out);
+            }
+            Stmt::If { then_, else_, .. } => {
+                collect_whiles(f, then_, parent, out);
+                collect_whiles(f, else_, parent, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn finds_while_loops_with_nesting() {
+        let p = parse(
+            r#"
+            void f(node *a) {
+                while (a) {
+                    node *b = a->inner;
+                    while (b) { b = b->next; }
+                    a = a->next;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let loops = find_control_loops(&p);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].parent, None);
+        assert_eq!(loops[1].parent, Some(loops[0].id));
+        assert!(matches!(loops[0].kind, LoopKind::While { .. }));
+    }
+
+    #[test]
+    fn recursion_forms_a_loop_enclosing_whiles() {
+        let p = parse(
+            r#"
+            void T(tree *t) {
+                if (t == null) { return; }
+                list *l = t->items;
+                while (l) { l = l->next; }
+                T(t->left);
+                T(t->right);
+            }
+            "#,
+        )
+        .unwrap();
+        let loops = find_control_loops(&p);
+        assert_eq!(loops.len(), 2);
+        assert!(matches!(loops[0].kind, LoopKind::Recursion));
+        assert_eq!(loops[1].parent, Some(loops[0].id));
+    }
+
+    #[test]
+    fn parallel_flag_from_futures() {
+        let p = parse(
+            r#"
+            void f(list *l, tree *t) {
+                while (l) { futurecall Go(t); l = l->next; }
+            }
+            void g(list *l) {
+                while (l) { l = l->next; }
+            }
+            "#,
+        )
+        .unwrap();
+        let loops = find_control_loops(&p);
+        assert!(loops[0].parallel);
+        assert!(!loops[1].parallel);
+    }
+
+    #[test]
+    fn nonrecursive_function_has_no_recursion_loop() {
+        let p = parse("int f(int x) { return g(x); } int g(int x) { return x; }").unwrap();
+        assert!(find_control_loops(&p).is_empty());
+    }
+
+    #[test]
+    fn whiles_inside_if_branches_found() {
+        let p = parse(
+            r#"
+            void f(node *a, int c) {
+                if (c) { while (a) { a = a->next; } }
+                else { while (a) { a = a->prev; } }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(find_control_loops(&p).len(), 2);
+    }
+}

@@ -1,0 +1,678 @@
+//! A small recursive-descent parser for the restricted C subset.
+//!
+//! The surface syntax is C-like; the Olden-specific extensions are
+//! `futurecall f(…)` and `touch x;` (paper §2) and path-affinity
+//! annotations on pointer fields (§4.1), written as a percentage after
+//! `@`:
+//!
+//! ```text
+//! struct tree { tree *left @ 90; tree *right @ 70; int val; };
+//!
+//! int TreeAdd(tree *t) {
+//!     if (t == null) { return 0; }
+//!     else { return TreeAdd(t->left) + TreeAdd(t->right) + t->val; }
+//! }
+//! ```
+//!
+//! Declarations (`tree *t = e;` / `int x = e;`) are accepted and lowered
+//! to plain assignments — the analysis is untyped and infers pointer-ness
+//! from use.
+
+use crate::ast::{Expr, FieldDef, FuncDef, Program, Stmt, StructDef};
+
+/// A parse failure, with a human-readable message and the offending
+/// position (token index — the DSL snippets are small).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub near: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {} (near `{}`)", self.message, self.near)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Sym(&'static str),
+    Eof,
+}
+
+impl Tok {
+    fn show(&self) -> String {
+        match self {
+            Tok::Ident(s) => s.clone(),
+            Tok::Num(n) => n.to_string(),
+            Tok::Sym(s) => s.to_string(),
+            Tok::Eof => "<eof>".into(),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: // to end of line and /* ... */.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            i += 2;
+            while i + 1 < b.len() && !(b[i] == '*' && b[i + 1] == '/') {
+                i += 1;
+            }
+            i += 2;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(b[start..i].iter().collect()));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            let n = text.parse::<i64>().map_err(|_| ParseError {
+                message: "integer literal out of range".into(),
+                near: text.clone(),
+            })?;
+            toks.push(Tok::Num(n));
+            continue;
+        }
+        // Multi-character symbols first.
+        let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+        let sym2 = match two.as_str() {
+            "->" => Some("->"),
+            "==" => Some("=="),
+            "!=" => Some("!="),
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "&&" => Some("&&"),
+            "||" => Some("||"),
+            _ => None,
+        };
+        if let Some(s) = sym2 {
+            toks.push(Tok::Sym(s));
+            i += 2;
+            continue;
+        }
+        let sym1 = match c {
+            '{' => "{",
+            '}' => "}",
+            '(' => "(",
+            ')' => ")",
+            ';' => ";",
+            ',' => ",",
+            '@' => "@",
+            '=' => "=",
+            '<' => "<",
+            '>' => ">",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            '%' => "%",
+            '!' => "!",
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{c}`"),
+                    near: c.to_string(),
+                })
+            }
+        };
+        toks.push(Tok::Sym(sym1));
+        i += 1;
+    }
+    toks.push(Tok::Eof);
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+
+    fn peek3(&self) -> &Tok {
+        &self.toks[(self.pos + 2).min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            near: self.peek().show(),
+        })
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        if matches!(self.peek(), Tok::Sym(x) if *x == s) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    fn at_sym(&self, s: &str) -> bool {
+        matches!(self.peek(), Tok::Sym(x) if *x == s)
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(x) if x == kw)
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            t => Err(ParseError {
+                message: "expected identifier".into(),
+                near: t.show(),
+            }),
+        }
+    }
+
+    // ----- declarations ------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut p = Program::default();
+        while !matches!(self.peek(), Tok::Eof) {
+            if self.at_kw("struct") && matches!(self.peek3(), Tok::Sym("{")) {
+                p.structs.push(self.struct_def()?);
+            } else {
+                p.funcs.push(self.func_def()?);
+            }
+        }
+        Ok(p)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, ParseError> {
+        self.bump(); // struct
+        let name = self.eat_ident()?;
+        self.eat_sym("{")?;
+        let mut fields = Vec::new();
+        while !self.at_sym("}") {
+            // `type` is one or two identifiers (e.g. `struct tree` is not
+            // supported inside fields — use the bare struct name).
+            let _ty = self.eat_ident()?;
+            let mut is_pointer = false;
+            while self.at_sym("*") {
+                self.bump();
+                is_pointer = true;
+            }
+            let fname = self.eat_ident()?;
+            let mut affinity = None;
+            if self.at_sym("@") {
+                self.bump();
+                match self.bump() {
+                    Tok::Num(n) if (0..=100).contains(&n) => {
+                        affinity = Some(n as f64 / 100.0);
+                    }
+                    t => {
+                        return Err(ParseError {
+                            message: "affinity must be an integer percentage 0..=100".into(),
+                            near: t.show(),
+                        })
+                    }
+                }
+            }
+            if !is_pointer && affinity.is_some() {
+                return self.err("affinity annotation on a non-pointer field");
+            }
+            self.eat_sym(";")?;
+            fields.push(FieldDef {
+                name: fname,
+                is_pointer,
+                affinity,
+            });
+        }
+        self.eat_sym("}")?;
+        if self.at_sym(";") {
+            self.bump();
+        }
+        Ok(StructDef { name, fields })
+    }
+
+    fn func_def(&mut self) -> Result<FuncDef, ParseError> {
+        let _ret_ty = self.eat_ident()?;
+        while self.at_sym("*") {
+            self.bump();
+        }
+        let name = self.eat_ident()?;
+        self.eat_sym("(")?;
+        let mut params = Vec::new();
+        if !self.at_sym(")") {
+            loop {
+                let _ty = self.eat_ident()?;
+                while self.at_sym("*") {
+                    self.bump();
+                }
+                params.push(self.eat_ident()?);
+                if self.at_sym(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_sym(")")?;
+        let body = self.block()?;
+        Ok(FuncDef { name, params, body })
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.at_sym("{") {
+            self.bump();
+            let mut stmts = Vec::new();
+            while !self.at_sym("}") {
+                stmts.push(self.stmt()?);
+            }
+            self.bump();
+            Ok(stmts)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.at_kw("if") {
+            self.bump();
+            self.eat_sym("(")?;
+            let cond = self.expr()?;
+            self.eat_sym(")")?;
+            let then_ = self.block()?;
+            let else_ = if self.at_kw("else") {
+                self.bump();
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then_, else_ });
+        }
+        if self.at_kw("while") {
+            self.bump();
+            self.eat_sym("(")?;
+            let cond = self.expr()?;
+            self.eat_sym(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.at_kw("return") {
+            self.bump();
+            let e = if self.at_sym(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.eat_sym(";")?;
+            return Ok(Stmt::Return(e));
+        }
+        if self.at_kw("touch") {
+            self.bump();
+            let v = self.eat_ident()?;
+            self.eat_sym(";")?;
+            return Ok(Stmt::Touch(v));
+        }
+        // Declaration: IDENT '*'+ IDENT ... or IDENT IDENT ...
+        if let (Tok::Ident(first), Tok::Sym("*"), Tok::Ident(_)) =
+            (self.peek(), self.peek2(), self.peek3())
+        {
+            if first != "futurecall" {
+                return self.decl_stmt();
+            }
+        }
+        if let (Tok::Ident(first), Tok::Ident(_)) = (self.peek(), self.peek2()) {
+            if first != "futurecall" && first != "touch" {
+                return self.decl_stmt();
+            }
+        }
+        // Assignment / store: lookahead for `=` after a path.
+        if matches!(self.peek(), Tok::Ident(_)) {
+            let save = self.pos;
+            let base = self.eat_ident()?;
+            let mut fields = Vec::new();
+            while self.at_sym("->") {
+                self.bump();
+                fields.push(self.eat_ident()?);
+            }
+            if self.at_sym("=") {
+                self.bump();
+                let src = self.expr()?;
+                self.eat_sym(";")?;
+                return if fields.is_empty() {
+                    Ok(Stmt::Assign { dst: base, src })
+                } else {
+                    Ok(Stmt::Store { base, fields, src })
+                };
+            }
+            self.pos = save; // not an assignment: an expression statement
+        }
+        let e = self.expr()?;
+        self.eat_sym(";")?;
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let _ty = self.eat_ident()?;
+        while self.at_sym("*") {
+            self.bump();
+        }
+        let name = self.eat_ident()?;
+        if self.at_sym("=") {
+            self.bump();
+            let src = self.expr()?;
+            self.eat_sym(";")?;
+            Ok(Stmt::Assign { dst: name, src })
+        } else {
+            self.eat_sym(";")?;
+            // Uninitialized declaration: model as assignment from null.
+            Ok(Stmt::Assign {
+                dst: name,
+                src: Expr::Null,
+            })
+        }
+    }
+
+    // ----- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Sym(s) => match *s {
+                    "||" => ("||", 1),
+                    "&&" => ("&&", 2),
+                    "==" | "!=" => (*s, 3),
+                    "<" | ">" | "<=" | ">=" => (*s, 4),
+                    "+" | "-" => (*s, 5),
+                    "*" | "/" | "%" => (*s, 6),
+                    _ => break,
+                },
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary {
+                op: op.to_string(),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.at_sym("!") || self.at_sym("-") {
+            let op = match self.bump() {
+                Tok::Sym(s) => s.to_string(),
+                _ => unreachable!(),
+            };
+            let arg = self.unary()?;
+            return Ok(Expr::Unary {
+                op,
+                arg: Box::new(arg),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            Tok::Ident(id) if id == "null" || id == "NULL" => {
+                self.bump();
+                Ok(Expr::Null)
+            }
+            Tok::Ident(id) if id == "futurecall" => {
+                self.bump();
+                let func = self.eat_ident()?;
+                let args = self.call_args()?;
+                Ok(Expr::Call {
+                    func,
+                    args,
+                    future: true,
+                })
+            }
+            Tok::Ident(id) => {
+                self.bump();
+                if self.at_sym("(") {
+                    let args = self.call_args()?;
+                    return Ok(Expr::Call {
+                        func: id,
+                        args,
+                        future: false,
+                    });
+                }
+                let mut fields = Vec::new();
+                while self.at_sym("->") {
+                    self.bump();
+                    fields.push(self.eat_ident()?);
+                }
+                if fields.is_empty() {
+                    Ok(Expr::Var(id))
+                } else {
+                    Ok(Expr::Path { base: id, fields })
+                }
+            }
+            t => Err(ParseError {
+                message: "expected expression".into(),
+                near: t.show(),
+            }),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.eat_sym("(")?;
+        let mut args = Vec::new();
+        if !self.at_sym(")") {
+            loop {
+                args.push(self.expr()?);
+                if self.at_sym(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_sym(")")?;
+        Ok(args)
+    }
+}
+
+/// Parse a whole program from DSL source.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_struct_with_affinities() {
+        let p = parse("struct tree { tree *left @ 90; tree *right @ 70; int val; };").unwrap();
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.fields[0].affinity, Some(0.9));
+        assert_eq!(s.fields[1].affinity, Some(0.7));
+        assert_eq!(s.fields[2].affinity, None);
+        assert!(!s.fields[2].is_pointer);
+    }
+
+    #[test]
+    fn parses_figure3_loop() {
+        let p = parse(
+            r#"
+            struct node { node *left @ 90; node *right @ 70; };
+            void f(node *s, node *t, node *u) {
+                while (s) {
+                    s = s->left;
+                    t = t->right->left;
+                    u = s->right;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let f = p.func("f").unwrap();
+        assert_eq!(f.params, vec!["s", "t", "u"]);
+        match &f.body[0] {
+            Stmt::While { body, .. } => {
+                assert_eq!(body.len(), 3);
+                assert!(matches!(&body[1], Stmt::Assign { dst, src: Expr::Path { base, fields } }
+                    if dst == "t" && base == "t" && fields == &vec!["right".to_string(), "left".to_string()]));
+            }
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_figure4_treeadd() {
+        let p = parse(
+            r#"
+            struct tree { tree *left @ 90; tree *right @ 70; int val; };
+            int TreeAdd(tree *t) {
+                if (t == null) { return 0; }
+                else { return TreeAdd(t->left) + TreeAdd(t->right) + t->val; }
+            }
+            "#,
+        )
+        .unwrap();
+        let f = p.func("TreeAdd").unwrap();
+        let calls = crate::ast::collect_calls(&f.body);
+        assert_eq!(calls.len(), 2);
+    }
+
+    #[test]
+    fn parses_futurecall_and_touch() {
+        let p = parse(
+            r#"
+            struct list { list *next; tree *item; };
+            struct tree { tree *left; tree *right; };
+            void WalkAndTraverse(list *l, tree *t) {
+                while (l != null) {
+                    futurecall Traverse(t);
+                    l = l->next;
+                }
+            }
+            void g(tree *t) {
+                int h = futurecall Work(t);
+                touch h;
+            }
+            "#,
+        )
+        .unwrap();
+        let f = p.func("WalkAndTraverse").unwrap();
+        assert!(crate::ast::contains_future(&f.body));
+        let g = p.func("g").unwrap();
+        assert!(matches!(&g.body[1], Stmt::Touch(v) if v == "h"));
+    }
+
+    #[test]
+    fn parses_store_through_path() {
+        let p = parse("void f(node *n) { n->left->val = 3; }").unwrap();
+        match &p.func("f").unwrap().body[0] {
+            Stmt::Store { base, fields, .. } => {
+                assert_eq!(base, "n");
+                assert_eq!(fields, &vec!["left".to_string(), "val".to_string()]);
+            }
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        match &p.func("f").unwrap().body[0] {
+            Stmt::Return(Some(Expr::Binary { op, rhs, .. })) => {
+                assert_eq!(op, "+");
+                assert!(matches!(&**rhs, Expr::Binary { op, .. } if op == "*"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("struct {").is_err());
+        assert!(parse("void f() { return $; }").is_err());
+        assert!(parse("struct s { int x @ 90; };").is_err(), "affinity on non-pointer");
+        assert!(parse("struct s { node *p @ 150; };").is_err(), "affinity > 100");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse(
+            "// leading\nstruct s { /* inner */ s *n @ 50; };\nvoid f(s *x) { x = x->n; // trail\n }",
+        )
+        .unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn uninitialized_decl_becomes_null_assign() {
+        let p = parse("void f() { tree *t; }").unwrap();
+        assert!(matches!(
+            &p.func("f").unwrap().body[0],
+            Stmt::Assign { dst, src: Expr::Null } if dst == "t"
+        ));
+    }
+}

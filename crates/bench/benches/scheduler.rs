@@ -1,0 +1,53 @@
+//! The list-scheduler replay: throughput on wide and chained DAGs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use olden_machine::trace::{EdgeKind, Trace};
+use olden_machine::sched;
+
+fn wide_trace(n: usize, procs: u8) -> Trace {
+    let mut t = Trace::new();
+    let root = t.new_segment(0);
+    t.charge(root, 10);
+    let join = t.new_segment(0);
+    for i in 0..n {
+        let s = t.new_segment((i % procs as usize) as u8);
+        t.charge(s, 100 + (i as u64 % 37));
+        t.add_edge(root, s, 540, EdgeKind::Migrate);
+        t.add_edge(s, join, 300, EdgeKind::Join);
+    }
+    t
+}
+
+fn chain_trace(n: usize, procs: u8) -> Trace {
+    let mut t = Trace::new();
+    let mut prev = t.new_segment(0);
+    t.charge(prev, 5);
+    for i in 1..n {
+        let s = t.new_segment((i % procs as usize) as u8);
+        t.charge(s, 50);
+        t.add_edge(prev, s, 540, EdgeKind::Migrate);
+        prev = s;
+    }
+    t
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("list_scheduler");
+    for n in [1_000usize, 10_000] {
+        let wide = wide_trace(n, 32);
+        g.bench_function(format!("wide_{n}"), |b| {
+            b.iter(|| black_box(sched::schedule(&wide, 32).unwrap().makespan))
+        });
+        let chain = chain_trace(n, 32);
+        g.bench_function(format!("chain_{n}"), |b| {
+            b.iter(|| black_box(sched::schedule(&chain, 32).unwrap().makespan))
+        });
+        g.bench_function(format!("critical_path_{n}"), |b| {
+            b.iter(|| black_box(sched::critical_path(&wide)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Ad-hoc scaling diagnostics: per-benchmark makespan vs critical path.
+use olden_benchmarks::{by_name, SizeClass};
+use olden_runtime::{run, Config};
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Health".into());
+    let d = by_name(&name).unwrap();
+    let (_, seq) = run(Config::sequential(), |ctx| (d.run)(ctx, SizeClass::Default));
+    println!("{name} seq {}", seq.makespan);
+    for p in [2usize, 8, 32] {
+        let (_, rep) = run(Config::olden(p), |ctx| (d.run)(ctx, SizeClass::Default));
+        println!(
+            "P={p:2} speedup {:.2} makespan {} cp {} work {} segs {} mig {} ret {} steals {} misses {}",
+            rep.speedup_vs(seq.makespan), rep.makespan, rep.critical_path, rep.total_work,
+            rep.segments, rep.stats.migrations, rep.stats.return_migrations, rep.stats.steals,
+            rep.cache.misses
+        );
+        println!("   cache: {:?}", rep.cache);
+        println!("   stats: {:?}", rep.stats);
+    }
+}

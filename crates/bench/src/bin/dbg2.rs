@@ -1,0 +1,16 @@
+//! Dump the raw trace of a small Barnes-Hut run.
+use olden_benchmarks::{barneshut, SizeClass};
+use olden_runtime::{Config, OldenCtx};
+fn main() {
+    let cfg = Config::olden(2);
+    let mut ctx = OldenCtx::new(cfg);
+    barneshut::run(&mut ctx, SizeClass::Tiny);
+    let (trace, stats, _) = ctx.into_parts_public();
+    println!("stats {stats:?}");
+    for (i, s) in trace.segments().iter().enumerate() {
+        println!("seg {i}: proc {} cost {}", s.proc, s.cost);
+    }
+    for e in trace.edges() {
+        println!("edge {:?} -> {:?} lat {} {:?}", e.from, e.to, e.latency, e.kind);
+    }
+}

@@ -1,0 +1,70 @@
+//! Regenerates the Figure 2 analysis: one list, blocked vs cyclic
+//! distribution, migration vs caching — reporting the §4 closed-form
+//! communication counts alongside the measured makespans.
+
+use olden_benchmarks::listdist::{build, walk, Distribution};
+use olden_runtime::{run, Config, Mechanism};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n = 4096usize;
+    let mut procs = 32usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--elements" => {
+                i += 1;
+                n = args[i].parse().unwrap();
+            }
+            "--procs" => {
+                i += 1;
+                procs = args[i].parse().unwrap();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("Figure 2: list of {n} elements over {procs} processors");
+    println!(
+        "paper closed forms: blocked+migrate = P-1 = {}, cyclic+migrate = N-1 = {},",
+        procs - 1,
+        n - 1
+    );
+    println!(
+        "                    cyclic+cache remote accesses = N(P-1)/P = {}",
+        n * (procs - 1) / procs
+    );
+    println!("{:-<84}", "");
+    println!(
+        "{:<10} {:<9} {:>12} {:>14} {:>12} {:>12}",
+        "layout", "mechanism", "migrations", "remote refs", "misses", "makespan"
+    );
+    println!("{:-<84}", "");
+    let (_, seq) = run(Config::sequential(), |ctx| {
+        let head = build(ctx, n, Distribution::Blocked);
+        walk(ctx, head, Mechanism::Cache)
+    });
+    for dist in [Distribution::Blocked, Distribution::Cyclic] {
+        for mech in [Mechanism::Migrate, Mechanism::Cache] {
+            let (_, rep) = run(Config::olden(procs), |ctx| {
+                let head = build(ctx, n, dist);
+                walk(ctx, head, mech)
+            });
+            println!(
+                "{:<10} {:<9} {:>12} {:>14} {:>12} {:>12}",
+                format!("{dist:?}"),
+                mech.name(),
+                rep.stats.migrations,
+                rep.cache.remote_reads + rep.cache.remote_writes,
+                rep.cache.misses,
+                rep.makespan
+            );
+        }
+    }
+    println!("{:-<84}", "");
+    println!("sequential makespan (single processor, no overheads): {}", seq.makespan);
+}

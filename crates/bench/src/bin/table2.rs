@@ -1,0 +1,81 @@
+//! Regenerates the paper's Table 2: heuristic choice, sequential time,
+//! speedups at 1–32 processors, and the migrate-only speedup at 32 for
+//! the M+C benchmarks.
+//!
+//! Usage: `table2 [--bench NAME] [--paper-sizes] [--procs N,N,...]
+//!                [--migrate-only]`
+//!
+//! Sequential "time" is reported in simulated mega-cycles (the cost-model
+//! substitute for the CM-5's wall-clock seconds; see DESIGN.md §5).
+
+use olden_bench::{table2_row, TABLE2_PROCS};
+use olden_benchmarks::SizeClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = SizeClass::Default;
+    let mut only: Option<String> = None;
+    let mut procs: Vec<usize> = TABLE2_PROCS.to_vec();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper-sizes" => size = SizeClass::Paper,
+            "--tiny" => size = SizeClass::Tiny,
+            "--bench" => {
+                i += 1;
+                only = Some(args[i].clone());
+            }
+            "--procs" => {
+                i += 1;
+                procs = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("processor count"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("Table 2: Results ({size:?} sizes)");
+    println!("{:-<110}", "");
+    print!(
+        "{:<12} {:<7} {:>12} ",
+        "Benchmark", "Choice", "Seq (Mcyc)"
+    );
+    for p in &procs {
+        print!("{:>7} ", p);
+    }
+    println!("{:>12}", "Mig-only(32)");
+    println!("{:-<110}", "");
+
+    for d in olden_benchmarks::all() {
+        if let Some(name) = &only {
+            if !d.name.eq_ignore_ascii_case(name) {
+                continue;
+            }
+        }
+        let row = table2_row(&d, &procs, size);
+        let label = if row.whole_program {
+            format!("{}(W)", row.name)
+        } else {
+            row.name.to_string()
+        };
+        print!(
+            "{:<12} {:<7} {:>12.2} ",
+            label,
+            row.choice,
+            row.seq_makespan as f64 / 1e6
+        );
+        for (_, s) in &row.speedups {
+            print!("{:>7.2} ", s);
+        }
+        match row.migrate_only {
+            Some(m) => println!("{:>12.2}", m),
+            None => println!("{:>12}", "-"),
+        }
+    }
+}

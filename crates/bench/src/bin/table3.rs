@@ -1,0 +1,65 @@
+//! Regenerates the paper's Table 3: caching statistics for the M+C
+//! benchmarks under the local-knowledge, global-knowledge, and bilateral
+//! coherence schemes.
+//!
+//! Usage: `table3 [--procs N] [--paper-sizes] [--tiny]`
+//! (the paper reports 32 processors).
+
+use olden_bench::table3_row;
+use olden_benchmarks::SizeClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = SizeClass::Default;
+    let mut procs = 32usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper-sizes" => size = SizeClass::Paper,
+            "--tiny" => size = SizeClass::Tiny,
+            "--procs" => {
+                i += 1;
+                procs = args[i].parse().expect("processor count");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("Table 3: Caching Statistics on {procs} processors ({size:?} sizes)");
+    println!("{:-<112}", "");
+    println!(
+        "{:<12} {:>12} {:>8} {:>13} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "Benchmark",
+        "Cache Wr",
+        "%Remote",
+        "Cache Rd",
+        "%Remote",
+        "local%",
+        "global%",
+        "bilat%",
+        "Pages"
+    );
+    println!("{:-<112}", "");
+    for d in olden_benchmarks::all() {
+        if d.choice != "M+C" {
+            continue;
+        }
+        let row = table3_row(&d, procs, size);
+        println!(
+            "{:<12} {:>12} {:>8.3} {:>13} {:>8.3} {:>8.2} {:>8.2} {:>10.2} {:>10}",
+            row.name,
+            row.cacheable_writes,
+            row.write_remote_pct,
+            row.cacheable_reads,
+            row.read_remote_pct,
+            row.miss_pct[0],
+            row.miss_pct[1],
+            row.miss_pct[2],
+            row.pages_cached
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Benchmark harness utilities shared by the table regenerators and the
+//! criterion benches.
+
+use olden_benchmarks::{Descriptor, SizeClass};
+use olden_runtime::{run, Config, Mechanism, Protocol, RunReport};
+
+/// Processor counts evaluated in the paper's Table 2.
+pub const TABLE2_PROCS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Run one benchmark at one configuration, verifying the value against
+/// its serial reference.
+pub fn run_checked(d: &Descriptor, cfg: Config, size: SizeClass) -> RunReport {
+    let (value, rep) = run(cfg, |ctx| (d.run)(ctx, size));
+    assert_eq!(
+        value,
+        (d.reference)(size),
+        "{}: simulated value diverged from the serial reference",
+        d.name
+    );
+    rep
+}
+
+/// A full Table-2 row: sequential makespan, per-processor-count speedups,
+/// and the migrate-only speedup at the largest count.
+pub struct Table2Row {
+    pub name: &'static str,
+    pub choice: &'static str,
+    pub whole_program: bool,
+    pub seq_makespan: u64,
+    pub speedups: Vec<(usize, f64)>,
+    pub migrate_only: Option<f64>,
+}
+
+/// Compute a Table-2 row.
+pub fn table2_row(d: &Descriptor, procs: &[usize], size: SizeClass) -> Table2Row {
+    let seq = run_checked(d, Config::sequential(), size);
+    let speedups = procs
+        .iter()
+        .map(|&p| {
+            let rep = run_checked(d, Config::olden(p), size);
+            (p, rep.speedup_vs(seq.makespan))
+        })
+        .collect();
+    let migrate_only = if d.choice == "M+C" {
+        let p = *procs.last().unwrap();
+        let rep = run_checked(d, Config::olden(p).forced(Mechanism::Migrate), size);
+        Some(rep.speedup_vs(seq.makespan))
+    } else {
+        None
+    };
+    Table2Row {
+        name: d.name,
+        choice: d.choice,
+        whole_program: d.whole_program,
+        seq_makespan: seq.makespan,
+        speedups,
+        migrate_only,
+    }
+}
+
+/// A Table-3 row: caching statistics under each coherence protocol.
+pub struct Table3Row {
+    pub name: &'static str,
+    pub cacheable_writes: u64,
+    pub write_remote_pct: f64,
+    pub cacheable_reads: u64,
+    pub read_remote_pct: f64,
+    pub miss_pct: [f64; 3], // local, global, bilateral
+    pub pages_cached: u64,
+}
+
+/// Compute a Table-3 row at `procs` processors.
+pub fn table3_row(d: &Descriptor, procs: usize, size: SizeClass) -> Table3Row {
+    let mut miss = [0.0f64; 3];
+    let mut base = None;
+    for (i, proto) in [
+        Protocol::LocalKnowledge,
+        Protocol::GlobalKnowledge,
+        Protocol::Bilateral,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let rep = run_checked(d, Config::olden(procs).with_protocol(proto), size);
+        miss[i] = rep.cache.miss_pct();
+        if i == 0 {
+            base = Some(rep);
+        }
+    }
+    let rep = base.unwrap();
+    Table3Row {
+        name: d.name,
+        cacheable_writes: rep.cache.cacheable_writes,
+        write_remote_pct: rep.cache.write_remote_pct(),
+        cacheable_reads: rep.cache.cacheable_reads,
+        read_remote_pct: rep.cache.read_remote_pct(),
+        miss_pct: miss,
+        pages_cached: rep.pages_cached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olden_benchmarks::by_name;
+
+    #[test]
+    fn table2_row_smoke() {
+        let d = by_name("TreeAdd").unwrap();
+        let row = table2_row(&d, &[1, 4], SizeClass::Tiny);
+        assert_eq!(row.speedups.len(), 2);
+        assert!(row.migrate_only.is_none(), "TreeAdd is M-only");
+        assert!(row.seq_makespan > 0);
+    }
+
+    #[test]
+    fn table3_row_smoke() {
+        let d = by_name("EM3D").unwrap();
+        let row = table3_row(&d, 4, SizeClass::Tiny);
+        assert!(row.cacheable_reads > 0);
+        assert!(row.miss_pct.iter().all(|&m| (0.0..=100.0).contains(&m)));
+        assert!(row.pages_cached > 0);
+    }
+}

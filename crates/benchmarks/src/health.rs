@@ -1,0 +1,410 @@
+//! **Health** — the Columbian health-care simulation (Table 1: 1365
+//! villages), after Lomow et al.
+//!
+//! Villages form a four-way tree (1365 = a complete 6-level 4-ary tree);
+//! each village hosts a hospital with a list of patients. Every time step
+//! the tree is traversed; leaf villages generate patients; each patient's
+//! treatment advances, and on completion the patient is either discharged
+//! or **referred up the tree to the parent hospital**, joining its list.
+//!
+//! The heuristic "according to its design, chooses migration for the tree
+//! traversal, and caching to access remote items in the lists" (§5).
+//! Subtrees are distributed at a fixed depth, so referred patients cross
+//! processors only near the root — the paper notes fewer than two percent
+//! of list items arrive from a remote processor, which is why the local
+//! knowledge scheme wins despite its coarse invalidation.
+
+use crate::rng::mix2;
+use crate::{Descriptor, SizeClass};
+use olden_gptr::{GPtr, ProcId};
+use olden_runtime::{Mechanism, OldenCtx};
+
+const MI: Mechanism = Mechanism::Migrate;
+const CA: Mechanism = Mechanism::Cache;
+
+/// Village layout (8 words).
+const V_CHILD0: usize = 0; // .. V_CHILD3 = 3
+const V_LIST: usize = 4;
+const V_SEED: usize = 5;
+const V_LEVEL: usize = 6;
+const VILLAGE_WORDS: usize = 8;
+
+/// Patient layout (4 words).
+const P_NEXT: usize = 0;
+const P_REMAIN: usize = 1;
+const P_DECIDER: usize = 2;
+const PATIENT_WORDS: usize = 4;
+
+/// Probability a leaf village admits a new patient each step.
+const GEN_PCT: u64 = 30;
+/// Probability a completed treatment is referred up instead of discharged.
+const REFER_PCT: u64 = 30;
+/// Simulated time steps.
+const STEPS: usize = 20;
+
+/// Cycles to assess one patient, and per-village bookkeeping (calibrated
+/// from Table 2's 34.19 s whole-program sequential time at 33 MHz).
+const W_PATIENT: u64 = 400;
+const W_VILLAGE: u64 = 800;
+
+/// Kernel DSL: the per-village patient-list walk inside the parallel
+/// 4-way tree traversal — Figure 5's `TraverseAndWalk` shape, so pass 2
+/// finds **no** bottleneck: the list seed `v->list` changes every
+/// iteration of the parent recursion.
+pub const DSL: &str = r#"
+    struct village { village *c0 @ 95; village *c1 @ 95; patient *list; };
+    struct patient { patient *next; int remain; };
+    void Step(village *v) {
+        if (v == null) { return; }
+        futurecall Step(v->c0);
+        futurecall Step(v->c1);
+        patient *p = v->list;
+        while (p != null) {
+            assess(p);
+            p = p->next;
+        }
+    }
+"#;
+
+/// Tree depth (levels) per size class; villages = (4^L − 1)/3.
+pub fn levels(size: SizeClass) -> u32 {
+    match size {
+        SizeClass::Tiny => 3,    // 21 villages
+        SizeClass::Default => 5, // 341 villages
+        SizeClass::Paper => 6,   // 1365 villages (Table 1)
+    }
+}
+
+fn village_seed(path_id: u64) -> u64 {
+    mix2(path_id, 0x4EA17)
+}
+
+/// Build the village tree: child `k` of a node with processor range
+/// `[lo, hi)` takes the `k`-th quarter; the node itself sits with child
+/// 0's quarter, so children 1–3 are remote and their futures fork.
+fn build(ctx: &mut OldenCtx, level: u32, path_id: u64, lo: usize, hi: usize) -> GPtr {
+    let v = ctx.alloc(lo as ProcId, VILLAGE_WORDS);
+    ctx.write(v, V_SEED, village_seed(path_id), MI);
+    ctx.write(v, V_LEVEL, level as i64, MI);
+    ctx.write(v, V_LIST, GPtr::NULL, MI);
+    if level > 0 {
+        for k in 0..4usize {
+            let (clo, chi) = crate::split_range4(lo, hi, k);
+            let child = build(ctx, level - 1, path_id * 4 + k as u64 + 1, clo, chi);
+            ctx.write(v, V_CHILD0 + k, child, MI);
+        }
+    }
+    v
+}
+
+/// One simulated step at a village subtree. Returns `(treated,
+/// generated, referred_chain)` where the chain holds patients moving up
+/// to the caller.
+fn step_village(ctx: &mut OldenCtx, v: GPtr) -> (u64, u64, GPtr) {
+    ctx.work(W_VILLAGE);
+    let level = ctx.read_i64(v, V_LEVEL, MI);
+
+    // Children first (in parallel): each returns its referral chain.
+    // Children are spawned in descending order because the build places
+    // child 0 on this village's own processor: a local child's future
+    // body runs inline, so spawning the remote (forking) children first
+    // keeps them from waiting behind it.
+    let mut child_handles = Vec::new();
+    if level > 0 {
+        for k in (0..4usize).rev() {
+            let child = ctx.read_ptr(v, V_CHILD0 + k, MI);
+            if !child.is_null() {
+                child_handles
+                    .push(ctx.future_call(move |ctx| ctx.call(move |ctx| step_village(ctx, child))));
+            }
+        }
+    }
+
+    // Process this village's current list.
+    let mut treated = 0u64;
+    let mut generated = 0u64;
+    let mut referred_head = GPtr::NULL;
+    let mut keep_head = GPtr::NULL;
+    let mut keep_tail = GPtr::NULL;
+    let mut p = ctx.read_ptr(v, V_LIST, MI);
+    while !p.is_null() {
+        ctx.work(W_PATIENT);
+        let next = ctx.read_ptr(p, P_NEXT, MI);
+        let remain = ctx.read_i64(p, P_REMAIN, MI) - 1;
+        if remain > 0 {
+            ctx.write(p, P_REMAIN, remain, MI);
+            // Keep in this village's list.
+            ctx.write(p, P_NEXT, GPtr::NULL, MI);
+            if keep_tail.is_null() {
+                keep_head = p;
+            } else {
+                ctx.write(keep_tail, P_NEXT, p, MI);
+            }
+            keep_tail = p;
+        } else {
+            let decider = ctx.read(p, P_DECIDER, MI).as_u64();
+            let refer = mix2(decider, level as u64) % 100 < REFER_PCT;
+            if refer && level >= 0 && !is_root_level(ctx, v, level) {
+                // Referred: new treatment duration, onto the up-chain.
+                let dur = 1 + (mix2(decider, level as u64 * 7 + 1) % 3) as i64;
+                ctx.write(p, P_REMAIN, dur, MI);
+                ctx.write(p, P_DECIDER, mix2(decider, 0xD0C), MI);
+                ctx.write(p, P_NEXT, referred_head, MI);
+                referred_head = p;
+            } else {
+                treated += 1;
+            }
+        }
+        p = next;
+    }
+
+    // Leaf villages admit new patients.
+    if level == 0 {
+        let seed = ctx.read(v, V_SEED, MI).as_u64();
+        let next_seed = mix2(seed, 0x57E9);
+        ctx.write(v, V_SEED, next_seed, MI);
+        if next_seed % 100 < GEN_PCT {
+            generated += 1;
+            let pat = ctx.alloc_near(v, PATIENT_WORDS);
+            ctx.write(pat, P_REMAIN, 1 + (next_seed >> 8) as i64 % 3, MI);
+            ctx.write(pat, P_DECIDER, mix2(next_seed, 0xDEC1DE), MI);
+            ctx.write(pat, P_NEXT, GPtr::NULL, MI);
+            if keep_tail.is_null() {
+                keep_head = pat;
+            } else {
+                ctx.write(keep_tail, P_NEXT, pat, MI);
+            }
+            keep_tail = pat;
+        }
+    }
+
+    // Collect children's referral chains: walking a chain built on a
+    // (possibly remote) child processor is the cached list access of §5.
+    for h in child_handles {
+        let (t, g, mut chain) = ctx.touch(h);
+        treated += t;
+        generated += g;
+        while !chain.is_null() {
+            let next = ctx.read_ptr(chain, P_NEXT, CA);
+            ctx.write(chain, P_NEXT, GPtr::NULL, CA);
+            if keep_tail.is_null() {
+                keep_head = chain;
+            } else {
+                ctx.write(keep_tail, P_NEXT, chain, CA);
+            }
+            keep_tail = chain;
+            chain = next;
+        }
+    }
+
+    ctx.write(v, V_LIST, keep_head, MI);
+    (treated, generated, referred_head)
+}
+
+fn is_root_level(ctx: &mut OldenCtx, _v: GPtr, level: i64) -> bool {
+    // The root is the only village whose level equals the configured top;
+    // referral from the root is impossible. We pass the top level through
+    // the context-free check below (levels() is known per size class at
+    // the call sites, but the village's own level suffices: the run
+    // wrapper treats referrals emerging from the root as treated).
+    let _ = (ctx, level);
+    false
+}
+
+/// Simulate the full system; checksum mixes treated, generated, and the
+/// remaining backlog.
+pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+    let l = levels(size);
+    let n = ctx.nprocs();
+    let root = ctx.uncharged(|ctx| build(ctx, l - 1, 1, 0, n));
+    let mut treated = 0u64;
+    let mut generated = 0u64;
+    for _ in 0..STEPS {
+        let (t, g, mut chain) = ctx.call(|ctx| step_village(ctx, root));
+        treated += t;
+        generated += g;
+        // Referrals from the root have nowhere to go: discharged.
+        while !chain.is_null() {
+            treated += 1;
+            chain = ctx.read_ptr(chain, P_NEXT, MI);
+        }
+    }
+    // Remaining backlog (order-insensitive sum).
+    let mut backlog = 0u64;
+    ctx.uncharged(|ctx| {
+        backlog = backlog_of(ctx, root);
+    });
+    mix2(mix2(treated, generated), backlog)
+}
+
+fn backlog_of(ctx: &mut OldenCtx, v: GPtr) -> u64 {
+    if v.is_null() {
+        return 0;
+    }
+    let mut sum = 0u64;
+    let mut p = ctx.read_ptr(v, V_LIST, MI);
+    while !p.is_null() {
+        sum += ctx.read_i64(p, P_REMAIN, MI) as u64;
+        p = ctx.read_ptr(p, P_NEXT, MI);
+    }
+    let level = ctx.read_i64(v, V_LEVEL, MI);
+    if level > 0 {
+        for k in 0..4usize {
+            let c = ctx.read_ptr(v, V_CHILD0 + k, MI);
+            sum += backlog_of(ctx, c);
+        }
+    }
+    sum
+}
+
+/// Serial reference with the same per-village seeds and rules.
+pub fn reference(size: SizeClass) -> u64 {
+    struct Village {
+        level: i64,
+        seed: u64,
+        children: Vec<usize>,
+        list: Vec<(i64, u64)>, // (remain, decider)
+    }
+    fn build(vs: &mut Vec<Village>, level: i64, path_id: u64) -> usize {
+        let idx = vs.len();
+        vs.push(Village {
+            level,
+            seed: village_seed(path_id),
+            children: Vec::new(),
+            list: Vec::new(),
+        });
+        if level > 0 {
+            for k in 0..4u64 {
+                let c = build(vs, level - 1, path_id * 4 + k + 1);
+                vs[idx].children.push(c);
+            }
+        }
+        idx
+    }
+    let l = levels(size) as i64;
+    let mut vs = Vec::new();
+    let root = build(&mut vs, l - 1, 1);
+    let mut treated = 0u64;
+    let mut generated = 0u64;
+    for _ in 0..STEPS {
+        // Post-order step mirroring the instrumented traversal: each
+        // village processes its own list, then absorbs children's
+        // referral chains (which were produced this step).
+        fn step(
+            vs: &mut Vec<Village>,
+            v: usize,
+            treated: &mut u64,
+            generated: &mut u64,
+        ) -> Vec<(i64, u64)> {
+            let children = vs[v].children.clone();
+            let level = vs[v].level;
+            // NOTE: the instrumented version spawns children first but
+            // touches (absorbs) them after its own list processing; the
+            // patient outcomes depend only on per-patient deciders, so
+            // order does not change the counts.
+            let mut referred = Vec::new();
+            let mut kept = Vec::new();
+            let list = std::mem::take(&mut vs[v].list);
+            for (remain, decider) in list {
+                let remain = remain - 1;
+                if remain > 0 {
+                    kept.push((remain, decider));
+                } else {
+                    let refer = mix2(decider, level as u64) % 100 < REFER_PCT;
+                    if refer {
+                        let dur = 1 + (mix2(decider, level as u64 * 7 + 1) % 3) as i64;
+                        referred.push((dur, mix2(decider, 0xD0C)));
+                    } else {
+                        *treated += 1;
+                    }
+                }
+            }
+            if level == 0 {
+                let next_seed = mix2(vs[v].seed, 0x57E9);
+                vs[v].seed = next_seed;
+                if next_seed % 100 < GEN_PCT {
+                    *generated += 1;
+                    kept.push((
+                        1 + (next_seed >> 8) as i64 % 3,
+                        mix2(next_seed, 0xDEC1DE),
+                    ));
+                }
+            }
+            for c in children {
+                let chain = step(vs, c, treated, generated);
+                kept.extend(chain);
+            }
+            vs[v].list = kept;
+            referred
+        }
+        let chain = step(&mut vs, root, &mut treated, &mut generated);
+        treated += chain.len() as u64;
+    }
+    let backlog: u64 = vs
+        .iter()
+        .flat_map(|v| v.list.iter().map(|&(r, _)| r as u64))
+        .sum();
+    mix2(mix2(treated, generated), backlog)
+}
+
+pub const DESCRIPTOR: Descriptor = Descriptor {
+    name: "Health",
+    description: "Simulates the Columbian health care system",
+    problem_size: "1365 villages",
+    choice: "M+C",
+    whole_program: true,
+    run,
+    reference,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olden_analysis::{parse, select, Mech};
+    use olden_runtime::{run as run_sim, Config};
+
+    #[test]
+    fn simulation_matches_reference() {
+        for procs in [1, 2, 4, 8] {
+            let (v, _) = run_sim(Config::olden(procs), |ctx| run(ctx, SizeClass::Tiny));
+            assert_eq!(v, reference(SizeClass::Tiny), "procs={procs}");
+        }
+    }
+
+    #[test]
+    fn something_actually_happens() {
+        // Guard against a silent all-zero simulation.
+        let a = reference(SizeClass::Tiny);
+        let b = reference(SizeClass::Default);
+        assert_ne!(a, b);
+        assert_ne!(a, mix2(mix2(0, 0), 0), "patients were generated");
+    }
+
+    #[test]
+    fn heuristic_tree_migrates_list_caches() {
+        let sel = select(&parse(DSL).unwrap());
+        let rec = sel.recursion_of("Step").unwrap();
+        assert_eq!(rec.migration_var(), Some("v"), "tree traversal migrates");
+        assert!(!rec.bottleneck, "v->list differs per node: no bottleneck");
+        let whiles = sel.for_func("Step");
+        let list_loop = whiles
+            .iter()
+            .find(|c| matches!(c.kind, olden_analysis::LoopKind::While { .. }))
+            .unwrap();
+        assert_eq!(list_loop.mech("p"), Mech::Cache, "patient list caches");
+    }
+
+    #[test]
+    fn remote_list_items_are_rare() {
+        let (_, rep) = run_sim(Config::olden(8), |ctx| run(ctx, SizeClass::Default));
+        // §5: fewer than ~2 % of patients arrive from a remote processor;
+        // with subtree distribution the cached remote share stays small.
+        let total = rep.cache.cacheable_reads + rep.cache.cacheable_writes;
+        if total > 0 {
+            let remote = rep.cache.remote_reads + rep.cache.remote_writes;
+            let pct = 100.0 * remote as f64 / total as f64;
+            assert!(pct < 30.0, "remote cacheable share {pct}%");
+        }
+        assert!(rep.stats.migrations > 0, "tree traversal migrates");
+    }
+}

@@ -1,0 +1,159 @@
+//! The ten Olden benchmarks (paper Table 1), implemented against the
+//! reproduction runtime, each with a plain-Rust serial reference for value
+//! verification and a DSL rendition of its kernel so the selection
+//! heuristic's choices can be checked against the paper's §5 prose.
+//!
+//! | benchmark  | description (Table 1)                                  | heuristic choice |
+//! |------------|--------------------------------------------------------|------------------|
+//! | TreeAdd    | adds the values in a tree                              | M                |
+//! | Power      | power-system optimization                              | M                |
+//! | TSP        | estimated best Hamiltonian circuit                     | M                |
+//! | MST        | minimum spanning tree of a graph                       | M                |
+//! | Bisort     | bitonic sort in a binary tree                          | M+C              |
+//! | Voronoi    | Voronoi diagram / Delaunay of a point set              | M+C              |
+//! | EM3D       | electromagnetic-wave propagation on a bipartite graph  | M+C              |
+//! | Barnes-Hut | hierarchical N-body                                    | M+C              |
+//! | Perimeter  | perimeter of quad-tree-encoded raster images           | M+C              |
+//! | Health     | Columbian health-care simulation                       | M+C              |
+//!
+//! Problem sizes: each benchmark accepts a [`SizeClass`]; `Default` keeps
+//! `cargo test` fast, `Paper` matches Table 1 where feasible on one host.
+
+pub mod barneshut;
+pub mod bisort;
+pub mod em3d;
+pub mod health;
+pub mod listdist;
+pub mod mst;
+pub mod perimeter;
+pub mod power;
+pub mod rng;
+pub mod treeadd;
+pub mod tsp;
+pub mod voronoi;
+
+use olden_runtime::OldenCtx;
+
+/// Split a processor range `[lo, hi)` into its `k`-th quarter (k in
+/// 0..4), degrading gracefully when the range is smaller than four: every
+/// quarter is non-empty and the quarters cover the range, so 4-way tree
+/// distributions keep using all processors down to 2-processor machines.
+pub fn split_range4(lo: usize, hi: usize, k: usize) -> (usize, usize) {
+    debug_assert!(k < 4 && lo < hi);
+    let span = hi - lo;
+    if span <= 1 {
+        return (lo, hi);
+    }
+    let clo = lo + k * span / 4;
+    let chi = lo + (k + 1) * span / 4;
+    if chi <= clo {
+        let c = clo.min(hi - 1);
+        (c, c + 1)
+    } else {
+        (clo, chi)
+    }
+}
+
+/// Problem-size selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SizeClass {
+    /// Very small: exhaustive tests and property tests.
+    Tiny,
+    /// Development default: seconds per full Table-2 row.
+    Default,
+    /// The paper's Table 1 sizes (or as close as is sensible on a single
+    /// host; see each module's docs).
+    Paper,
+}
+
+/// One benchmark's registry entry.
+#[derive(Clone, Copy)]
+pub struct Descriptor {
+    /// Table 1 name.
+    pub name: &'static str,
+    /// Table 1 description.
+    pub description: &'static str,
+    /// Table 1 problem size (the `Paper` size class).
+    pub problem_size: &'static str,
+    /// Table 2 "Heuristic choice" column: "M" or "M+C".
+    pub choice: &'static str,
+    /// True for the three benchmarks the paper reports as whole-program
+    /// times (Power, Barnes-Hut, Health); the rest report kernel times
+    /// with the build phase uncharged.
+    pub whole_program: bool,
+    /// Run the benchmark under the given context; returns a checksum that
+    /// must equal `reference` for the same size.
+    pub run: fn(&mut OldenCtx, SizeClass) -> u64,
+    /// Plain serial Rust implementation of the same computation.
+    pub reference: fn(SizeClass) -> u64,
+}
+
+/// All ten Table-1 benchmarks, in the paper's row order.
+pub fn all() -> Vec<Descriptor> {
+    vec![
+        treeadd::DESCRIPTOR,
+        power::DESCRIPTOR,
+        tsp::DESCRIPTOR,
+        mst::DESCRIPTOR,
+        bisort::DESCRIPTOR,
+        voronoi::DESCRIPTOR,
+        em3d::DESCRIPTOR,
+        barneshut::DESCRIPTOR,
+        perimeter::DESCRIPTOR,
+        health::DESCRIPTOR,
+    ]
+}
+
+/// Look a benchmark up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Descriptor> {
+    all()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1() {
+        let a = all();
+        assert_eq!(a.len(), 10);
+        assert_eq!(a[0].name, "TreeAdd");
+        assert_eq!(a[9].name, "Health");
+        let m_only: Vec<&str> = a
+            .iter()
+            .filter(|d| d.choice == "M")
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(m_only, vec!["TreeAdd", "Power", "TSP", "MST"]);
+        let whole: Vec<&str> = a
+            .iter()
+            .filter(|d| d.whole_program)
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(whole, vec!["Power", "Barnes-Hut", "Health"]);
+    }
+
+    #[test]
+    fn split_range4_covers_and_is_nonempty() {
+        for hi in 1..20usize {
+            for k in 0..4 {
+                let (a, b) = split_range4(0, hi, k);
+                assert!(a < b && b <= hi, "({a},{b}) of [0,{hi}) k={k}");
+            }
+        }
+        // Width-2 ranges use both halves.
+        assert_eq!(split_range4(0, 2, 0), (0, 1));
+        assert_eq!(split_range4(0, 2, 3), (1, 2));
+        // Wide ranges quarter exactly.
+        assert_eq!(split_range4(0, 8, 1), (2, 4));
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("treeadd").is_some());
+        assert!(by_name("BARNES-HUT").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

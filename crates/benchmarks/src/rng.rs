@@ -1,0 +1,97 @@
+//! A tiny deterministic RNG for workload generation.
+//!
+//! Benchmarks must be bit-for-bit reproducible across the sequential
+//! baseline and every processor count (the paper's speedups divide the two
+//! runs), so each workload seeds its own SplitMix64 stream explicitly.
+
+/// SplitMix64: fast, high-quality 64-bit generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (slight bias irrelevant
+        // for workload generation).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+/// A deterministic 64-bit mix of two values (used for implicit edge
+/// weights, e.g. MST's `weight(i, j)`).
+pub fn mix2(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(0x1234_5678_9ABC_DEF0);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 27)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(9);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05, "roughly uniform");
+    }
+
+    #[test]
+    fn mix2_is_symmetric_in_neither_argument() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+        assert_eq!(mix2(5, 9), mix2(5, 9));
+    }
+}

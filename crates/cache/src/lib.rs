@@ -1,0 +1,36 @@
+//! Olden's software cache and its coherence protocols.
+//!
+//! Each processor uses its local memory as a large, fully associative,
+//! write-through cache (paper §3.2, after Blizzard-S). Allocation happens
+//! at page granularity (2 KB) and transfer at line granularity (64 B).
+//! Because the CM-5 port could not rely on virtual-memory support, the
+//! translation structure is a **1 K-bucket hash table with a list of pages
+//! in each bucket** (Figure 1); chains average about one entry.
+//!
+//! Three coherence schemes are implemented (Appendix A), all of which
+//! realize release consistency by treating a migration send as a release
+//! and a migration receipt as an acquire:
+//!
+//! * **local knowledge** — invalidate the entire local cache on every
+//!   migration receipt; on *return* migrations only pages homed on
+//!   processors the returning thread wrote are dropped;
+//! * **global knowledge** (eager release consistency) — writes are tracked
+//!   per line, sharers per page; each migration departure pushes
+//!   invalidations to sharers;
+//! * **bilateral** — homes keep per-page timestamps bumped at migration
+//!   departure if the page was written; receivers mark all cached pages so
+//!   the first access revalidates against the home timestamp.
+//!
+//! The cache stores *metadata only* (valid bits, marks, timestamps):
+//! because the protocol is write-through and Olden's future semantics
+//! forbid concurrent threads from interfering, the home copy is always
+//! current in the simulator's serial order, so values are read from home
+//! while the metadata decides hit or miss and who pays what.
+
+pub mod protocol;
+pub mod stats;
+pub mod table;
+
+pub use protocol::{Access, Arrival, CacheSystem, Protocol};
+pub use stats::CacheStats;
+pub use table::{CachedPage, ProcCache, HASH_BUCKETS};

@@ -1,0 +1,527 @@
+//! The three coherence schemes of Appendix A, behind one interface.
+//!
+//! All three are correct because Olden reduces to release consistency: a
+//! migration *send* releases, a migration *receipt* acquires, and the
+//! future semantics guarantee concurrent threads never read each other's
+//! in-flight writes. The schemes differ only in what bookkeeping they pay
+//! and when cached lines become invalid:
+//!
+//! | scheme    | on heap write                   | on migration depart            | on migration arrive            |
+//! |-----------|---------------------------------|--------------------------------|--------------------------------|
+//! | local     | –                               | –                              | clear whole cache (returns: only written homes) |
+//! | global    | record dirty line (7/23 instrs) | push invalidations to sharers  | –                              |
+//! | bilateral | record dirty line (7/23 instrs) | bump written pages' timestamps | mark all pages for revalidation |
+
+use crate::stats::CacheStats;
+use crate::table::ProcCache;
+use olden_gptr::{LineInPage, PageNum, ProcId, LINES_PER_PAGE};
+use std::collections::HashMap;
+
+/// Which Appendix-A coherence scheme is in force.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Protocol {
+    /// Invalidate the whole local cache on every migration receipt; on
+    /// returns, only pages homed on processors the thread wrote.
+    LocalKnowledge,
+    /// Eager release consistency: track writes per line, sharers per page;
+    /// push invalidations at each migration departure.
+    GlobalKnowledge,
+    /// Per-page timestamps at home + epoch marks at receivers; first
+    /// access after an acquire revalidates.
+    Bilateral,
+}
+
+impl Protocol {
+    pub const ALL: [Protocol; 3] = [
+        Protocol::LocalKnowledge,
+        Protocol::GlobalKnowledge,
+        Protocol::Bilateral,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::LocalKnowledge => "local",
+            Protocol::GlobalKnowledge => "global",
+            Protocol::Bilateral => "bilateral",
+        }
+    }
+}
+
+/// Outcome of a remote cacheable access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Line present and valid: serviced locally.
+    Hit,
+    /// Round trip to the home node. `revalidation` is true when the trip
+    /// only refreshed a timestamp and the line itself was still valid
+    /// (bilateral), so no 64-byte payload moved.
+    Miss { revalidation: bool },
+}
+
+/// How a thread arrived at a processor (migration receipt = acquire).
+#[derive(Clone, Copy, Debug)]
+pub enum Arrival<'a> {
+    /// Forward migration into a procedure body.
+    Call,
+    /// Return-stub migration; `written_homes` are the processors whose
+    /// memories the returning thread wrote (the §3 refinement: only their
+    /// lines can be stale for this thread).
+    Return { written_homes: &'a [ProcId] },
+}
+
+/// Home-side metadata for one page.
+#[derive(Clone, Debug, Default)]
+struct HomePage {
+    /// Processors that have requested lines of this page (page-granularity
+    /// sharer tracking, Appendix A).
+    sharers: Vec<ProcId>,
+    /// Bilateral: current timestamp; bumped at migration departure if the
+    /// page was written during the epoch.
+    ts: u64,
+    /// Bilateral: timestamp at which each line was last written (the value
+    /// the page's `ts` will take at the *next* departure).
+    line_ts: [u64; LINES_PER_PAGE],
+}
+
+/// Instruction costs of the compiler-inserted write-tracking code
+/// (Appendix A: "seven instructions for non-shared pages, and twenty-three
+/// instructions for shared pages").
+const TRACK_NONSHARED: u64 = 7;
+const TRACK_SHARED: u64 = 23;
+
+/// All caches plus the home directories, under one protocol.
+#[derive(Clone, Debug)]
+pub struct CacheSystem {
+    protocol: Protocol,
+    caches: Vec<ProcCache>,
+    homes: Vec<HashMap<PageNum, HomePage>>,
+    /// Lines written by the current thread since its last migration
+    /// departure: (home, page) → line mask. Cleared at each departure.
+    dirty: HashMap<(ProcId, PageNum), u32>,
+    stats: CacheStats,
+}
+
+impl CacheSystem {
+    pub fn new(procs: usize, protocol: Protocol) -> CacheSystem {
+        CacheSystem {
+            protocol,
+            caches: (0..procs).map(|_| ProcCache::new()).collect(),
+            homes: (0..procs).map(|_| HashMap::new()).collect(),
+            dirty: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// Total distinct pages ever cached, across all processors (Table 3
+    /// "Total Pages Cached").
+    pub fn pages_cached(&self) -> u64 {
+        self.caches.iter().map(|c| c.pages_ever()).sum()
+    }
+
+    /// Mean translation-table chain length across processors (§3.2 claims
+    /// ≈ 1).
+    pub fn mean_chain_length(&self) -> f64 {
+        let with_lookups: Vec<f64> = self
+            .caches
+            .iter()
+            .map(|c| c.mean_chain_length())
+            .filter(|&m| m > 0.0)
+            .collect();
+        if with_lookups.is_empty() {
+            0.0
+        } else {
+            with_lookups.iter().sum::<f64>() / with_lookups.len() as f64
+        }
+    }
+
+    /// A remote cacheable reference by `requester` to a word on
+    /// `home`/`page`/`line`. Decides hit or miss, updates sharer and valid
+    /// state, and records statistics. The caller charges cycle costs based
+    /// on the returned [`Access`], and must separately call
+    /// [`CacheSystem::note_write`] for every heap write (this one
+    /// included) — write tracking is a compiler-inserted instrumentation
+    /// on the write itself, independent of how the address was resolved.
+    pub fn access(
+        &mut self,
+        requester: ProcId,
+        home: ProcId,
+        page: PageNum,
+        line: LineInPage,
+        write: bool,
+    ) -> Access {
+        debug_assert_ne!(requester, home, "local references bypass the cache");
+        if write {
+            self.stats.remote_writes += 1;
+        } else {
+            self.stats.remote_reads += 1;
+        }
+
+        let bilateral = self.protocol == Protocol::Bilateral;
+        let cache = &mut self.caches[requester as usize];
+        let mut reval_needed = false;
+        let mut validated_ts = 0;
+        let (mut present, mut valid) = (false, false);
+        if let Some(cp) = cache.lookup(home, page) {
+            present = true;
+            valid = cp.line_valid(line);
+            if bilateral && cp.marked {
+                reval_needed = true;
+                validated_ts = cp.validated_ts;
+            }
+        }
+
+        // Bilateral revalidation: consult the home's timestamp, drop lines
+        // written since we last validated, then re-examine our line.
+        if reval_needed {
+            let (ts, stale_mask) = {
+                let hp = self.homes[home as usize].entry(page).or_default();
+                let mut mask = 0u32;
+                for l in 0..LINES_PER_PAGE {
+                    if hp.line_ts[l] > validated_ts {
+                        mask |= 1 << l;
+                    }
+                }
+                (hp.ts, mask)
+            };
+            let cache = &mut self.caches[requester as usize];
+            if let Some(cp) = cache.lookup(home, page) {
+                cp.clear_lines(stale_mask);
+                cp.marked = false;
+                cp.validated_ts = ts;
+                valid = cp.line_valid(line);
+            }
+            // The round trip happened whether or not the line survived.
+            self.stats.misses += 1;
+            if valid {
+                self.stats.revalidations += 1;
+                return Access::Miss { revalidation: true };
+            }
+            // Stale: fall through to fetch the line (combined with the
+            // revalidation reply, so one round trip total is charged).
+            self.fetch_line(requester, home, page, line);
+            return Access::Miss {
+                revalidation: false,
+            };
+        }
+
+        if present && valid {
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+
+        // Page not allocated or line invalid: the library routine performs
+        // the allocation / transfer (§3.2).
+        self.stats.misses += 1;
+        self.fetch_line(requester, home, page, line);
+        Access::Miss {
+            revalidation: false,
+        }
+    }
+
+    /// Service a line fetch: allocate the page descriptor on demand, set
+    /// the valid bit, and register the requester as a sharer at home.
+    fn fetch_line(&mut self, requester: ProcId, home: ProcId, page: PageNum, line: LineInPage) {
+        let cache = &mut self.caches[requester as usize];
+        let cp = match cache.lookup(home, page) {
+            Some(_) => cache.lookup(home, page).unwrap(),
+            None => cache.insert(home, page),
+        };
+        cp.set_line(line);
+        if self.protocol != Protocol::LocalKnowledge {
+            // Sharer tracking at page level (Appendix A); the local scheme
+            // keeps no global state at all.
+            let hp = self.homes[home as usize].entry(page).or_default();
+            if !hp.sharers.contains(&requester) {
+                hp.sharers.push(requester);
+            }
+            if self.protocol == Protocol::Bilateral {
+                let ts = hp.ts;
+                let cache = &mut self.caches[requester as usize];
+                if let Some(cp) = cache.lookup(home, page) {
+                    if cp.validated_ts < ts {
+                        cp.validated_ts = ts;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a heap write for the write-tracking protocols. Called for
+    /// *every* heap write (local, migrated-to, or cached-remote) — the
+    /// compiler cannot tell which at the write site, which is exactly why
+    /// the tracking overhead is pervasive. Returns the cycles the inserted
+    /// tracking code costs (zero under local knowledge).
+    pub fn note_write(&mut self, _writer: ProcId, home: ProcId, page: PageNum, line: LineInPage) -> u64 {
+        if self.protocol == Protocol::LocalKnowledge {
+            return 0;
+        }
+        *self.dirty.entry((home, page)).or_insert(0) |= 1u32 << line;
+        if self.protocol == Protocol::Bilateral {
+            let hp = self.homes[home as usize].entry(page).or_default();
+            hp.line_ts[line as usize] = hp.ts + 1;
+        }
+        let shared = self.homes[home as usize]
+            .get(&page)
+            .is_some_and(|hp| !hp.sharers.is_empty());
+        let cycles = if shared { TRACK_SHARED } else { TRACK_NONSHARED };
+        self.stats.write_track_cycles += cycles;
+        cycles
+    }
+
+    /// A migration is leaving `from` (a release). Returns the cycle cost
+    /// of any invalidation traffic generated (global scheme).
+    pub fn depart(&mut self, from: ProcId, msg_cost: u64) -> u64 {
+        match self.protocol {
+            Protocol::LocalKnowledge => 0,
+            Protocol::GlobalKnowledge => {
+                let dirty = std::mem::take(&mut self.dirty);
+                let mut cost = 0;
+                for ((home, page), mask) in dirty {
+                    let sharers = self.homes[home as usize]
+                        .get(&page)
+                        .map(|hp| hp.sharers.clone())
+                        .unwrap_or_default();
+                    for s in sharers {
+                        if s == from {
+                            continue; // the writer's own copy is current
+                        }
+                        self.stats.invalidations_sent += 1;
+                        cost += msg_cost;
+                        if !self.caches[s as usize].invalidate_lines(home, page, mask) {
+                            self.stats.invalidations_spurious += 1;
+                        }
+                    }
+                }
+                cost
+            }
+            Protocol::Bilateral => {
+                let dirty = std::mem::take(&mut self.dirty);
+                for ((home, page), _mask) in dirty {
+                    let hp = self.homes[home as usize].entry(page).or_default();
+                    hp.ts += 1;
+                }
+                0
+            }
+        }
+    }
+
+    /// A migration arrived at `to` (an acquire).
+    pub fn arrive(&mut self, to: ProcId, arrival: Arrival<'_>) {
+        match self.protocol {
+            Protocol::LocalKnowledge => match arrival {
+                Arrival::Call => self.caches[to as usize].clear_all(),
+                Arrival::Return { written_homes } => {
+                    self.caches[to as usize].clear_homes(written_homes)
+                }
+            },
+            Protocol::GlobalKnowledge => {
+                // Invalidations were pushed eagerly at departure.
+            }
+            Protocol::Bilateral => self.caches[to as usize].mark_all(),
+        }
+    }
+
+    /// Direct read-only view of one processor's cache (tests, reporting).
+    pub fn cache(&self, proc: ProcId) -> &ProcCache {
+        &self.caches[proc as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(p: Protocol) -> CacheSystem {
+        CacheSystem::new(4, p)
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        for p in Protocol::ALL {
+            let mut s = sys(p);
+            assert_eq!(
+                s.access(0, 1, 5, 2, false),
+                Access::Miss {
+                    revalidation: false
+                },
+                "{:?}",
+                p
+            );
+            assert_eq!(s.access(0, 1, 5, 2, false), Access::Hit, "{:?}", p);
+            assert_eq!(s.stats().misses, 1);
+            assert_eq!(s.stats().hits, 1);
+        }
+    }
+
+    #[test]
+    fn line_granularity_within_page() {
+        let mut s = sys(Protocol::LocalKnowledge);
+        s.access(0, 1, 5, 2, false);
+        // Different line, same page: page allocated but line invalid.
+        assert_eq!(
+            s.access(0, 1, 5, 3, false),
+            Access::Miss {
+                revalidation: false
+            }
+        );
+        assert_eq!(s.cache(0).pages_ever(), 1, "page allocated once");
+    }
+
+    #[test]
+    fn local_call_arrival_clears_everything() {
+        let mut s = sys(Protocol::LocalKnowledge);
+        s.access(0, 1, 5, 2, false);
+        s.arrive(0, Arrival::Call);
+        assert_eq!(
+            s.access(0, 1, 5, 2, false),
+            Access::Miss {
+                revalidation: false
+            }
+        );
+    }
+
+    #[test]
+    fn local_return_arrival_is_selective() {
+        let mut s = sys(Protocol::LocalKnowledge);
+        s.access(0, 1, 5, 2, false); // page homed on 1
+        s.access(0, 2, 9, 0, false); // page homed on 2
+        // Thread returns having written only processor 2's memory.
+        s.arrive(0, Arrival::Return { written_homes: &[2] });
+        assert_eq!(s.access(0, 1, 5, 2, false), Access::Hit);
+        assert_eq!(
+            s.access(0, 2, 9, 0, false),
+            Access::Miss {
+                revalidation: false
+            }
+        );
+    }
+
+    #[test]
+    fn global_pushes_invalidations_to_sharers() {
+        let mut s = sys(Protocol::GlobalKnowledge);
+        // Proc 0 caches line (1, page 5, line 2).
+        s.access(0, 1, 5, 2, false);
+        // Proc 2 migrates somewhere and writes that line remotely (cached
+        // write): dirty tracking records it.
+        s.access(2, 1, 5, 2, true);
+        s.note_write(2, 1, 5, 2);
+        // Departure of proc 2's thread pushes invalidations.
+        let cost = s.depart(2, 100);
+        assert!(cost >= 100, "at least one invalidation message");
+        assert!(s.stats().invalidations_sent >= 1);
+        // Proc 0's copy is gone; proc 2's own copy survived.
+        assert_eq!(
+            s.access(0, 1, 5, 2, false),
+            Access::Miss {
+                revalidation: false
+            }
+        );
+        assert_eq!(s.access(2, 1, 5, 2, false), Access::Hit);
+    }
+
+    #[test]
+    fn global_arrival_is_free() {
+        let mut s = sys(Protocol::GlobalKnowledge);
+        s.access(0, 1, 5, 2, false);
+        s.arrive(0, Arrival::Call);
+        assert_eq!(s.access(0, 1, 5, 2, false), Access::Hit);
+    }
+
+    #[test]
+    fn bilateral_marked_page_revalidates_and_survives_if_clean() {
+        let mut s = sys(Protocol::Bilateral);
+        s.access(0, 1, 5, 2, false);
+        s.arrive(0, Arrival::Call); // marks all pages
+        // Nothing was written: revalidation round trip, line survives.
+        assert_eq!(
+            s.access(0, 1, 5, 2, false),
+            Access::Miss { revalidation: true }
+        );
+        assert_eq!(s.stats().revalidations, 1);
+        // Unmarked now: plain hit.
+        assert_eq!(s.access(0, 1, 5, 2, false), Access::Hit);
+    }
+
+    #[test]
+    fn bilateral_invalidates_written_lines_on_revalidation() {
+        let mut s = sys(Protocol::Bilateral);
+        s.access(0, 1, 5, 2, false);
+        s.access(0, 1, 5, 3, false);
+        // Another thread (on proc 3) writes line 2 and departs: ts bump.
+        s.access(3, 1, 5, 2, true);
+        s.note_write(3, 1, 5, 2);
+        s.depart(3, 100);
+        s.arrive(0, Arrival::Call);
+        // Line 2 was written since validation: full miss.
+        assert_eq!(
+            s.access(0, 1, 5, 2, false),
+            Access::Miss {
+                revalidation: false
+            }
+        );
+        // Line 3 was not written; it survived the same revalidation and
+        // the page is unmarked, so this is a hit.
+        assert_eq!(s.access(0, 1, 5, 3, false), Access::Hit);
+    }
+
+    #[test]
+    fn write_tracking_costs_seven_or_twentythree() {
+        let mut s = sys(Protocol::GlobalKnowledge);
+        // Page with no sharers yet: 7 instructions.
+        assert_eq!(s.note_write(0, 0, 77, 0), 7);
+        // Make page (1,5) shared, then write it: 23 instructions.
+        s.access(0, 1, 5, 2, false);
+        assert_eq!(s.note_write(1, 1, 5, 2), 23);
+        // Local scheme pays nothing.
+        let mut l = sys(Protocol::LocalKnowledge);
+        assert_eq!(l.note_write(0, 1, 5, 2), 0);
+        assert_eq!(l.stats().write_track_cycles, 0);
+    }
+
+    #[test]
+    fn write_allocate_counts_as_miss_then_write_hits() {
+        let mut s = sys(Protocol::LocalKnowledge);
+        assert_eq!(
+            s.access(0, 1, 5, 2, true),
+            Access::Miss {
+                revalidation: false
+            }
+        );
+        assert_eq!(s.access(0, 1, 5, 2, true), Access::Hit);
+        assert_eq!(s.stats().remote_writes, 2);
+        assert_eq!(s.stats().remote_reads, 0);
+    }
+
+    #[test]
+    fn pages_cached_sums_across_processors() {
+        let mut s = sys(Protocol::LocalKnowledge);
+        s.access(0, 1, 5, 2, false);
+        s.access(2, 1, 5, 2, false);
+        s.access(2, 3, 8, 0, false);
+        assert_eq!(s.pages_cached(), 3);
+    }
+
+    #[test]
+    fn bilateral_depart_without_writes_keeps_ts() {
+        let mut s = sys(Protocol::Bilateral);
+        s.access(0, 1, 5, 2, false);
+        s.depart(2, 100); // no writes: no ts bump anywhere
+        s.arrive(0, Arrival::Call);
+        assert_eq!(
+            s.access(0, 1, 5, 2, false),
+            Access::Miss { revalidation: true }
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Caching statistics in the shape of the paper's Table 3.
+
+/// Counters accumulated over one benchmark run.
+///
+/// "Cacheable" references are dereferences the heuristic assigned to the
+/// caching mechanism — local or remote (the runtime counts these, since a
+/// local cacheable reference never consults the cache). "Remote" ones are
+/// the subset whose pointer named another processor; those hit or miss in
+/// the software cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cacheable reads, local + remote (Table 3 "Cacheable Reads").
+    pub cacheable_reads: u64,
+    /// Cacheable writes, local + remote (Table 3 "Cachable Writes").
+    pub cacheable_writes: u64,
+    /// Remote cacheable reads.
+    pub remote_reads: u64,
+    /// Remote cacheable writes.
+    pub remote_writes: u64,
+    /// Remote references satisfied from the local cache.
+    pub hits: u64,
+    /// Remote references that required a line transfer (or, under the
+    /// bilateral scheme, a revalidation round trip).
+    pub misses: u64,
+    /// Bilateral only: misses that were revalidations of a still-valid
+    /// line (control round trip, no line payload).
+    pub revalidations: u64,
+    /// Global scheme: invalidation messages pushed to sharers.
+    pub invalidations_sent: u64,
+    /// Global scheme: invalidations that actually found the page cached
+    /// (the remainder are the "spurious invalidation messages" of App. A).
+    pub invalidations_spurious: u64,
+    /// Global/bilateral: cycles spent in the compiler-inserted
+    /// write-tracking code (7 instructions non-shared, 23 shared).
+    pub write_track_cycles: u64,
+}
+
+impl CacheStats {
+    /// Fraction of remote references that missed (Table 3 "% of Remote
+    /// references that miss").
+    pub fn miss_pct(&self) -> f64 {
+        let remote = self.remote_reads + self.remote_writes;
+        if remote == 0 {
+            0.0
+        } else {
+            100.0 * self.misses as f64 / remote as f64
+        }
+    }
+
+    /// Fraction of cacheable reads that were remote (Table 3 "% Remote").
+    pub fn read_remote_pct(&self) -> f64 {
+        if self.cacheable_reads == 0 {
+            0.0
+        } else {
+            100.0 * self.remote_reads as f64 / self.cacheable_reads as f64
+        }
+    }
+
+    /// Fraction of cacheable writes that were remote.
+    pub fn write_remote_pct(&self) -> f64 {
+        if self.cacheable_writes == 0 {
+            0.0
+        } else {
+            100.0 * self.remote_writes as f64 / self.cacheable_writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages() {
+        let s = CacheStats {
+            cacheable_reads: 200,
+            cacheable_writes: 50,
+            remote_reads: 20,
+            remote_writes: 5,
+            hits: 20,
+            misses: 5,
+            ..Default::default()
+        };
+        assert!((s.miss_pct() - 20.0).abs() < 1e-9);
+        assert!((s.read_remote_pct() - 10.0).abs() < 1e-9);
+        assert!((s.write_remote_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_pct() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_pct(), 0.0);
+        assert_eq!(s.read_remote_pct(), 0.0);
+        assert_eq!(s.write_remote_pct(), 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! The per-processor translation table of Figure 1.
+//!
+//! A 1 K-bucket hash table; each bucket holds a list of cached-page
+//! descriptors. A descriptor records the page's identity (home processor +
+//! page number — together the "tag" that also translates the global address
+//! to a local one), one valid bit per 64-byte line, and the bookkeeping the
+//! bilateral protocol needs (an epoch mark and the timestamp at which the
+//! page was last validated against its home).
+
+use olden_gptr::{LineInPage, PageNum, ProcId, LINES_PER_PAGE};
+
+/// Bucket count of the translation table (paper Figure 1: "1024 hash
+/// buckets", described in §3.2 as "a 1K hash table").
+pub const HASH_BUCKETS: usize = 1024;
+
+/// Descriptor of one remotely homed page held in a processor's cache.
+#[derive(Clone, Copy, Debug)]
+pub struct CachedPage {
+    /// Home processor of the page.
+    pub home: ProcId,
+    /// Page number within the home's heap section.
+    pub page: PageNum,
+    /// One valid bit per line (32 lines per 2 KB page).
+    pub valid: u32,
+    /// Bilateral protocol: set on migration receipt; the next access must
+    /// revalidate against the home's timestamp.
+    pub marked: bool,
+    /// Bilateral protocol: home timestamp at the last revalidation.
+    pub validated_ts: u64,
+}
+
+impl CachedPage {
+    #[inline]
+    pub fn line_valid(&self, line: LineInPage) -> bool {
+        debug_assert!((line as usize) < LINES_PER_PAGE);
+        self.valid & (1u32 << line) != 0
+    }
+
+    #[inline]
+    pub fn set_line(&mut self, line: LineInPage) {
+        self.valid |= 1u32 << line;
+    }
+
+    #[inline]
+    pub fn clear_lines(&mut self, mask: u32) {
+        self.valid &= !mask;
+    }
+}
+
+/// One processor's software cache: the hash table plus hit/miss-relevant
+/// occupancy statistics.
+#[derive(Clone, Debug)]
+pub struct ProcCache {
+    buckets: Vec<Vec<CachedPage>>,
+    /// Distinct pages ever inserted (monotone; Table 3's "Total Pages
+    /// Cached" sums this across processors).
+    pages_ever: u64,
+    /// Pages currently resident.
+    resident: usize,
+    /// Chain-walk probes performed (for the "average chain length ≈ 1"
+    /// claim of §3.2).
+    probes: u64,
+    lookups: u64,
+}
+
+/// Hash of (home, page) into the bucket array: a splitmix64-style mix of
+/// the combined key, as cheap as the original's shift-and-mask while
+/// spreading distinct homes and nearby page numbers.
+#[inline]
+fn bucket_of(home: ProcId, page: PageNum) -> usize {
+    let mut z = ((page << 8) | home as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize & (HASH_BUCKETS - 1)
+}
+
+impl ProcCache {
+    pub fn new() -> ProcCache {
+        ProcCache {
+            buckets: vec![Vec::new(); HASH_BUCKETS],
+            pages_ever: 0,
+            resident: 0,
+            probes: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Find the descriptor for `(home, page)`, walking the bucket chain.
+    pub fn lookup(&mut self, home: ProcId, page: PageNum) -> Option<&mut CachedPage> {
+        self.lookups += 1;
+        let b = bucket_of(home, page);
+        let chain = &mut self.buckets[b];
+        for (i, cp) in chain.iter().enumerate() {
+            if cp.home == home && cp.page == page {
+                self.probes += (i + 1) as u64;
+                return Some(&mut chain[i]);
+            }
+        }
+        self.probes += chain.len() as u64;
+        None
+    }
+
+    /// Read-only probe without statistics (used by invalidation paths).
+    fn find_mut(&mut self, home: ProcId, page: PageNum) -> Option<&mut CachedPage> {
+        let b = bucket_of(home, page);
+        self.buckets[b]
+            .iter_mut()
+            .find(|cp| cp.home == home && cp.page == page)
+    }
+
+    /// Allocate a descriptor for a page on first use (page-granularity
+    /// allocation, §3.2). Returns the fresh descriptor with no valid lines.
+    pub fn insert(&mut self, home: ProcId, page: PageNum) -> &mut CachedPage {
+        let b = bucket_of(home, page);
+        self.pages_ever += 1;
+        self.resident += 1;
+        self.buckets[b].push(CachedPage {
+            home,
+            page,
+            valid: 0,
+            marked: false,
+            validated_ts: 0,
+        });
+        self.buckets[b].last_mut().unwrap()
+    }
+
+    /// Local-knowledge acquire: drop everything.
+    pub fn clear_all(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.resident = 0;
+    }
+
+    /// Local-knowledge return refinement: drop only pages homed on the
+    /// given processors.
+    pub fn clear_homes(&mut self, homes: &[ProcId]) {
+        for b in &mut self.buckets {
+            let before = b.len();
+            b.retain(|cp| !homes.contains(&cp.home));
+            self.resident -= before - b.len();
+        }
+    }
+
+    /// Global-knowledge invalidation: clear specific lines of one page.
+    /// Returns true if the page was cached here (a useful, non-spurious
+    /// invalidation).
+    pub fn invalidate_lines(&mut self, home: ProcId, page: PageNum, mask: u32) -> bool {
+        match self.find_mut(home, page) {
+            Some(cp) => {
+                cp.clear_lines(mask);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bilateral acquire: mark every cached page so its next access
+    /// revalidates (the epoch-bit technique of Darnell et al.).
+    pub fn mark_all(&mut self) {
+        for b in &mut self.buckets {
+            for cp in b.iter_mut() {
+                cp.marked = true;
+            }
+        }
+    }
+
+    /// Distinct pages ever cached on this processor.
+    pub fn pages_ever(&self) -> u64 {
+        self.pages_ever
+    }
+
+    /// Pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Mean probes per lookup — §3.2 claims this stays ≈ 1.
+    pub fn mean_chain_length(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.lookups as f64
+        }
+    }
+}
+
+impl Default for ProcCache {
+    fn default() -> Self {
+        ProcCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_figure1() {
+        assert_eq!(HASH_BUCKETS, 1024);
+        assert_eq!(LINES_PER_PAGE, 32); // one u32 of valid bits per page
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut c = ProcCache::new();
+        assert!(c.lookup(3, 7).is_none());
+        let cp = c.insert(3, 7);
+        assert!(!cp.line_valid(0));
+        cp.set_line(5);
+        let cp = c.lookup(3, 7).expect("resident after insert");
+        assert!(cp.line_valid(5));
+        assert!(!cp.line_valid(4));
+        assert_eq!(c.resident(), 1);
+        assert_eq!(c.pages_ever(), 1);
+    }
+
+    #[test]
+    fn distinct_homes_same_page_number_do_not_collide_logically() {
+        let mut c = ProcCache::new();
+        c.insert(1, 42).set_line(0);
+        c.insert(2, 42).set_line(1);
+        assert!(c.lookup(1, 42).unwrap().line_valid(0));
+        assert!(!c.lookup(1, 42).unwrap().line_valid(1));
+        assert!(c.lookup(2, 42).unwrap().line_valid(1));
+    }
+
+    #[test]
+    fn clear_all_empties() {
+        let mut c = ProcCache::new();
+        c.insert(0, 1);
+        c.insert(1, 2);
+        c.clear_all();
+        assert_eq!(c.resident(), 0);
+        assert!(c.lookup(0, 1).is_none());
+        // pages_ever is monotone.
+        assert_eq!(c.pages_ever(), 2);
+    }
+
+    #[test]
+    fn clear_homes_is_selective() {
+        let mut c = ProcCache::new();
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        c.clear_homes(&[1, 3]);
+        assert!(c.lookup(1, 10).is_none());
+        assert!(c.lookup(2, 20).is_some());
+        assert!(c.lookup(3, 30).is_none());
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn invalidate_lines_clears_only_mask() {
+        let mut c = ProcCache::new();
+        let cp = c.insert(4, 9);
+        cp.set_line(0);
+        cp.set_line(1);
+        cp.set_line(2);
+        assert!(c.invalidate_lines(4, 9, 0b010));
+        let cp = c.lookup(4, 9).unwrap();
+        assert!(cp.line_valid(0));
+        assert!(!cp.line_valid(1));
+        assert!(cp.line_valid(2));
+        // Spurious invalidation of an uncached page reports false.
+        assert!(!c.invalidate_lines(4, 99, u32::MAX));
+    }
+
+    #[test]
+    fn mark_all_sets_epoch_bits() {
+        let mut c = ProcCache::new();
+        c.insert(0, 1);
+        c.insert(5, 2);
+        c.mark_all();
+        assert!(c.lookup(0, 1).unwrap().marked);
+        assert!(c.lookup(5, 2).unwrap().marked);
+    }
+
+    #[test]
+    fn chain_length_near_one_for_scattered_pages() {
+        let mut c = ProcCache::new();
+        for p in 0..500u64 {
+            c.insert((p % 32) as ProcId, p);
+        }
+        for p in 0..500u64 {
+            assert!(c.lookup((p % 32) as ProcId, p).is_some());
+        }
+        // ≈1 probe per lookup with 500 pages in 1024 buckets.
+        assert!(
+            c.mean_chain_length() < 1.6,
+            "chain length {}",
+            c.mean_chain_length()
+        );
+    }
+}

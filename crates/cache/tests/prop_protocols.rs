@@ -1,0 +1,103 @@
+//! Property tests on the coherence protocols: hit/miss invariants under
+//! random access/migration traces.
+
+use olden_cache::{Access, Arrival, CacheSystem, Protocol};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Ev {
+    Access { req: u8, home: u8, page: u64, line: u8, write: bool },
+    Depart { proc: u8 },
+    ArriveCall { proc: u8 },
+    ArriveReturn { proc: u8, written: Vec<u8> },
+}
+
+fn ev_strategy(procs: u8) -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        4 => (0..procs, 0..procs, 0u64..8, 0u8..32, any::<bool>()).prop_filter_map(
+            "self access",
+            |(req, home, page, line, write)| {
+                (req != home).then_some(Ev::Access { req, home, page, line, write })
+            }
+        ),
+        1 => (0..procs).prop_map(|proc| Ev::Depart { proc }),
+        1 => (0..procs).prop_map(|proc| Ev::ArriveCall { proc }),
+        1 => (0..procs, prop::collection::vec(0..procs, 0..3))
+            .prop_map(|(proc, written)| Ev::ArriveReturn { proc, written }),
+    ]
+}
+
+proptest! {
+    /// A hit can only happen to a line that was fetched earlier and not
+    /// invalidated since — modelled independently with a set per
+    /// protocol-specific invalidation rule for the *local* scheme (the
+    /// only scheme whose invalidations are locally decidable).
+    #[test]
+    fn local_knowledge_hits_match_model(evs in prop::collection::vec(ev_strategy(4), 1..80)) {
+        let mut sys = CacheSystem::new(4, Protocol::LocalKnowledge);
+        use std::collections::HashSet;
+        let mut model: Vec<HashSet<(u8, u64, u8)>> = vec![HashSet::new(); 4];
+        for ev in &evs {
+            match ev {
+                Ev::Access { req, home, page, line, write } => {
+                    let key = (*home, *page, *line);
+                    let expect_hit = model[*req as usize].contains(&key);
+                    let got = sys.access(*req, *home, *page, *line, *write);
+                    prop_assert_eq!(
+                        matches!(got, Access::Hit),
+                        expect_hit,
+                        "access {:?}", ev
+                    );
+                    model[*req as usize].insert(key);
+                    if *write {
+                        sys.note_write(*req, *home, *page, *line);
+                    }
+                }
+                Ev::Depart { proc } => {
+                    sys.depart(*proc, 30);
+                }
+                Ev::ArriveCall { proc } => {
+                    sys.arrive(*proc, Arrival::Call);
+                    model[*proc as usize].clear();
+                }
+                Ev::ArriveReturn { proc, written } => {
+                    sys.arrive(*proc, Arrival::Return { written_homes: written });
+                    model[*proc as usize].retain(|(h, _, _)| !written.contains(h));
+                }
+            }
+        }
+        // Counter consistency.
+        let s = sys.stats();
+        prop_assert_eq!(s.hits + s.misses, s.remote_reads + s.remote_writes);
+    }
+
+    /// Under every protocol, immediately repeating an access hits.
+    #[test]
+    fn repeat_access_always_hits(
+        proto_idx in 0usize..3,
+        req in 0u8..4,
+        home in 0u8..4,
+        page in 0u64..16,
+        line in 0u8..32,
+    ) {
+        prop_assume!(req != home);
+        let mut sys = CacheSystem::new(4, Protocol::ALL[proto_idx]);
+        sys.access(req, home, page, line, false);
+        prop_assert_eq!(sys.access(req, home, page, line, false), Access::Hit);
+    }
+
+    /// Pages-ever-cached is monotone and bounded by misses (each page
+    /// allocation is triggered by a miss).
+    #[test]
+    fn pages_bounded_by_misses(evs in prop::collection::vec(ev_strategy(4), 1..60)) {
+        for proto in Protocol::ALL {
+            let mut sys = CacheSystem::new(4, proto);
+            for ev in &evs {
+                if let Ev::Access { req, home, page, line, write } = ev {
+                    sys.access(*req, *home, *page, *line, *write);
+                }
+            }
+            prop_assert!(sys.pages_cached() <= sys.stats().misses);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Page and line geometry of the Olden software cache (paper Figure 1).
+//!
+//! "In Olden, a page is 2K bytes, and a line 64 bytes" (paper §3.2,
+//! footnote 2). Allocation — both in the home heap and in the cache — is
+//! performed at page granularity; transfers between processors happen at
+//! line granularity. With 8-byte heap words this gives the derived
+//! constants below; the unit tests pin every relationship so a change to
+//! one constant cannot silently skew the cache simulation.
+
+/// Size of one heap word in bytes.
+pub const WORD_BYTES: usize = 8;
+
+/// Size of one cache/transfer line in bytes (paper: 64 B).
+pub const LINE_BYTES: usize = 64;
+
+/// Size of one page in bytes (paper: 2 KB).
+pub const PAGE_BYTES: usize = 2048;
+
+/// Words per line.
+pub const LINE_WORDS: usize = LINE_BYTES / WORD_BYTES;
+
+/// Words per page.
+pub const PAGE_WORDS: usize = PAGE_BYTES / WORD_BYTES;
+
+/// Lines per page (paper Figure 1: 32 lines, one valid bit each).
+pub const LINES_PER_PAGE: usize = PAGE_BYTES / LINE_BYTES;
+
+/// Page number within a processor's heap section.
+pub type PageNum = u64;
+
+/// Line index within a page, in `0..LINES_PER_PAGE`.
+pub type LineInPage = u8;
+
+/// Page containing the given local word address.
+#[inline]
+pub fn page_of_word(word_addr: u64) -> PageNum {
+    word_addr / PAGE_WORDS as u64
+}
+
+/// Line (within its page) containing the given local word address.
+#[inline]
+pub fn line_in_page_of_word(word_addr: u64) -> LineInPage {
+    ((word_addr % PAGE_WORDS as u64) / LINE_WORDS as u64) as LineInPage
+}
+
+/// Global line number (page-relative lines flattened): used as the unit of
+/// transfer and of dirty/valid tracking across the whole heap section.
+#[inline]
+pub fn global_line_of_word(word_addr: u64) -> u64 {
+    word_addr / LINE_WORDS as u64
+}
+
+/// First word address of the given page.
+#[inline]
+pub fn page_base_word(page: PageNum) -> u64 {
+    page * PAGE_WORDS as u64
+}
+
+/// First word address of line `line` within page `page`.
+#[inline]
+pub fn line_base_word(page: PageNum, line: LineInPage) -> u64 {
+    page * PAGE_WORDS as u64 + line as u64 * LINE_WORDS as u64
+}
+
+/// Number of pages needed to hold `words` heap words.
+#[inline]
+pub fn pages_for_words(words: u64) -> u64 {
+    words.div_ceil(PAGE_WORDS as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure1_geometry() {
+        // Figure 1: 2K pages, 32 lines per page, 64-byte lines.
+        assert_eq!(PAGE_BYTES, 2048);
+        assert_eq!(LINE_BYTES, 64);
+        assert_eq!(LINES_PER_PAGE, 32);
+        assert_eq!(LINE_WORDS, 8);
+        assert_eq!(PAGE_WORDS, 256);
+        assert_eq!(LINE_WORDS * LINES_PER_PAGE, PAGE_WORDS);
+    }
+
+    #[test]
+    fn page_of_word_boundaries() {
+        assert_eq!(page_of_word(0), 0);
+        assert_eq!(page_of_word(255), 0);
+        assert_eq!(page_of_word(256), 1);
+        assert_eq!(page_of_word(511), 1);
+        assert_eq!(page_of_word(512), 2);
+    }
+
+    #[test]
+    fn line_in_page_boundaries() {
+        assert_eq!(line_in_page_of_word(0), 0);
+        assert_eq!(line_in_page_of_word(7), 0);
+        assert_eq!(line_in_page_of_word(8), 1);
+        assert_eq!(line_in_page_of_word(255), 31);
+        // Wraps at the page boundary.
+        assert_eq!(line_in_page_of_word(256), 0);
+    }
+
+    #[test]
+    fn global_line_is_page_times_lines_plus_line() {
+        for w in [0u64, 7, 8, 255, 256, 1000, 4096] {
+            let expect = page_of_word(w) * LINES_PER_PAGE as u64 + line_in_page_of_word(w) as u64;
+            assert_eq!(global_line_of_word(w), expect, "word {w}");
+        }
+    }
+
+    #[test]
+    fn base_addresses_invert_decomposition() {
+        for w in [0u64, 100, 256, 300, 5000] {
+            let p = page_of_word(w);
+            let l = line_in_page_of_word(w);
+            let base = line_base_word(p, l);
+            assert!(base <= w && w < base + LINE_WORDS as u64);
+            assert_eq!(page_base_word(p) + l as u64 * LINE_WORDS as u64, base);
+        }
+    }
+
+    #[test]
+    fn pages_for_words_rounds_up() {
+        assert_eq!(pages_for_words(0), 0);
+        assert_eq!(pages_for_words(1), 1);
+        assert_eq!(pages_for_words(256), 1);
+        assert_eq!(pages_for_words(257), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Heap word representation.
+//!
+//! The Olden heap is untyped storage: every structure field occupies one
+//! word, whether it holds an integer, a floating-point value, or a global
+//! pointer. [`Word`] wraps the raw 64-bit cell with lossless conversions in
+//! and out of each interpretation, so benchmark code reads naturally while
+//! the runtime moves only `u64`s.
+
+use crate::GPtr;
+
+/// One 8-byte heap cell.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug, Hash)]
+pub struct Word(pub u64);
+
+impl Word {
+    /// Zero-filled cell (also the null pointer and integer 0).
+    pub const ZERO: Word = Word(0);
+
+    /// Interpret as a signed integer.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Interpret as an unsigned integer.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Interpret as a double (bit-cast, lossless round-trip).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
+    /// Interpret as a global pointer.
+    #[inline]
+    pub fn as_ptr(self) -> GPtr {
+        GPtr::from_bits(self.0)
+    }
+}
+
+impl From<i64> for Word {
+    #[inline]
+    fn from(v: i64) -> Word {
+        Word(v as u64)
+    }
+}
+
+impl From<u64> for Word {
+    #[inline]
+    fn from(v: u64) -> Word {
+        Word(v)
+    }
+}
+
+impl From<f64> for Word {
+    #[inline]
+    fn from(v: f64) -> Word {
+        Word(v.to_bits())
+    }
+}
+
+impl From<GPtr> for Word {
+    #[inline]
+    fn from(p: GPtr) -> Word {
+        Word(p.bits())
+    }
+}
+
+impl From<bool> for Word {
+    #[inline]
+    fn from(b: bool) -> Word {
+        Word(b as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrip() {
+        assert_eq!(Word::from(-42i64).as_i64(), -42);
+        assert_eq!(Word::from(u64::MAX).as_u64(), u64::MAX);
+        assert_eq!(Word::from(i64::MIN).as_i64(), i64::MIN);
+    }
+
+    #[test]
+    fn float_roundtrip_is_bitwise() {
+        for v in [0.0f64, -0.0, 1.5, f64::INFINITY, f64::MIN_POSITIVE, 1e300] {
+            assert_eq!(Word::from(v).as_f64().to_bits(), v.to_bits());
+        }
+        assert!(Word::from(f64::NAN).as_f64().is_nan());
+    }
+
+    #[test]
+    fn pointer_roundtrip() {
+        let p = GPtr::new(12, 999);
+        assert_eq!(Word::from(p).as_ptr(), p);
+        assert!(Word::ZERO.as_ptr().is_null());
+    }
+
+    #[test]
+    fn bool_encoding() {
+        assert_eq!(Word::from(true).as_u64(), 1);
+        assert_eq!(Word::from(false), Word::ZERO);
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulated distributed-memory machine for the Olden reproduction.
+//!
+//! The paper's prototype ran on a Thinking Machines CM-5; its claims are
+//! about *relative* communication costs (a thread migration costs about
+//! seven times a remote cache-line fetch, §4 footnote 3) and the shape of
+//! the resulting speedup curves. This crate replaces the CM-5 with a
+//! deterministic cost-model simulator in two phases:
+//!
+//! 1. **Trace recording** ([`trace`]): while a benchmark executes
+//!    (sequentially, with exact values), the runtime records *segments* —
+//!    stretches of computation bound to one processor with an accumulated
+//!    cycle cost — and *edges* between them: program order, thread
+//!    migrations, procedure-return migrations, future steals, and touch
+//!    joins.
+//! 2. **Schedule replay** ([`sched`]): a deterministic Graham list
+//!    scheduler executes the recorded DAG under the constraint that each
+//!    processor runs one segment at a time, yielding the parallel makespan.
+//!    `speedup(P) = T_seq / makespan(P)` where `T_seq` is the same
+//!    algorithm costed under the no-overhead sequential model (matching the
+//!    paper's "true sequential implementation" baseline, so one-processor
+//!    speedups land below 1 exactly as in Table 2).
+//!
+//! Costs are expressed in abstract cycles; [`cost::CostModel`] holds the
+//! CM-5-flavoured defaults and the sequential baseline variant.
+
+pub mod cost;
+pub mod sched;
+pub mod trace;
+
+pub use cost::CostModel;
+pub use sched::{Schedule, ScheduleError};
+pub use trace::{EdgeKind, SegId, Segment, Trace};
+
+/// Number of processors in a simulated machine configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MachineConfig {
+    /// Processor count (the paper evaluates 1, 2, 4, 8, 16, 32).
+    pub procs: usize,
+    /// Cycle costs for every runtime operation.
+    pub cost: CostModel,
+}
+
+impl MachineConfig {
+    /// An Olden machine with `procs` processors and CM-5-flavoured costs.
+    pub fn olden(procs: usize) -> MachineConfig {
+        MachineConfig {
+            procs,
+            cost: CostModel::cm5(),
+        }
+    }
+
+    /// The sequential baseline: one processor, no Olden overheads.
+    pub fn sequential() -> MachineConfig {
+        MachineConfig {
+            procs: 1,
+            cost: CostModel::sequential(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs() {
+        let m = MachineConfig::olden(32);
+        assert_eq!(m.procs, 32);
+        assert!(m.cost.ptr_test > 0);
+        let s = MachineConfig::sequential();
+        assert_eq!(s.procs, 1);
+        assert_eq!(s.cost.ptr_test, 0);
+        assert_eq!(s.cost.future_spawn, 0);
+    }
+}

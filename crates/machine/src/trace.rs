@@ -1,0 +1,167 @@
+//! Execution traces: the task DAG recorded during instrumented execution.
+//!
+//! A **segment** is a maximal stretch of one thread's execution on one
+//! processor; its cost is the sum of all cycles charged while it was
+//! current. Segments are split by events that change where or when work can
+//! run: a migration (the thread moves), a future spawn (the continuation
+//! may later be stolen), a touch (a join), a steal (the continuation
+//! restarts on the vacated processor).
+//!
+//! **Edges** order segments. Each carries a latency (e.g. the wire time of
+//! a migration message) and a kind used for reporting and for tests.
+
+use olden_gptr::ProcId;
+
+/// Index of a segment within its [`Trace`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SegId(pub u32);
+
+impl SegId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One contiguous stretch of computation bound to a processor.
+#[derive(Clone, Copy, Debug)]
+pub struct Segment {
+    /// Processor this segment must execute on (data placement binds it).
+    pub proc: ProcId,
+    /// Accumulated cycle cost.
+    pub cost: u64,
+}
+
+/// Why two segments are ordered.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EdgeKind {
+    /// Program order within one thread on one processor.
+    Seq,
+    /// Thread migration to the data's owner (§3.1).
+    Migrate,
+    /// Return-stub migration back to the caller's processor (§3.1).
+    Return,
+    /// A stolen continuation restarting on the processor a migration
+    /// vacated (§2, future stealing).
+    Steal,
+    /// A touch joining a future's value into the continuation.
+    Join,
+}
+
+/// A dependency: `to` may not start before `finish(from) + latency`.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    pub from: SegId,
+    pub to: SegId,
+    pub latency: u64,
+    pub kind: EdgeKind,
+}
+
+/// The recorded task DAG plus summary counters.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    segments: Vec<Segment>,
+    edges: Vec<Edge>,
+}
+
+impl Trace {
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Open a new segment bound to `proc` with zero accumulated cost.
+    pub fn new_segment(&mut self, proc: ProcId) -> SegId {
+        let id = SegId(
+            u32::try_from(self.segments.len()).expect("trace exceeds u32 segment capacity"),
+        );
+        self.segments.push(Segment { proc, cost: 0 });
+        id
+    }
+
+    /// Charge `cycles` to an existing segment.
+    #[inline]
+    pub fn charge(&mut self, seg: SegId, cycles: u64) {
+        self.segments[seg.index()].cost += cycles;
+    }
+
+    /// Record a dependency edge.
+    pub fn add_edge(&mut self, from: SegId, to: SegId, latency: u64, kind: EdgeKind) {
+        debug_assert!(from.index() < self.segments.len());
+        debug_assert!(to.index() < self.segments.len());
+        debug_assert_ne!(from, to, "self-edge");
+        self.edges.push(Edge {
+            from,
+            to,
+            latency,
+            kind,
+        });
+    }
+
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    pub fn segment(&self, id: SegId) -> &Segment {
+        &self.segments[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Sum of all segment costs: the total work the machine must execute.
+    pub fn total_cost(&self) -> u64 {
+        self.segments.iter().map(|s| s.cost).sum()
+    }
+
+    /// Count of edges of a given kind (e.g. migrations for Table 2's
+    /// discussion of MST's `O(N·P)` migrations).
+    pub fn count_edges(&self, kind: EdgeKind) -> usize {
+        self.edges.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Highest processor id used by any segment (for validating against a
+    /// machine configuration).
+    pub fn max_proc(&self) -> Option<ProcId> {
+        self.segments.iter().map(|s| s.proc).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_trace() {
+        let mut t = Trace::new();
+        let a = t.new_segment(0);
+        let b = t.new_segment(1);
+        t.charge(a, 100);
+        t.charge(a, 50);
+        t.charge(b, 25);
+        t.add_edge(a, b, 540, EdgeKind::Migrate);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.segment(a).cost, 150);
+        assert_eq!(t.segment(b).proc, 1);
+        assert_eq!(t.total_cost(), 175);
+        assert_eq!(t.count_edges(EdgeKind::Migrate), 1);
+        assert_eq!(t.count_edges(EdgeKind::Seq), 0);
+        assert_eq!(t.max_proc(), Some(1));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.total_cost(), 0);
+        assert_eq!(t.max_proc(), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Run configuration and the per-dereference mechanism choice.
+
+use olden_cache::Protocol;
+use olden_machine::CostModel;
+
+/// The two remote-data-access mechanisms of §3. The Olden compiler's
+/// heuristic (reproduced in `olden-analysis`) selects one per pointer
+/// dereference; benchmark code passes the selected mechanism at each
+/// access site.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Mechanism {
+    /// Computation migration: the thread moves to the data (§3.1).
+    Migrate,
+    /// Software caching: the data's line moves to the thread (§3.2).
+    Cache,
+}
+
+impl Mechanism {
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Migrate => "migrate",
+            Mechanism::Cache => "cache",
+        }
+    }
+}
+
+/// Configuration of one simulated run.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Processor count.
+    pub procs: usize,
+    /// Cycle costs.
+    pub cost: CostModel,
+    /// Coherence protocol for the software cache.
+    pub protocol: Protocol,
+    /// When set, every dereference uses this mechanism regardless of what
+    /// the benchmark requested — reproduces Table 2's "Migrate-only"
+    /// column (and allows cache-only experiments).
+    pub force: Option<Mechanism>,
+}
+
+impl Config {
+    /// An Olden machine with `procs` processors, CM-5 costs, and the local
+    /// knowledge coherence scheme the paper's results use.
+    pub fn olden(procs: usize) -> Config {
+        Config {
+            procs,
+            cost: CostModel::cm5(),
+            protocol: Protocol::LocalKnowledge,
+            force: None,
+        }
+    }
+
+    /// The sequential baseline: one processor, no Olden overheads.
+    pub fn sequential() -> Config {
+        Config {
+            procs: 1,
+            cost: CostModel::sequential(),
+            protocol: Protocol::LocalKnowledge,
+            force: None,
+        }
+    }
+
+    /// Same configuration with a forced mechanism.
+    pub fn forced(mut self, m: Mechanism) -> Config {
+        self.force = Some(m);
+        self
+    }
+
+    /// Same configuration under a different coherence protocol.
+    pub fn with_protocol(mut self, p: Protocol) -> Config {
+        self.protocol = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = Config::olden(32).forced(Mechanism::Migrate);
+        assert_eq!(c.procs, 32);
+        assert_eq!(c.force, Some(Mechanism::Migrate));
+        let c = Config::olden(8).with_protocol(Protocol::Bilateral);
+        assert_eq!(c.protocol, Protocol::Bilateral);
+        assert!(Config::sequential().cost.ptr_test == 0);
+    }
+
+    #[test]
+    fn mechanism_names() {
+        assert_eq!(Mechanism::Migrate.name(), "migrate");
+        assert_eq!(Mechanism::Cache.name(), "cache");
+    }
+}

@@ -1,0 +1,655 @@
+//! The execution context: Olden's runtime system as seen by a program.
+//!
+//! A benchmark runs *once*, sequentially, computing exact values; the
+//! context meanwhile simulates where each instruction would have executed
+//! (the current processor follows migrations), what the software cache
+//! would have done, and how futures would have forked, recording the task
+//! DAG that `olden-machine` replays into a parallel makespan.
+//!
+//! ### Futures and lazy task creation (paper §2)
+//!
+//! `futurecall` saves the caller's continuation on a work list and runs
+//! the body directly. Only if a migration occurs during the body does the
+//! now-idle processor *steal* the continuation, turning the annotation
+//! into real parallelism. [`OldenCtx::future_call`] mirrors this exactly:
+//! the body closure runs inline; if it migrated off the spawning
+//! processor, the continuation is re-anchored there (a `Steal` edge) and
+//! the matching [`OldenCtx::touch`] becomes a join (`Join` edge carrying
+//! the value-return message). An untouched-by-migration future costs only
+//! the spawn bookkeeping, as in the original system.
+//!
+//! ### Write-set scopes
+//!
+//! The local-knowledge refinement ("on returns we need only invalidate
+//! cached copies of lines from processors whose memories have been written
+//! by the returning thread") needs per-procedure write sets; so does the
+//! eager scheme's dirty tracking. The context keeps a stack of written
+//! processor sets, pushed by [`OldenCtx::call`] and [`OldenCtx::future_call`].
+
+use crate::config::{Config, Mechanism};
+use crate::heap::DistributedHeap;
+use crate::report::RunStats;
+use olden_cache::{Access, Arrival, CacheSystem};
+use olden_gptr::{GPtr, ProcId, Word};
+use olden_machine::trace::{EdgeKind, SegId, Trace};
+
+/// A pending future's bookkeeping while its body runs.
+struct FutureFrame {
+    /// Processor the future was spawned from (where its continuation
+    /// waits on the work list).
+    spawn_proc: ProcId,
+    /// Set when a migration vacates `spawn_proc` during the body: the
+    /// segment whose end lets the idle processor grab the continuation.
+    stolen: Option<SegId>,
+}
+
+/// The result of a [`OldenCtx::future_call`], to be claimed by
+/// [`OldenCtx::touch`].
+#[must_use = "a future must be touched before its value is used"]
+pub struct FutureHandle<T> {
+    value: T,
+    /// `Some(body_end_segment)` if the body migrated and the continuation
+    /// was stolen (a real fork); `None` if it completed inline.
+    parallel: Option<SegId>,
+    /// Processors written by the body (for the return-acquire).
+    written: Vec<ProcId>,
+}
+
+impl<T> FutureHandle<T> {
+    /// Whether this future turned into a real parallel task.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel.is_some()
+    }
+}
+
+/// The Olden runtime context.
+pub struct OldenCtx {
+    cfg: Config,
+    heap: DistributedHeap,
+    cache: CacheSystem,
+    trace: Trace,
+    cur_proc: ProcId,
+    cur_seg: SegId,
+    frames: Vec<FutureFrame>,
+    write_scopes: Vec<Vec<ProcId>>,
+    stats: RunStats,
+    /// When > 0, execution is in an uncharged region: values are computed
+    /// but no costs, traffic, or statistics are recorded (used to exclude
+    /// structure-building phases from kernel-time benchmarks, §5).
+    free_depth: u32,
+}
+
+impl OldenCtx {
+    pub fn new(cfg: Config) -> OldenCtx {
+        assert!(cfg.procs >= 1 && cfg.procs <= olden_gptr::MAX_PROCS);
+        let mut trace = Trace::new();
+        let cur_seg = trace.new_segment(0);
+        OldenCtx {
+            heap: DistributedHeap::new(cfg.procs),
+            cache: CacheSystem::new(cfg.procs, cfg.protocol),
+            trace,
+            cur_proc: 0,
+            cur_seg,
+            frames: Vec::new(),
+            write_scopes: vec![Vec::new()],
+            stats: RunStats::default(),
+            free_depth: 0,
+            cfg,
+        }
+    }
+
+    /// Number of processors in this configuration (for placement math).
+    pub fn nprocs(&self) -> usize {
+        self.cfg.procs
+    }
+
+    /// Processor the thread is currently executing on.
+    pub fn cur_proc(&self) -> ProcId {
+        self.cur_proc
+    }
+
+    /// Run configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Runtime statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Cache system (stats, protocol state) so far.
+    pub fn cache(&self) -> &CacheSystem {
+        &self.cache
+    }
+
+    /// The recorded trace (consumed by the report layer).
+    pub(crate) fn into_parts(self) -> (Trace, RunStats, CacheSystem) {
+        (self.trace, self.stats, self.cache)
+    }
+
+    /// Public variant of [`Self::into_parts`] for external tools that
+    /// inspect raw traces (debug binaries, custom reports).
+    pub fn into_parts_public(self) -> (Trace, RunStats, CacheSystem) {
+        (self.trace, self.stats, self.cache)
+    }
+
+    #[inline]
+    fn charge(&mut self, cycles: u64) {
+        if self.free_depth == 0 && cycles > 0 {
+            self.trace.charge(self.cur_seg, cycles);
+        }
+    }
+
+    /// Charge `cycles` of benchmark-specific local computation.
+    #[inline]
+    pub fn work(&mut self, cycles: u64) {
+        self.charge(cycles);
+    }
+
+    /// Execute `f` without charging costs or recording traffic: values
+    /// are still computed and allocations still placed. Used to exclude
+    /// data-structure-building phases from kernel-time runs.
+    pub fn uncharged<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.free_depth += 1;
+        let r = f(self);
+        self.free_depth -= 1;
+        r
+    }
+
+    /// `ALLOC(proc, words)`: allocate on the named processor (§2).
+    pub fn alloc(&mut self, proc: ProcId, words: usize) -> GPtr {
+        assert!((proc as usize) < self.cfg.procs, "ALLOC on unknown processor");
+        self.charge(self.cfg.cost.alloc);
+        if self.free_depth == 0 {
+            self.stats.allocs += 1;
+            self.stats.words_allocated += words as u64;
+        }
+        self.heap.alloc(proc, words)
+    }
+
+    /// Allocate on the processor that owns `near` (a common idiom).
+    pub fn alloc_near(&mut self, near: GPtr, words: usize) -> GPtr {
+        self.alloc(near.proc(), words)
+    }
+
+    // ------------------------------------------------------------------
+    // Dereferences
+    // ------------------------------------------------------------------
+
+    /// Read field `field` of the object at `ptr`, resolving remote data
+    /// with `mech`.
+    pub fn read(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> Word {
+        let p = ptr.offset(field as u64);
+        self.resolve(p, false, mech);
+        self.heap.read(p)
+    }
+
+    /// Write field `field` of the object at `ptr`.
+    pub fn write(&mut self, ptr: GPtr, field: usize, value: impl Into<Word>, mech: Mechanism) {
+        let p = ptr.offset(field as u64);
+        self.resolve(p, true, mech);
+        self.heap.write(p, value.into());
+    }
+
+    /// Read a pointer-valued field.
+    pub fn read_ptr(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> GPtr {
+        self.read(ptr, field, mech).as_ptr()
+    }
+
+    /// Read an integer field.
+    pub fn read_i64(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> i64 {
+        self.read(ptr, field, mech).as_i64()
+    }
+
+    /// Read a floating-point field.
+    pub fn read_f64(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> f64 {
+        self.read(ptr, field, mech).as_f64()
+    }
+
+    /// The pointer test + mechanism simulation for one word access.
+    fn resolve(&mut self, ptr: GPtr, write: bool, mech: Mechanism) {
+        debug_assert!(!ptr.is_null(), "null dereference");
+        if self.free_depth > 0 {
+            return;
+        }
+        let mech = self.cfg.force.unwrap_or(mech);
+        self.charge(self.cfg.cost.ptr_test);
+        match mech {
+            Mechanism::Migrate => {
+                if ptr.is_local_to(self.cur_proc) {
+                    self.stats.migrate_local += 1;
+                } else {
+                    self.stats.migrate_remote += 1;
+                    self.migrate_to(ptr.proc());
+                }
+                self.charge(self.cfg.cost.local_ref);
+            }
+            Mechanism::Cache => {
+                if write {
+                    self.cache.stats_mut().cacheable_writes += 1;
+                } else {
+                    self.cache.stats_mut().cacheable_reads += 1;
+                }
+                if ptr.is_local_to(self.cur_proc) {
+                    self.charge(self.cfg.cost.local_ref);
+                } else {
+                    self.charge(self.cfg.cost.cache_lookup);
+                    let acc = self.cache.access(
+                        self.cur_proc,
+                        ptr.proc(),
+                        ptr.page(),
+                        ptr.line_in_page(),
+                        write,
+                    );
+                    if let Access::Miss { .. } = acc {
+                        self.charge(self.cfg.cost.miss_service);
+                    }
+                    if write {
+                        // Write-through: the word travels home.
+                        self.charge(self.cfg.cost.write_through);
+                    }
+                }
+            }
+        }
+        if write {
+            // Compiler-inserted write tracking (global/bilateral schemes)
+            // applies to every heap write, however it was resolved.
+            let track =
+                self.cache
+                    .note_write(self.cur_proc, ptr.proc(), ptr.page(), ptr.line_in_page());
+            self.charge(track);
+            self.note_written(ptr.proc());
+        }
+    }
+
+    fn note_written(&mut self, home: ProcId) {
+        let top = self.write_scopes.last_mut().expect("write scope stack");
+        if !top.contains(&home) {
+            top.push(home);
+        }
+    }
+
+    /// Thread migration to `target` (§3.1): release at the origin, send
+    /// registers + PC + frame, acquire at the destination. Any futures
+    /// spawned from the vacated processor become stealable.
+    fn migrate_to(&mut self, target: ProcId) {
+        let from = self.cur_proc;
+        debug_assert_ne!(from, target);
+        self.stats.migrations += 1;
+        let inval = self.cache.depart(from, self.cfg.cost.write_through);
+        self.charge(inval);
+        self.charge(self.cfg.cost.mig_send);
+        self.mark_steals(from);
+        let seg = self.trace.new_segment(target);
+        self.trace
+            .add_edge(self.cur_seg, seg, self.cfg.cost.mig_wire, EdgeKind::Migrate);
+        self.cur_seg = seg;
+        self.cur_proc = target;
+        self.charge(self.cfg.cost.mig_recv);
+        self.cache.arrive(target, Arrival::Call);
+    }
+
+    /// A migration just vacated `proc`: every unstolen future spawned
+    /// from it becomes stealable from this instant. The list scheduler
+    /// serializes multiple stolen continuations on the processor, so all
+    /// of them anchor at the same departure segment.
+    fn mark_steals(&mut self, proc: ProcId) {
+        let src = self.cur_seg;
+        for f in self.frames.iter_mut().rev() {
+            if f.spawn_proc == proc && f.stolen.is_none() {
+                f.stolen = Some(src);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Procedure calls and futures
+    // ------------------------------------------------------------------
+
+    /// A procedure-call boundary. If the body migrates, the return stub
+    /// migrates the thread back to the caller's processor (§3.1) — an
+    /// acquire that invalidates only lines homed on processors the callee
+    /// wrote (§3.2's local-knowledge refinement).
+    pub fn call<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        if self.free_depth > 0 {
+            return f(self);
+        }
+        let entry = self.cur_proc;
+        self.write_scopes.push(Vec::new());
+        let r = f(self);
+        let written = self.write_scopes.pop().expect("scope underflow");
+        self.merge_written(&written);
+        if self.cur_proc != entry {
+            self.stats.return_migrations += 1;
+            let from = self.cur_proc;
+            let inval = self.cache.depart(from, self.cfg.cost.write_through);
+            self.charge(inval);
+            self.charge(self.cfg.cost.ret_send);
+            self.mark_steals(from);
+            let seg = self.trace.new_segment(entry);
+            self.trace
+                .add_edge(self.cur_seg, seg, self.cfg.cost.ret_wire, EdgeKind::Return);
+            self.cur_seg = seg;
+            self.cur_proc = entry;
+            self.charge(self.cfg.cost.ret_recv);
+            self.cache.arrive(
+                entry,
+                Arrival::Return {
+                    written_homes: &written,
+                },
+            );
+        }
+        r
+    }
+
+    fn merge_written(&mut self, written: &[ProcId]) {
+        for &p in written {
+            self.note_written(p);
+        }
+    }
+
+    /// `futurecall f(...)`: run the body inline, forking for real only if
+    /// it migrates (lazy task creation, §2).
+    pub fn future_call<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> FutureHandle<T> {
+        if self.free_depth > 0 {
+            let value = f(self);
+            return FutureHandle {
+                value,
+                parallel: None,
+                written: Vec::new(),
+            };
+        }
+        self.charge(self.cfg.cost.future_spawn);
+        self.stats.futures += 1;
+        let spawn_proc = self.cur_proc;
+        self.frames.push(FutureFrame {
+            spawn_proc,
+            stolen: None,
+        });
+        self.write_scopes.push(Vec::new());
+        let value = f(self);
+        let written = self.write_scopes.pop().expect("scope underflow");
+        self.merge_written(&written);
+        let frame = self.frames.pop().expect("frame underflow");
+        match frame.stolen {
+            Some(steal_src) => {
+                self.stats.steals += 1;
+                // The body thread releases and sends its value home.
+                let inval = self.cache.depart(self.cur_proc, self.cfg.cost.write_through);
+                self.charge(inval);
+                self.charge(self.cfg.cost.ret_send);
+                let body_end = self.cur_seg;
+                // The idle spawn processor grabs the continuation.
+                let cont = self.trace.new_segment(spawn_proc);
+                self.trace.add_edge(steal_src, cont, 0, EdgeKind::Steal);
+                self.cur_seg = cont;
+                self.cur_proc = spawn_proc;
+                self.charge(self.cfg.cost.steal);
+                FutureHandle {
+                    value,
+                    parallel: Some(body_end),
+                    written,
+                }
+            }
+            None => {
+                debug_assert_eq!(self.cur_proc, spawn_proc, "unstolen body cannot move");
+                FutureHandle {
+                    value,
+                    parallel: None,
+                    written,
+                }
+            }
+        }
+    }
+
+    /// `touch`: claim a future's value, joining with the body thread if
+    /// it forked.
+    pub fn touch<T>(&mut self, h: FutureHandle<T>) -> T {
+        if self.free_depth > 0 {
+            return h.value;
+        }
+        self.charge(self.cfg.cost.touch);
+        self.stats.touches += 1;
+        if let Some(body_end) = h.parallel {
+            let post = self.trace.new_segment(self.cur_proc);
+            self.trace.add_edge(self.cur_seg, post, 0, EdgeKind::Seq);
+            self.trace
+                .add_edge(body_end, post, self.cfg.cost.ret_wire, EdgeKind::Join);
+            self.cur_seg = post;
+            self.charge(self.cfg.cost.ret_recv);
+            // Receiving the future's value is a migration receipt: acquire
+            // with the body's write set (local-knowledge refinement).
+            self.cache.arrive(
+                self.cur_proc,
+                Arrival::Return {
+                    written_homes: &h.written,
+                },
+            );
+        }
+        h.value
+    }
+
+    /// Spawn one future per element and touch them all: the `do in
+    /// parallel` idiom of Figure 5.
+    pub fn parallel_for<I, T>(
+        &mut self,
+        items: I,
+        mut body: impl FnMut(&mut Self, I::Item) -> T,
+    ) -> Vec<T>
+    where
+        I: IntoIterator,
+    {
+        let handles: Vec<FutureHandle<T>> = items
+            .into_iter()
+            .map(|it| self.future_call(|ctx| body(ctx, it)))
+            .collect();
+        handles.into_iter().map(|h| self.touch(h)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olden_cache::Protocol;
+
+    fn ctx(procs: usize) -> OldenCtx {
+        OldenCtx::new(Config::olden(procs))
+    }
+
+    #[test]
+    fn local_deref_does_not_migrate() {
+        let mut c = ctx(4);
+        let a = c.alloc(0, 2);
+        c.write(a, 0, 5i64, Mechanism::Migrate);
+        assert_eq!(c.read_i64(a, 0, Mechanism::Migrate), 5);
+        assert_eq!(c.cur_proc(), 0);
+        assert_eq!(c.stats().migrations, 0);
+    }
+
+    #[test]
+    fn remote_migrate_deref_moves_thread() {
+        let mut c = ctx(4);
+        let a = c.alloc(2, 2);
+        c.write(a, 1, 9i64, Mechanism::Migrate);
+        assert_eq!(c.cur_proc(), 2);
+        assert_eq!(c.stats().migrations, 1);
+        assert_eq!(c.read_i64(a, 1, Mechanism::Migrate), 9);
+        assert_eq!(c.stats().migrations, 1, "second access is local");
+    }
+
+    #[test]
+    fn remote_cache_deref_stays_put() {
+        let mut c = ctx(4);
+        let a = c.alloc(2, 2);
+        c.write(a, 0, 7i64, Mechanism::Cache);
+        assert_eq!(c.cur_proc(), 0);
+        assert_eq!(c.stats().migrations, 0);
+        assert_eq!(c.read_i64(a, 0, Mechanism::Cache), 7);
+        let cs = c.cache().stats();
+        assert_eq!(cs.remote_writes, 1);
+        assert_eq!(cs.remote_reads, 1);
+        assert_eq!(cs.misses, 1, "write-allocate miss");
+        assert_eq!(cs.hits, 1, "read hits the allocated line");
+    }
+
+    #[test]
+    fn force_override_controls_mechanism() {
+        let mut c = OldenCtx::new(Config::olden(4).forced(Mechanism::Migrate));
+        let a = c.alloc(3, 1);
+        c.write(a, 0, 1i64, Mechanism::Cache); // forced to migrate
+        assert_eq!(c.cur_proc(), 3);
+        assert_eq!(c.stats().migrations, 1);
+        assert_eq!(c.cache().stats().remote_writes, 0);
+    }
+
+    #[test]
+    fn call_returns_thread_to_caller_processor() {
+        let mut c = ctx(4);
+        let a = c.alloc(1, 1);
+        c.write(a, 0, 3i64, Mechanism::Cache);
+        let v = c.call(|c| c.read_i64(a, 0, Mechanism::Migrate));
+        assert_eq!(v, 3);
+        assert_eq!(c.cur_proc(), 0, "return stub migrated back");
+        assert_eq!(c.stats().return_migrations, 1);
+    }
+
+    #[test]
+    fn unstolen_future_is_cheap_and_inline() {
+        let mut c = ctx(4);
+        let a = c.alloc(0, 1);
+        c.write(a, 0, 11i64, Mechanism::Migrate);
+        let h = c.future_call(|c| c.read_i64(a, 0, Mechanism::Migrate));
+        assert!(!h.is_parallel(), "no migration, no new thread");
+        assert_eq!(c.touch(h), 11);
+        assert_eq!(c.stats().futures, 1);
+        assert_eq!(c.stats().steals, 0);
+    }
+
+    #[test]
+    fn migrating_future_forks() {
+        let mut c = ctx(4);
+        let a = c.alloc(2, 1);
+        c.uncharged(|c| c.write(a, 0, 21i64, Mechanism::Migrate));
+        let h = c.future_call(|c| c.call(|c| c.read_i64(a, 0, Mechanism::Migrate)));
+        assert!(h.is_parallel(), "body migrated: continuation stolen");
+        assert_eq!(c.cur_proc(), 0, "continuation runs at spawn proc");
+        assert_eq!(c.touch(h), 21);
+        assert_eq!(c.stats().steals, 1);
+    }
+
+    #[test]
+    fn local_knowledge_migration_clears_cache() {
+        let mut c = ctx(4);
+        let a = c.alloc(1, 1);
+        let b = c.alloc(2, 1);
+        c.uncharged(|c| {
+            c.write(a, 0, 1i64, Mechanism::Migrate);
+            c.write(b, 0, 2i64, Mechanism::Migrate);
+        });
+        // Cache a's line on proc 0, then migrate to proc 2 and back home
+        // is not needed: a second cached read after a migration through
+        // proc 2 must miss again.
+        c.read(a, 0, Mechanism::Cache); // miss
+        c.read(a, 0, Mechanism::Cache); // hit
+        assert_eq!(c.cache().stats().hits, 1);
+        c.read(b, 0, Mechanism::Migrate); // migrate 0 -> 2 (acquire clears 2's cache; 0's stays)
+        assert_eq!(c.cur_proc(), 2);
+        c.read(a, 0, Mechanism::Cache); // proc 2's cache: miss
+        assert_eq!(c.cache().stats().misses, 2);
+    }
+
+    #[test]
+    fn uncharged_region_records_nothing() {
+        let mut c = ctx(4);
+        let a = c.uncharged(|c| {
+            let a = c.alloc(3, 2);
+            c.write(a, 0, 5i64, Mechanism::Migrate);
+            c.write(a, 1, 6i64, Mechanism::Cache);
+            a
+        });
+        assert_eq!(c.stats().allocs, 0);
+        assert_eq!(c.stats().migrations, 0);
+        assert_eq!(c.cache().stats().cacheable_writes, 0);
+        assert_eq!(c.cur_proc(), 0);
+        // Values are real.
+        assert_eq!(c.read_i64(a, 0, Mechanism::Cache), 5);
+        assert_eq!(c.read_i64(a, 1, Mechanism::Cache), 6);
+    }
+
+    #[test]
+    fn parallel_for_touches_everything() {
+        let mut c = ctx(4);
+        let ptrs: Vec<GPtr> = (0..4u8)
+            .map(|p| {
+                let a = c.alloc(p, 1);
+                c.uncharged(|c| c.write(a, 0, p as i64 * 10, Mechanism::Migrate));
+                a
+            })
+            .collect();
+        let vals =
+            c.parallel_for(ptrs, |c, p| c.call(|c| c.read_i64(p, 0, Mechanism::Migrate)));
+        assert_eq!(vals, vec![0, 10, 20, 30]);
+        assert_eq!(c.stats().futures, 4);
+        assert!(c.stats().steals >= 3, "remote bodies forked");
+    }
+
+    #[test]
+    fn write_sets_flow_to_return_acquire() {
+        // A thread caches a line from proc 1, calls a procedure that
+        // migrates to proc 2 and writes proc 1's memory; on return the
+        // local-knowledge refinement must drop the cached line.
+        let mut c = ctx(4);
+        let a = c.alloc(1, 8);
+        let b = c.alloc(2, 1);
+        c.uncharged(|c| {
+            c.write(a, 0, 1i64, Mechanism::Migrate);
+            c.write(b, 0, 2i64, Mechanism::Migrate);
+        });
+        c.read(a, 0, Mechanism::Cache); // miss; cached on proc 0
+        c.call(|c| {
+            c.read(b, 0, Mechanism::Migrate); // migrate to proc 2
+            c.write(a, 0, 99i64, Mechanism::Cache); // write proc 1's memory
+        });
+        assert_eq!(c.cur_proc(), 0);
+        // The cached copy of a's line must be gone.
+        let before = c.cache().stats().misses;
+        assert_eq!(c.read_i64(a, 0, Mechanism::Cache), 99);
+        assert_eq!(c.cache().stats().misses, before + 1);
+    }
+
+    #[test]
+    fn return_acquire_preserves_unwritten_homes() {
+        let mut c = ctx(4);
+        let a = c.alloc(1, 8);
+        let b = c.alloc(3, 1);
+        c.uncharged(|c| {
+            c.write(a, 0, 1i64, Mechanism::Migrate);
+            c.write(b, 0, 2i64, Mechanism::Migrate);
+        });
+        c.read(a, 0, Mechanism::Cache); // cached from home 1
+        c.call(|c| {
+            c.read(b, 0, Mechanism::Migrate); // migrate to 3, write nothing on 1
+        });
+        let before = c.cache().stats().hits;
+        c.read(a, 0, Mechanism::Cache);
+        assert_eq!(c.cache().stats().hits, before + 1, "line survived return");
+    }
+
+    #[test]
+    fn protocols_agree_on_values() {
+        for proto in [
+            Protocol::LocalKnowledge,
+            Protocol::GlobalKnowledge,
+            Protocol::Bilateral,
+        ] {
+            let mut c = OldenCtx::new(Config::olden(4).with_protocol(proto));
+            let a = c.alloc(1, 4);
+            c.write(a, 0, 42i64, Mechanism::Cache);
+            c.read(a, 1, Mechanism::Migrate);
+            c.write(a, 1, 43i64, Mechanism::Cache);
+            assert_eq!(c.read_i64(a, 0, Mechanism::Cache), 42, "{proto:?}");
+            assert_eq!(c.read_i64(a, 1, Mechanism::Cache), 43, "{proto:?}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The Olden runtime: distributed heap, computation migration, software
+//! caching, and futures with lazy task creation.
+//!
+//! This crate is the programmer-facing layer of the reproduction. A
+//! benchmark is an ordinary Rust function over [`OldenCtx`]; it allocates
+//! structures in the distributed heap with [`OldenCtx::alloc`] (naming the
+//! owning processor, exactly like Olden's `ALLOC`), dereferences global
+//! pointers with an explicit [`Mechanism`] (the choice the Olden compiler's
+//! heuristic makes per program point), and expresses parallelism with
+//! [`OldenCtx::future_call`] / [`OldenCtx::touch`].
+//!
+//! Execution is *sequential and exact* — every value a benchmark computes
+//! is the real value, verified against plain serial references — while the
+//! context records a timing trace (segments bound to processors, migration
+//! and steal edges, touch joins) that `olden-machine`'s list scheduler
+//! replays to produce the parallel makespan. See DESIGN.md §5 for the full
+//! model.
+
+pub mod config;
+pub mod ctx;
+pub mod heap;
+pub mod report;
+
+pub use config::{Config, Mechanism};
+pub use ctx::{FutureHandle, OldenCtx};
+pub use heap::DistributedHeap;
+pub use olden_cache::{Access, CacheStats, Protocol};
+pub use olden_gptr::{GPtr, ProcId, Word};
+pub use olden_machine::{CostModel, EdgeKind};
+pub use report::{run, speedup_curve, RunReport, RunStats};

@@ -1,0 +1,188 @@
+//! Running a program and summarizing what happened.
+
+use crate::config::Config;
+use crate::ctx::OldenCtx;
+use olden_cache::CacheStats;
+use olden_machine::{sched, trace::EdgeKind};
+
+/// Runtime event counters for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Forward thread migrations (remote dereference under the migrate
+    /// mechanism).
+    pub migrations: u64,
+    /// Return-stub migrations back to a caller's processor.
+    pub return_migrations: u64,
+    /// Futures spawned.
+    pub futures: u64,
+    /// Futures whose continuation was actually stolen (real forks).
+    pub steals: u64,
+    /// Touches executed.
+    pub touches: u64,
+    /// `ALLOC` calls.
+    pub allocs: u64,
+    /// Words allocated.
+    pub words_allocated: u64,
+    /// Dereferences under the migrate mechanism that were local.
+    pub migrate_local: u64,
+    /// Dereferences under the migrate mechanism that were remote (each
+    /// one is a migration).
+    pub migrate_remote: u64,
+}
+
+/// Everything measured about one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Processors in the configuration.
+    pub procs: usize,
+    /// Parallel completion time (cycles) from the list-scheduler replay.
+    pub makespan: u64,
+    /// Total work across all segments (cycles).
+    pub total_work: u64,
+    /// DAG critical path (cycles): a lower bound on the makespan.
+    pub critical_path: u64,
+    /// Number of recorded segments.
+    pub segments: usize,
+    /// Runtime event counters.
+    pub stats: RunStats,
+    /// Software-cache counters (Table 3 shape).
+    pub cache: CacheStats,
+    /// Distinct pages ever cached across all processors.
+    pub pages_cached: u64,
+    /// Mean translation-table chain length (§3.2: ≈ 1).
+    pub mean_chain_length: f64,
+}
+
+impl RunReport {
+    /// Speedup relative to a sequential-baseline makespan.
+    pub fn speedup_vs(&self, seq_makespan: u64) -> f64 {
+        seq_makespan as f64 / self.makespan as f64
+    }
+}
+
+/// Execute `program` under `cfg`, replay the trace, and report.
+///
+/// Returns the program's result alongside the report so benchmarks can
+/// verify values against their serial references.
+pub fn run<R>(cfg: Config, program: impl FnOnce(&mut OldenCtx) -> R) -> (R, RunReport) {
+    let mut ctx = OldenCtx::new(cfg);
+    let result = program(&mut ctx);
+    let stats = *ctx.stats();
+    let (trace, _, cache_sys) = {
+        let (t, s, c) = ctx.into_parts();
+        debug_assert_eq!(s, stats);
+        (t, s, c)
+    };
+    let schedule = sched::schedule(&trace, cfg.procs).expect("trace must be schedulable");
+    let report = RunReport {
+        procs: cfg.procs,
+        makespan: schedule.makespan,
+        total_work: trace.total_cost(),
+        critical_path: sched::critical_path(&trace),
+        segments: trace.len(),
+        stats,
+        cache: *cache_sys.stats(),
+        pages_cached: cache_sys.pages_cached(),
+        mean_chain_length: cache_sys.mean_chain_length(),
+    };
+    debug_assert_eq!(
+        trace.count_edges(EdgeKind::Migrate) as u64,
+        stats.migrations
+    );
+    (result, report)
+}
+
+/// Table-2-style speedup curve: run the sequential baseline once, then the
+/// Olden configuration at each processor count, and report
+/// `T_seq / makespan(P)`.
+///
+/// `make_cfg` maps a processor count to the Olden configuration (so
+/// callers can force mechanisms or switch protocols).
+pub fn speedup_curve<F>(program: F, procs: &[usize], make_cfg: impl Fn(usize) -> Config) -> Vec<(usize, f64)>
+where
+    F: Fn(&mut OldenCtx),
+{
+    let (_, seq) = run(Config::sequential(), &program);
+    procs
+        .iter()
+        .map(|&p| {
+            let (_, rep) = run(make_cfg(p), &program);
+            (p, rep.speedup_vs(seq.makespan))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mechanism;
+
+    #[test]
+    fn run_reports_consistent_totals() {
+        let (sum, rep) = run(Config::olden(4), |ctx| {
+            let mut total = 0i64;
+            for p in 0..4u8 {
+                let a = ctx.alloc(p, 2);
+                ctx.write(a, 0, p as i64, Mechanism::Migrate);
+                total += ctx.read_i64(a, 0, Mechanism::Migrate);
+            }
+            total
+        });
+        assert_eq!(sum, 0 + 1 + 2 + 3);
+        assert!(rep.makespan >= rep.critical_path);
+        assert!(rep.makespan <= rep.total_work + 10_000);
+        assert_eq!(rep.procs, 4);
+        assert!(rep.stats.migrations >= 3);
+    }
+
+    #[test]
+    fn sequential_makespan_equals_total_work() {
+        let (_, rep) = run(Config::sequential(), |ctx| {
+            let a = ctx.alloc(0, 4);
+            for i in 0..4 {
+                ctx.write(a, i, i as i64, Mechanism::Migrate);
+            }
+            ctx.work(1000);
+        });
+        assert_eq!(rep.makespan, rep.total_work, "one processor, no gaps");
+    }
+
+    #[test]
+    fn speedup_curve_monotone_for_embarrassing_parallelism() {
+        // Four independent chunks of pure work (a fixed problem size),
+        // placed so the spawning loop hops processors: each remote body
+        // migrates, the vacated processor steals the continuation, and the
+        // loop keeps spawning — Olden's way of parallelizing a flat loop.
+        const CHUNKS: usize = 4;
+        let program = |ctx: &mut OldenCtx| {
+            let n = ctx.nprocs();
+            let ptrs: Vec<_> = (0..CHUNKS)
+                .map(|i| {
+                    let a = ctx.alloc(((i + 1) % n) as u8, 1);
+                    ctx.uncharged(|c| c.write(a, 0, 1i64, Mechanism::Migrate));
+                    a
+                })
+                .collect();
+            let hs: Vec<_> = ptrs
+                .iter()
+                .map(|&a| {
+                    ctx.future_call(move |c| {
+                        c.call(move |c| {
+                            c.read_i64(a, 0, Mechanism::Migrate);
+                            c.work(2_000_000);
+                        })
+                    })
+                })
+                .collect();
+            for h in hs {
+                ctx.touch(h);
+            }
+        };
+        let curve = speedup_curve(program, &[1, 2, 4], Config::olden);
+        assert!(curve[0].1 <= 1.02, "1 proc: {}", curve[0].1);
+        assert!(curve[0].1 > 0.9, "1 proc overhead too high: {}", curve[0].1);
+        assert!(curve[1].1 > 1.7, "2 procs: {}", curve[1].1);
+        assert!(curve[2].1 > 3.0, "4 procs: {}", curve[2].1);
+        assert!(curve[2].1 <= 4.0 + 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests on the coherence protocols and the scheduler: random
+//! access/migration traces must preserve sequential-consistency
+//! observations under every protocol, and replay must respect bounds.
+
+use olden_core::prelude::*;
+use proptest::prelude::*;
+
+/// A tiny random program: a sequence of operations over a handful of
+/// heap cells spread across processors.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { cell: u8, val: i64, mech: bool },
+    Read { cell: u8, mech: bool },
+    Call { ops: Vec<Op> },
+}
+
+fn op_strategy(depth: u32) -> impl Strategy<Value = Op> {
+    let leaf = prop_oneof![
+        (0u8..8, any::<i64>(), any::<bool>())
+            .prop_map(|(cell, val, mech)| Op::Write { cell, val, mech }),
+        (0u8..8, any::<bool>()).prop_map(|(cell, mech)| Op::Read { cell, mech }),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop::collection::vec(inner, 1..4).prop_map(|ops| Op::Call { ops })
+    })
+}
+
+fn mech(b: bool) -> Mechanism {
+    if b {
+        Mechanism::Migrate
+    } else {
+        Mechanism::Cache
+    }
+}
+
+fn exec(ctx: &mut OldenCtx, cells: &[GPtr], ops: &[Op], log: &mut Vec<i64>) {
+    for op in ops {
+        match op {
+            Op::Write { cell, val, mech: m } => {
+                ctx.write(cells[*cell as usize], 0, *val, mech(*m));
+            }
+            Op::Read { cell, mech: m } => {
+                log.push(ctx.read_i64(cells[*cell as usize], 0, mech(*m)));
+            }
+            Op::Call { ops } => ctx.call(|ctx| exec(ctx, cells, ops, log)),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All three protocols (and both mechanisms) observe the same values
+    /// as a direct sequential interpretation: the release-consistency
+    /// argument of Appendix A, exercised mechanically.
+    #[test]
+    fn protocols_are_observationally_sequential(
+        ops in prop::collection::vec(op_strategy(2), 1..24),
+        procs in 1usize..6,
+    ) {
+        // Direct model: last write wins.
+        let mut model = [0i64; 8];
+        let mut expect = Vec::new();
+        fn model_exec(model: &mut [i64; 8], ops: &[Op], out: &mut Vec<i64>) {
+            for op in ops {
+                match op {
+                    Op::Write { cell, val, .. } => model[*cell as usize] = *val,
+                    Op::Read { cell, .. } => out.push(model[*cell as usize]),
+                    Op::Call { ops } => model_exec(model, ops, out),
+                }
+            }
+        }
+        model_exec(&mut model, &ops, &mut expect);
+
+        for proto in [Protocol::LocalKnowledge, Protocol::GlobalKnowledge, Protocol::Bilateral] {
+            let (log, rep) = run(Config::olden(procs).with_protocol(proto), |ctx| {
+                let cells: Vec<GPtr> = (0..8)
+                    .map(|i| ctx.alloc((i % procs) as ProcId, 1))
+                    .collect();
+                let mut log = Vec::new();
+                exec(ctx, &cells, &ops, &mut log);
+                log
+            });
+            prop_assert_eq!(&log, &expect, "protocol {}", proto.name());
+            prop_assert!(rep.makespan >= rep.critical_path);
+            prop_assert!(rep.makespan <= rep.total_work + 64 * 5000,
+                "makespan cannot exceed serialized work plus latencies");
+        }
+    }
+
+    /// Wrong path-affinity hints never change values (§4.1), only time.
+    #[test]
+    fn hints_affect_time_never_values(
+        ops in prop::collection::vec(op_strategy(1), 1..16),
+    ) {
+        let run_with = |force: Option<Mechanism>| {
+            let mut cfg = Config::olden(4);
+            cfg.force = force;
+            run(cfg, |ctx| {
+                let cells: Vec<GPtr> = (0..8).map(|i| ctx.alloc(i % 4, 1)).collect();
+                let mut log = Vec::new();
+                exec(ctx, &cells, &ops, &mut log);
+                log
+            })
+            .0
+        };
+        let base = run_with(None);
+        prop_assert_eq!(run_with(Some(Mechanism::Migrate)), base.clone());
+        prop_assert_eq!(run_with(Some(Mechanism::Cache)), base);
+    }
+}

@@ -1,0 +1,70 @@
+//! Cross-crate integration: every benchmark's distributed execution
+//! matches its serial reference at several machine sizes and under every
+//! coherence protocol.
+
+use olden_core::benchmarks::{self, SizeClass};
+use olden_core::prelude::*;
+
+#[test]
+fn all_benchmarks_match_references_across_machines() {
+    for d in benchmarks::all() {
+        let expect = (d.reference)(SizeClass::Tiny);
+        for procs in [1usize, 3, 8] {
+            let (v, _) = run(Config::olden(procs), |ctx| (d.run)(ctx, SizeClass::Tiny));
+            assert_eq!(v, expect, "{} at {procs} processors", d.name);
+        }
+        let (v, _) = run(Config::sequential(), |ctx| (d.run)(ctx, SizeClass::Tiny));
+        assert_eq!(v, expect, "{} sequential baseline", d.name);
+    }
+}
+
+#[test]
+fn all_benchmarks_survive_forced_mechanisms() {
+    // Mechanism choice (even a bad one) must never change computed values
+    // — the paper's correctness-independence claim (§4.1).
+    for d in benchmarks::all() {
+        let expect = (d.reference)(SizeClass::Tiny);
+        for force in [Mechanism::Migrate, Mechanism::Cache] {
+            let (v, _) = run(Config::olden(4).forced(force), |ctx| {
+                (d.run)(ctx, SizeClass::Tiny)
+            });
+            assert_eq!(v, expect, "{} forced {}", d.name, force.name());
+        }
+    }
+}
+
+#[test]
+fn all_protocols_agree_on_every_benchmark() {
+    for d in benchmarks::all() {
+        let expect = (d.reference)(SizeClass::Tiny);
+        for proto in [
+            Protocol::LocalKnowledge,
+            Protocol::GlobalKnowledge,
+            Protocol::Bilateral,
+        ] {
+            let (v, _) = run(Config::olden(6).with_protocol(proto), |ctx| {
+                (d.run)(ctx, SizeClass::Tiny)
+            });
+            assert_eq!(v, expect, "{} under {}", d.name, proto.name());
+        }
+    }
+}
+
+#[test]
+fn makespan_respects_lower_bounds_everywhere() {
+    for d in benchmarks::all() {
+        let (_, rep) = run(Config::olden(4), |ctx| (d.run)(ctx, SizeClass::Tiny));
+        assert!(
+            rep.makespan >= rep.critical_path,
+            "{}: makespan {} < critical path {}",
+            d.name,
+            rep.makespan,
+            rep.critical_path
+        );
+        assert!(
+            (rep.makespan as f64) >= rep.total_work as f64 / 4.0,
+            "{}: makespan below work/P",
+            d.name
+        );
+    }
+}

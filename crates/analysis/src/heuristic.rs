@@ -273,7 +273,9 @@ pub fn select(prog: &Program) -> Selection {
             let (callee, idx) = key.split_once('#').unwrap();
             let idx: usize = idx.parse().unwrap();
             let Some(g) = prog.func(callee) else { continue };
-            let Some(param) = g.params.get(idx) else { continue };
+            let Some(param) = g.params.get(idx) else {
+                continue;
+            };
             // Find the callee's recursion loop choice.
             let Some((ci, _)) = loops
                 .iter()

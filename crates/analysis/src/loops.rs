@@ -103,12 +103,7 @@ pub fn find_control_loops(prog: &Program) -> Vec<ControlLoop> {
     loops
 }
 
-fn collect_whiles(
-    f: &FuncDef,
-    stmts: &[Stmt],
-    parent: Option<LoopId>,
-    out: &mut Vec<ControlLoop>,
-) {
+fn collect_whiles(f: &FuncDef, stmts: &[Stmt], parent: Option<LoopId>, out: &mut Vec<ControlLoop>) {
     for s in stmts {
         match s {
             Stmt::While { cond, body } => {

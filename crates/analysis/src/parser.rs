@@ -420,17 +420,14 @@ impl Parser {
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
-        loop {
-            let (op, prec) = match self.peek() {
-                Tok::Sym(s) => match *s {
-                    "||" => ("||", 1),
-                    "&&" => ("&&", 2),
-                    "==" | "!=" => (*s, 3),
-                    "<" | ">" | "<=" | ">=" => (*s, 4),
-                    "+" | "-" => (*s, 5),
-                    "*" | "/" | "%" => (*s, 6),
-                    _ => break,
-                },
+        while let Tok::Sym(s) = self.peek() {
+            let (op, prec) = match *s {
+                "||" => ("||", 1),
+                "&&" => ("&&", 2),
+                "==" | "!=" => (*s, 3),
+                "<" | ">" | "<=" | ">=" => (*s, 4),
+                "+" | "-" => (*s, 5),
+                "*" | "/" | "%" => (*s, 6),
                 _ => break,
             };
             if prec < min_prec {
@@ -576,8 +573,10 @@ mod tests {
         match &f.body[0] {
             Stmt::While { body, .. } => {
                 assert_eq!(body.len(), 3);
-                assert!(matches!(&body[1], Stmt::Assign { dst, src: Expr::Path { base, fields } }
-                    if dst == "t" && base == "t" && fields == &vec!["right".to_string(), "left".to_string()]));
+                assert!(
+                    matches!(&body[1], Stmt::Assign { dst, src: Expr::Path { base, fields } }
+                    if dst == "t" && base == "t" && fields == &vec!["right".to_string(), "left".to_string()])
+                );
             }
             other => panic!("expected while, got {other:?}"),
         }
@@ -653,8 +652,14 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse("struct {").is_err());
         assert!(parse("void f() { return $; }").is_err());
-        assert!(parse("struct s { int x @ 90; };").is_err(), "affinity on non-pointer");
-        assert!(parse("struct s { node *p @ 150; };").is_err(), "affinity > 100");
+        assert!(
+            parse("struct s { int x @ 90; };").is_err(),
+            "affinity on non-pointer"
+        );
+        assert!(
+            parse("struct s { node *p @ 150; };").is_err(),
+            "affinity > 100"
+        );
     }
 
     #[test]

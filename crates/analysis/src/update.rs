@@ -314,10 +314,7 @@ pub fn update_matrix(prog: &Program, cl: &ControlLoop) -> UpdateMatrix {
                 }
                 // §4.2 case 2: both (all) updates execute; the combined
                 // affinity is the probability at least one stays local.
-                let p_all_remote: f64 = sites
-                    .iter()
-                    .map(|s| 1.0 - s.as_ref().unwrap().1)
-                    .product();
+                let p_all_remote: f64 = sites.iter().map(|s| 1.0 - s.as_ref().unwrap().1).product();
                 m.entries
                     .insert((param.clone(), first_base), 1.0 - p_all_remote);
             }
@@ -406,7 +403,10 @@ mod tests {
             "#,
             0,
         );
-        assert!((m.get("t", "t").unwrap() - 0.80).abs() < 1e-12, "avg(90,70)");
+        assert!(
+            (m.get("t", "t").unwrap() - 0.80).abs() < 1e-12,
+            "avg(90,70)"
+        );
     }
 
     #[test]

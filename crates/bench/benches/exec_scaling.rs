@@ -1,0 +1,36 @@
+//! Wall-clock scaling of the thread backend: the same benchmark executed
+//! for real on 1..N worker threads, in both modes.
+//!
+//! Lockstep puts every worker behind one logical thread (pure message
+//! overhead, no body parallelism); parallel mode lets stolen futures run
+//! concurrently. On a many-core host the parallel rows shrink with worker
+//! count; on a constrained CI box the bench still guards the backend's
+//! message-path performance from regressing.
+
+use olden_bench::microbench::{black_box, Bench};
+use olden_benchmarks::{generic_run, SizeClass};
+use olden_exec::{run_exec, ExecConfig};
+
+fn main() {
+    let b = Bench::new("exec_scaling").samples(5);
+    for procs in [1usize, 2, 4, 8] {
+        for name in ["TreeAdd", "EM3D", "Health"] {
+            b.run(&format!("lockstep/{name}/p{procs}"), || {
+                let (v, rep) = run_exec(ExecConfig::lockstep(procs), move |ctx| {
+                    generic_run(name, ctx, SizeClass::Tiny).unwrap()
+                });
+                black_box((v, rep.messages))
+            });
+        }
+    }
+    for procs in [2usize, 4] {
+        for name in ["TreeAdd", "EM3D"] {
+            b.run(&format!("parallel/{name}/p{procs}"), || {
+                let (v, rep) = run_exec(ExecConfig::parallel(procs), move |ctx| {
+                    generic_run(name, ctx, SizeClass::Tiny).unwrap()
+                });
+                black_box((v, rep.clients))
+            });
+        }
+    }
+}

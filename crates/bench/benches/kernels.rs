@@ -1,24 +1,17 @@
-//! One criterion entry per Table-1 benchmark: the wall-clock cost of one
+//! One bench entry per Table-1 benchmark: the wall-clock cost of one
 //! fully instrumented simulation (Tiny size, 8 processors), guarding the
 //! simulator's own performance.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use olden_bench::microbench::{black_box, Bench};
 use olden_benchmarks::{all, SizeClass};
 use olden_runtime::{run, Config};
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_kernels");
-    g.sample_size(10);
+fn main() {
+    let b = Bench::new("table1_kernels").samples(5);
     for d in all() {
-        g.bench_function(d.name, |b| {
-            b.iter(|| {
-                let (v, rep) = run(Config::olden(8), |ctx| (d.run)(ctx, SizeClass::Tiny));
-                black_box((v, rep.makespan))
-            })
+        b.run(d.name, || {
+            let (v, rep) = run(Config::olden(8), |ctx| (d.run)(ctx, SizeClass::Tiny));
+            black_box((v, rep.makespan))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

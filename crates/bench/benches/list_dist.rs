@@ -1,30 +1,24 @@
-//! Figure 2 as a criterion bench: simulated communication cost of one
+//! Figure 2 as a wall-clock bench: simulated communication cost of one
 //! list traversal under {blocked, cyclic} × {migrate, cache}.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use olden_bench::microbench::{black_box, Bench};
 use olden_benchmarks::listdist::{build, walk, Distribution};
 use olden_runtime::{run, Config, Mechanism};
 
-fn bench_fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figure2");
+fn main() {
+    let b = Bench::new("figure2");
     for (dist, dname) in [
         (Distribution::Blocked, "blocked"),
         (Distribution::Cyclic, "cyclic"),
     ] {
         for (mech, mname) in [(Mechanism::Migrate, "migrate"), (Mechanism::Cache, "cache")] {
-            g.bench_function(format!("{dname}_{mname}"), |b| {
-                b.iter(|| {
-                    let (_, rep) = run(Config::olden(8), |ctx| {
-                        let head = build(ctx, 512, dist);
-                        walk(ctx, head, mech)
-                    });
-                    black_box(rep.makespan)
-                })
+            b.run(&format!("{dname}_{mname}"), || {
+                let (_, rep) = run(Config::olden(8), |ctx| {
+                    let head = build(ctx, 512, dist);
+                    walk(ctx, head, mech)
+                });
+                black_box(rep.makespan)
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! The list-scheduler replay: throughput on wide and chained DAGs.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use olden_machine::trace::{EdgeKind, Trace};
+use olden_bench::microbench::{black_box, Bench};
 use olden_machine::sched;
+use olden_machine::trace::{EdgeKind, Trace};
 
 fn wide_trace(n: usize, procs: u8) -> Trace {
     let mut t = Trace::new();
@@ -31,23 +31,19 @@ fn chain_trace(n: usize, procs: u8) -> Trace {
     t
 }
 
-fn bench_sched(c: &mut Criterion) {
-    let mut g = c.benchmark_group("list_scheduler");
+fn main() {
+    let b = Bench::new("list_scheduler");
     for n in [1_000usize, 10_000] {
         let wide = wide_trace(n, 32);
-        g.bench_function(format!("wide_{n}"), |b| {
-            b.iter(|| black_box(sched::schedule(&wide, 32).unwrap().makespan))
+        b.run(&format!("wide_{n}"), || {
+            black_box(sched::schedule(&wide, 32).unwrap().makespan)
         });
         let chain = chain_trace(n, 32);
-        g.bench_function(format!("chain_{n}"), |b| {
-            b.iter(|| black_box(sched::schedule(&chain, 32).unwrap().makespan))
+        b.run(&format!("chain_{n}"), || {
+            black_box(sched::schedule(&chain, 32).unwrap().makespan)
         });
-        g.bench_function(format!("critical_path_{n}"), |b| {
-            b.iter(|| black_box(sched::critical_path(&wide)))
+        b.run(&format!("critical_path_{n}"), || {
+            black_box(sched::critical_path(&wide))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sched);
-criterion_main!(benches);

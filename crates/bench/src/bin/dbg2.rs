@@ -11,6 +11,9 @@ fn main() {
         println!("seg {i}: proc {} cost {}", s.proc, s.cost);
     }
     for e in trace.edges() {
-        println!("edge {:?} -> {:?} lat {} {:?}", e.from, e.to, e.latency, e.kind);
+        println!(
+            "edge {:?} -> {:?} lat {} {:?}",
+            e.from, e.to, e.latency, e.kind
+        );
     }
 }

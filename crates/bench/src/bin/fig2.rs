@@ -66,5 +66,8 @@ fn main() {
         }
     }
     println!("{:-<84}", "");
-    println!("sequential makespan (single processor, no overheads): {}", seq.makespan);
+    println!(
+        "sequential makespan (single processor, no overheads): {}",
+        seq.makespan
+    );
 }

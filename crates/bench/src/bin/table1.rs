@@ -3,9 +3,15 @@
 fn main() {
     println!("Table 1: Benchmark Descriptions");
     println!("{:-<88}", "");
-    println!("{:<12} {:<55} {:<18}", "Benchmark", "Description", "Problem Size");
+    println!(
+        "{:<12} {:<55} {:<18}",
+        "Benchmark", "Description", "Problem Size"
+    );
     println!("{:-<88}", "");
     for d in olden_benchmarks::all() {
-        println!("{:<12} {:<55} {:<18}", d.name, d.description, d.problem_size);
+        println!(
+            "{:<12} {:<55} {:<18}",
+            d.name, d.description, d.problem_size
+        );
     }
 }

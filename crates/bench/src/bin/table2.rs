@@ -42,10 +42,7 @@ fn main() {
 
     println!("Table 2: Results ({size:?} sizes)");
     println!("{:-<110}", "");
-    print!(
-        "{:<12} {:<7} {:>12} ",
-        "Benchmark", "Choice", "Seq (Mcyc)"
-    );
+    print!("{:<12} {:<7} {:>12} ", "Benchmark", "Choice", "Seq (Mcyc)");
     for p in &procs {
         print!("{:>7} ", p);
     }

@@ -1,5 +1,7 @@
 //! Benchmark harness utilities shared by the table regenerators and the
-//! criterion benches.
+//! wall-clock benches.
+
+pub mod microbench;
 
 use olden_benchmarks::{Descriptor, SizeClass};
 use olden_runtime::{run, Config, Mechanism, Protocol, RunReport};

@@ -1,0 +1,160 @@
+//! A tiny self-contained wall-clock bench harness.
+//!
+//! The workspace builds with no external dependencies (tier-1 must pass
+//! offline), so the `benches/` targets use this module instead of
+//! criterion: each `harness = false` bench is a plain `main()` that calls
+//! [`Bench::run`] per case. The harness warms up, auto-scales the
+//! iteration count to a time budget, reports median / mean / min of the
+//! per-iteration time over several samples, and honors a
+//! `MICROBENCH_FILTER` environment variable for name filtering.
+
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches keep the familiar `black_box` spelling.
+pub fn black_box<T>(x: T) -> T {
+    bb(x)
+}
+
+/// One bench group's configuration and output.
+pub struct Bench {
+    group: String,
+    /// Target wall time per sample.
+    sample_budget: Duration,
+    /// Samples per case (median over these is reported).
+    samples: usize,
+    filter: Option<String>,
+}
+
+/// Result of one case, returned for programmatic use (scaling benches
+/// assert on these).
+#[derive(Clone, Copy, Debug)]
+pub struct CaseResult {
+    pub iters_per_sample: u64,
+    pub median: Duration,
+    pub mean: Duration,
+    pub min: Duration,
+}
+
+impl Bench {
+    pub fn new(group: &str) -> Bench {
+        Bench {
+            group: group.to_string(),
+            sample_budget: Duration::from_millis(30),
+            samples: 7,
+            filter: std::env::var("MICROBENCH_FILTER").ok(),
+        }
+    }
+
+    /// Override the per-sample time budget (default 30 ms).
+    pub fn sample_budget(mut self, d: Duration) -> Bench {
+        self.sample_budget = d;
+        self
+    }
+
+    /// Override the sample count (default 7).
+    pub fn samples(mut self, n: usize) -> Bench {
+        assert!(n > 0);
+        self.samples = n;
+        self
+    }
+
+    /// Run one case: calibrate an iteration count to the sample budget,
+    /// take samples, and print a one-line summary. Returns `None` when the
+    /// case is filtered out by `MICROBENCH_FILTER`.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Option<CaseResult> {
+        let full = format!("{}/{}", self.group, name);
+        if let Some(filt) = &self.filter {
+            if !full.contains(filt.as_str()) {
+                return None;
+            }
+        }
+        // Warm up and calibrate: double iterations until a batch exceeds
+        // a tenth of the budget, then scale to the budget.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                bb(f());
+            }
+            let el = t.elapsed();
+            if el >= self.sample_budget / 10 {
+                break el / iters as u32;
+            }
+            iters = iters.saturating_mul(2);
+        };
+        let iters = (self.sample_budget.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u64::MAX as u128) as u64;
+
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    bb(f());
+                }
+                t.elapsed() / iters as u32
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let min = times[0];
+        println!(
+            "{full:<40} {:>12} median {:>12} mean {:>12} min   ({iters} iters x {} samples)",
+            fmt_dur(median),
+            fmt_dur(mean),
+            fmt_dur(min),
+            self.samples,
+        );
+        Some(CaseResult {
+            iters_per_sample: iters,
+            median,
+            mean,
+            min,
+        })
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let b = Bench::new("t")
+            .sample_budget(Duration::from_millis(2))
+            .samples(3);
+        let r = b
+            .run("count", || (0..100u64).map(black_box).sum::<u64>())
+            .unwrap();
+        assert!(r.median > Duration::ZERO);
+        assert!(r.min <= r.median);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn filter_env_is_respected_via_full_name() {
+        // Can't mutate the environment safely in tests; exercise the
+        // filter logic by constructing a Bench with one set.
+        let b = Bench {
+            group: "g".into(),
+            sample_budget: Duration::from_millis(1),
+            samples: 1,
+            filter: Some("nomatch".into()),
+        };
+        assert!(b.run("case", || 1).is_none());
+    }
+}

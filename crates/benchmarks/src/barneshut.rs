@@ -19,7 +19,7 @@
 use crate::rng::{mix2, SplitMix64};
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 const MI: Mechanism = Mechanism::Migrate;
 const CA: Mechanism = Mechanism::Cache;
@@ -133,8 +133,8 @@ fn child_center(cx: f64, cy: f64, cz: f64, h: f64, o: usize) -> (f64, f64, f64) 
     )
 }
 
-struct TreeBuilder<'a> {
-    ctx: &'a mut OldenCtx,
+struct TreeBuilder<'a, B: Backend> {
+    ctx: &'a mut B,
 }
 
 /// The build phase runs sequentially on processor 0 (as in the paper) and
@@ -144,7 +144,7 @@ struct TreeBuilder<'a> {
 /// walk later finds its own region of the tree *local* and only the
 /// shared upper cells remote — those are exactly the "distant tree nodes"
 /// the heuristic caches (§5).
-impl TreeBuilder<'_> {
+impl<B: Backend> TreeBuilder<'_, B> {
     fn new_cell(&mut self, near: GPtr) -> GPtr {
         let c = self.ctx.alloc(near.proc(), CELL_WORDS);
         self.ctx.write(c, C_KIND, KIND_CELL, CA);
@@ -240,7 +240,7 @@ impl TreeBuilder<'_> {
 }
 
 /// Force walk for one body: cached tree reads (§5).
-fn accel_on(ctx: &mut OldenCtx, cell: GPtr, h: f64, pos: [f64; 3], body: GPtr) -> [f64; 3] {
+fn accel_on<B: Backend>(ctx: &mut B, cell: GPtr, h: f64, pos: [f64; 3], body: GPtr) -> [f64; 3] {
     if cell.is_null() {
         return [0.0; 3];
     }
@@ -285,7 +285,7 @@ fn accel_on(ctx: &mut OldenCtx, cell: GPtr, h: f64, pos: [f64; 3], body: GPtr) -
 
 /// Advance one per-processor body sublist: migrate to the bodies, cache
 /// the tree.
-fn advance_sublist(ctx: &mut OldenCtx, head: GPtr, root: GPtr) {
+fn advance_sublist<B: Backend>(ctx: &mut B, head: GPtr, root: GPtr) {
     let mut b = head;
     while !b.is_null() {
         let pos = [
@@ -304,7 +304,7 @@ fn advance_sublist(ctx: &mut OldenCtx, head: GPtr, root: GPtr) {
 }
 
 /// Whole-program run.
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     let n = bodies(size);
     let procs = ctx.nprocs();
     let init = initial(n);
@@ -402,7 +402,17 @@ enum RCell {
     },
 }
 
-fn rinsert(cell: &mut RCell, cx: f64, cy: f64, cz: f64, h: f64, idx: usize, pos: [f64; 3], mass: f64) {
+#[allow(clippy::too_many_arguments)]
+fn rinsert(
+    cell: &mut RCell,
+    cx: f64,
+    cy: f64,
+    cz: f64,
+    h: f64,
+    idx: usize,
+    pos: [f64; 3],
+    mass: f64,
+) {
     let RCell::Cell { children, .. } = cell else {
         unreachable!("insert into leaf");
     };
@@ -521,8 +531,8 @@ pub fn reference(size: SizeClass) -> u64 {
     }
     let mut acc = 0u64;
     for p in &pos {
-        for k in 0..3 {
-            acc = mix2(acc, p[k].to_bits());
+        for v in p {
+            acc = mix2(acc, v.to_bits());
         }
     }
     acc
@@ -585,8 +595,8 @@ mod tests {
         let vel: Vec<[f64; 3]> = init.iter().map(|b| b.1).collect();
         let _ = (&mut pos, vel);
         for p in &pos {
-            for k in 0..3 {
-                assert!((0.0..=1.0).contains(&p[k]), "initial positions in cube");
+            for v in p {
+                assert!((0.0..=1.0).contains(v), "initial positions in cube");
             }
         }
     }

@@ -17,7 +17,7 @@
 use crate::rng::mix2;
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 const MI: Mechanism = Mechanism::Migrate;
 const CA: Mechanism = Mechanism::Cache;
@@ -191,7 +191,7 @@ pub fn reference(size: SizeClass) -> u64 {
 
 /// Build the tree with subtrees distributed at a fixed depth (left child
 /// takes the far half of the processor range so its future forks).
-fn build(ctx: &mut OldenCtx, level: u32, index: &mut u64, lo: usize, hi: usize) -> GPtr {
+fn build<B: Backend>(ctx: &mut B, level: u32, index: &mut u64, lo: usize, hi: usize) -> GPtr {
     if level == 0 {
         return GPtr::NULL;
     }
@@ -217,7 +217,7 @@ fn build(ctx: &mut OldenCtx, level: u32, index: &mut u64, lo: usize, hi: usize) 
 /// of times per swap: "a large amount of data is touched on each
 /// processor between migrations" (§5). An interleaved node-by-node swap
 /// would ping-pong between the subtrees' processors on every pair.
-fn swap_trees(ctx: &mut OldenCtx, a: GPtr, b: GPtr) {
+fn swap_trees<B: Backend>(ctx: &mut B, a: GPtr, b: GPtr) {
     if a.is_null() || b.is_null() {
         debug_assert!(a.is_null() && b.is_null(), "isomorphic shapes");
         return;
@@ -232,7 +232,7 @@ fn swap_trees(ctx: &mut OldenCtx, a: GPtr, b: GPtr) {
     ctx.call(|ctx| write_preorder(ctx, b, &mut it));
 }
 
-fn collect_preorder(ctx: &mut OldenCtx, t: GPtr, out: &mut Vec<i64>) {
+fn collect_preorder<B: Backend>(ctx: &mut B, t: GPtr, out: &mut Vec<i64>) {
     if t.is_null() {
         return;
     }
@@ -244,7 +244,7 @@ fn collect_preorder(ctx: &mut OldenCtx, t: GPtr, out: &mut Vec<i64>) {
     collect_preorder(ctx, r, out);
 }
 
-fn write_preorder(ctx: &mut OldenCtx, t: GPtr, vals: &mut impl Iterator<Item = i64>) {
+fn write_preorder<B: Backend>(ctx: &mut B, t: GPtr, vals: &mut impl Iterator<Item = i64>) {
     if t.is_null() {
         return;
     }
@@ -256,7 +256,7 @@ fn write_preorder(ctx: &mut OldenCtx, t: GPtr, vals: &mut impl Iterator<Item = i
     write_preorder(ctx, r, vals);
 }
 
-fn bimerge(ctx: &mut OldenCtx, t: GPtr, mut spr: i64, up: bool) -> i64 {
+fn bimerge<B: Backend>(ctx: &mut B, t: GPtr, mut spr: i64, up: bool) -> i64 {
     ctx.work(W_STEP);
     let tv = ctx.read_i64(t, F_VAL, MI);
     let rightexchange = (tv > spr) == up;
@@ -302,7 +302,7 @@ fn bimerge(ctx: &mut OldenCtx, t: GPtr, mut spr: i64, up: bool) -> i64 {
     let left = ctx.read_ptr(t, F_LEFT, MI);
     if !left.is_null() {
         let tv = ctx.read_i64(t, F_VAL, MI);
-        let h = ctx.future_call(|ctx| ctx.call(|ctx| bimerge(ctx, left, tv, up)));
+        let h = ctx.future_call(move |ctx| ctx.call(move |ctx| bimerge(ctx, left, tv, up)));
         let right = ctx.read_ptr(t, F_RIGHT, MI);
         let s = ctx.call(|ctx| bimerge(ctx, right, spr, up));
         let new_tv = ctx.touch(h);
@@ -312,7 +312,7 @@ fn bimerge(ctx: &mut OldenCtx, t: GPtr, mut spr: i64, up: bool) -> i64 {
     spr
 }
 
-fn bisort(ctx: &mut OldenCtx, t: GPtr, mut spr: i64, up: bool) -> i64 {
+fn bisort<B: Backend>(ctx: &mut B, t: GPtr, mut spr: i64, up: bool) -> i64 {
     ctx.work(W_STEP);
     let left = ctx.read_ptr(t, F_LEFT, MI);
     if left.is_null() {
@@ -324,7 +324,7 @@ fn bisort(ctx: &mut OldenCtx, t: GPtr, mut spr: i64, up: bool) -> i64 {
         return spr;
     }
     let tv = ctx.read_i64(t, F_VAL, MI);
-    let h = ctx.future_call(|ctx| ctx.call(|ctx| bisort(ctx, left, tv, up)));
+    let h = ctx.future_call(move |ctx| ctx.call(move |ctx| bisort(ctx, left, tv, up)));
     let right = ctx.read_ptr(t, F_RIGHT, MI);
     spr = ctx.call(|ctx| bisort(ctx, right, spr, !up));
     let new_tv = ctx.touch(h);
@@ -332,7 +332,7 @@ fn bisort(ctx: &mut OldenCtx, t: GPtr, mut spr: i64, up: bool) -> i64 {
     ctx.call(|ctx| bimerge(ctx, t, spr, up))
 }
 
-fn collect_inorder(ctx: &mut OldenCtx, t: GPtr, out: &mut Vec<i64>) {
+fn collect_inorder<B: Backend>(ctx: &mut B, t: GPtr, out: &mut Vec<i64>) {
     if t.is_null() {
         return;
     }
@@ -344,7 +344,7 @@ fn collect_inorder(ctx: &mut OldenCtx, t: GPtr, out: &mut Vec<i64>) {
 }
 
 /// Kernel: forward sort, then backward sort (build uncharged).
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     let n = ctx.nprocs();
     let mut index = 0u64;
     let root = ctx.uncharged(|ctx| build(ctx, levels(size), &mut index, 0, n));

@@ -16,7 +16,7 @@
 use crate::rng::{mix2, SplitMix64};
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 /// Node layout: list link, value, then `DEGREE` (neighbour ptr, weight)
 /// pairs.
@@ -103,10 +103,10 @@ struct Graph {
 
 /// Build both node sets, blocked across processors, with per-processor
 /// list chains (uncharged — EM3D is a kernel-time benchmark).
-fn build(ctx: &mut OldenCtx, n: usize) -> Graph {
+fn build<B: Backend>(ctx: &mut B, n: usize) -> Graph {
     let procs = ctx.nprocs();
     ctx.uncharged(|ctx| {
-        let alloc_side = |ctx: &mut OldenCtx, side: usize| -> Vec<GPtr> {
+        let alloc_side = |ctx: &mut B, side: usize| -> Vec<GPtr> {
             (0..n)
                 .map(|i| {
                     let proc = (i * procs / n) as ProcId;
@@ -118,7 +118,7 @@ fn build(ctx: &mut OldenCtx, n: usize) -> Graph {
         };
         let e_nodes = alloc_side(ctx, 0);
         let h_nodes = alloc_side(ctx, 1);
-        let link = |ctx: &mut OldenCtx, nodes: &[GPtr], side: usize, others: &[GPtr]| {
+        let link = |ctx: &mut B, nodes: &[GPtr], side: usize, others: &[GPtr]| {
             for i in 0..n {
                 let next = if i + 1 < n && nodes[i + 1].proc() == nodes[i].proc() {
                     nodes[i + 1]
@@ -130,7 +130,12 @@ fn build(ctx: &mut OldenCtx, n: usize) -> Graph {
                     let key = mix2((side * n + i) as u64, k as u64);
                     let j = neighbour_index(key, i, n);
                     ctx.write(nodes[i], F_NBR0 + 2 * k, others[j], Mechanism::Migrate);
-                    ctx.write(nodes[i], F_NBR0 + 2 * k + 1, weight(side, i, k), Mechanism::Migrate);
+                    ctx.write(
+                        nodes[i],
+                        F_NBR0 + 2 * k + 1,
+                        weight(side, i, k),
+                        Mechanism::Migrate,
+                    );
                 }
             }
         };
@@ -156,7 +161,7 @@ fn build(ctx: &mut OldenCtx, n: usize) -> Graph {
 
 /// Update one per-processor sublist: the list walk migrates, neighbour
 /// reads cache.
-fn update_sublist(ctx: &mut OldenCtx, head: GPtr) {
+fn update_sublist<B: Backend>(ctx: &mut B, head: GPtr) {
     let mut node = head;
     while !node.is_null() {
         ctx.work(W_NODE);
@@ -175,7 +180,7 @@ fn update_sublist(ctx: &mut OldenCtx, head: GPtr) {
 /// One half-step over a node set: a future per processor sublist, remote
 /// sublists spawned first (processor 0's own sublist runs inline and
 /// would delay every other fork).
-fn compute(ctx: &mut OldenCtx, heads: &[GPtr]) {
+fn compute<B: Backend>(ctx: &mut B, heads: &[GPtr]) {
     let handles: Vec<_> = heads
         .iter()
         .rev()
@@ -187,7 +192,7 @@ fn compute(ctx: &mut OldenCtx, heads: &[GPtr]) {
 }
 
 /// Checksum: bitwise mix of every node value after the simulation.
-fn checksum(ctx: &mut OldenCtx, g: &Graph) -> u64 {
+fn checksum<B: Backend>(ctx: &mut B, g: &Graph) -> u64 {
     let mut acc = 0u64;
     for &head in g.e_heads.iter().chain(&g.h_heads) {
         let mut node = head;
@@ -199,7 +204,7 @@ fn checksum(ctx: &mut OldenCtx, g: &Graph) -> u64 {
     acc
 }
 
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     let n = nodes(size);
     let g = build(ctx, n);
     for _ in 0..STEPS {
@@ -306,10 +311,9 @@ mod tests {
     fn migrate_only_collapses() {
         let (_, seq) = run_sim(Config::sequential(), |ctx| run(ctx, SizeClass::Default));
         let heuristic = run_sim(Config::olden(16), |ctx| run(ctx, SizeClass::Default)).1;
-        let forced = run_sim(
-            Config::olden(16).forced(Mechanism::Migrate),
-            |ctx| run(ctx, SizeClass::Default),
-        )
+        let forced = run_sim(Config::olden(16).forced(Mechanism::Migrate), |ctx| {
+            run(ctx, SizeClass::Default)
+        })
         .1;
         let s_h = heuristic.speedup_vs(seq.makespan);
         let s_m = forced.speedup_vs(seq.makespan);

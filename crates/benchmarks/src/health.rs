@@ -17,7 +17,7 @@
 use crate::rng::mix2;
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 const MI: Mechanism = Mechanism::Migrate;
 const CA: Mechanism = Mechanism::Cache;
@@ -82,7 +82,7 @@ fn village_seed(path_id: u64) -> u64 {
 /// Build the village tree: child `k` of a node with processor range
 /// `[lo, hi)` takes the `k`-th quarter; the node itself sits with child
 /// 0's quarter, so children 1–3 are remote and their futures fork.
-fn build(ctx: &mut OldenCtx, level: u32, path_id: u64, lo: usize, hi: usize) -> GPtr {
+fn build<B: Backend>(ctx: &mut B, level: u32, path_id: u64, lo: usize, hi: usize) -> GPtr {
     let v = ctx.alloc(lo as ProcId, VILLAGE_WORDS);
     ctx.write(v, V_SEED, village_seed(path_id), MI);
     ctx.write(v, V_LEVEL, level as i64, MI);
@@ -100,7 +100,7 @@ fn build(ctx: &mut OldenCtx, level: u32, path_id: u64, lo: usize, hi: usize) -> 
 /// One simulated step at a village subtree. Returns `(treated,
 /// generated, referred_chain)` where the chain holds patients moving up
 /// to the caller.
-fn step_village(ctx: &mut OldenCtx, v: GPtr) -> (u64, u64, GPtr) {
+fn step_village<B: Backend>(ctx: &mut B, v: GPtr) -> (u64, u64, GPtr) {
     ctx.work(W_VILLAGE);
     let level = ctx.read_i64(v, V_LEVEL, MI);
 
@@ -114,8 +114,9 @@ fn step_village(ctx: &mut OldenCtx, v: GPtr) -> (u64, u64, GPtr) {
         for k in (0..4usize).rev() {
             let child = ctx.read_ptr(v, V_CHILD0 + k, MI);
             if !child.is_null() {
-                child_handles
-                    .push(ctx.future_call(move |ctx| ctx.call(move |ctx| step_village(ctx, child))));
+                child_handles.push(
+                    ctx.future_call(move |ctx| ctx.call(move |ctx| step_village(ctx, child))),
+                );
             }
         }
     }
@@ -201,7 +202,7 @@ fn step_village(ctx: &mut OldenCtx, v: GPtr) -> (u64, u64, GPtr) {
     (treated, generated, referred_head)
 }
 
-fn is_root_level(ctx: &mut OldenCtx, _v: GPtr, level: i64) -> bool {
+fn is_root_level<B: Backend>(ctx: &mut B, _v: GPtr, level: i64) -> bool {
     // The root is the only village whose level equals the configured top;
     // referral from the root is impossible. We pass the top level through
     // the context-free check below (levels() is known per size class at
@@ -213,7 +214,7 @@ fn is_root_level(ctx: &mut OldenCtx, _v: GPtr, level: i64) -> bool {
 
 /// Simulate the full system; checksum mixes treated, generated, and the
 /// remaining backlog.
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     let l = levels(size);
     let n = ctx.nprocs();
     let root = ctx.uncharged(|ctx| build(ctx, l - 1, 1, 0, n));
@@ -237,7 +238,7 @@ pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
     mix2(mix2(treated, generated), backlog)
 }
 
-fn backlog_of(ctx: &mut OldenCtx, v: GPtr) -> u64 {
+fn backlog_of<B: Backend>(ctx: &mut B, v: GPtr) -> u64 {
     if v.is_null() {
         return 0;
     }
@@ -324,10 +325,7 @@ pub fn reference(size: SizeClass) -> u64 {
                 vs[v].seed = next_seed;
                 if next_seed % 100 < GEN_PCT {
                     *generated += 1;
-                    kept.push((
-                        1 + (next_seed >> 8) as i64 % 3,
-                        mix2(next_seed, 0xDEC1DE),
-                    ));
+                    kept.push((1 + (next_seed >> 8) as i64 % 3, mix2(next_seed, 0xDEC1DE)));
                 }
             }
             for c in children {

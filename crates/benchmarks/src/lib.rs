@@ -27,12 +27,15 @@ pub mod listdist;
 pub mod mst;
 pub mod perimeter;
 pub mod power;
-pub mod rng;
 pub mod treeadd;
 pub mod tsp;
 pub mod voronoi;
 
-use olden_runtime::OldenCtx;
+/// The shared deterministic RNG (re-exported so benchmark modules and
+/// downstream crates keep addressing it as `olden_benchmarks::rng`).
+pub use olden_rng as rng;
+
+use olden_runtime::{Backend, OldenCtx};
 
 /// Split a processor range `[lo, hi)` into its `k`-th quarter (k in
 /// 0..4), degrading gracefully when the range is smaller than four: every
@@ -81,8 +84,10 @@ pub struct Descriptor {
     /// times (Power, Barnes-Hut, Health); the rest report kernel times
     /// with the build phase uncharged.
     pub whole_program: bool,
-    /// Run the benchmark under the given context; returns a checksum that
-    /// must equal `reference` for the same size.
+    /// Run the benchmark under the simulator context; returns a checksum
+    /// that must equal `reference` for the same size. (The kernels are
+    /// generic over [`Backend`]; this field is their `OldenCtx`
+    /// instantiation. Other backends dispatch through [`generic_run`].)
     pub run: fn(&mut OldenCtx, SizeClass) -> u64,
     /// Plain serial Rust implementation of the same computation.
     pub reference: fn(SizeClass) -> u64,
@@ -109,6 +114,29 @@ pub fn by_name(name: &str) -> Option<Descriptor> {
     all()
         .into_iter()
         .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+/// Run a benchmark by (case-insensitive) name on *any* backend.
+///
+/// [`Descriptor::run`] is a plain fn pointer and therefore pinned to the
+/// simulator context; this is the generic counterpart used by the thread
+/// backend (and any future backend) to reach the same kernels. Returns
+/// `None` for an unknown name.
+pub fn generic_run<B: Backend>(name: &str, ctx: &mut B, size: SizeClass) -> Option<u64> {
+    let run: fn(&mut B, SizeClass) -> u64 = match name.to_ascii_lowercase().as_str() {
+        "treeadd" => treeadd::run,
+        "power" => power::run,
+        "tsp" => tsp::run,
+        "mst" => mst::run,
+        "bisort" => bisort::run,
+        "voronoi" => voronoi::run,
+        "em3d" => em3d::run,
+        "barnes-hut" | "barneshut" => barneshut::run,
+        "perimeter" => perimeter::run,
+        "health" => health::run,
+        _ => return None,
+    };
+    Some(run(ctx, size))
 }
 
 #[cfg(test)]

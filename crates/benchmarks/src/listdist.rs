@@ -11,7 +11,7 @@
 
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 /// Field offsets of a list node (2 words).
 pub const F_NEXT: usize = 0;
@@ -69,7 +69,7 @@ pub fn elements(size: SizeClass) -> usize {
 }
 
 /// Build the list (uncharged), returning its head.
-pub fn build(ctx: &mut OldenCtx, n: usize, dist: Distribution) -> GPtr {
+pub fn build<B: Backend>(ctx: &mut B, n: usize, dist: Distribution) -> GPtr {
     let p = ctx.nprocs();
     ctx.uncharged(|ctx| {
         let mut head = GPtr::NULL;
@@ -89,7 +89,7 @@ pub fn build(ctx: &mut OldenCtx, n: usize, dist: Distribution) -> GPtr {
 }
 
 /// Traverse the list with the given mechanism, summing values.
-pub fn walk(ctx: &mut OldenCtx, head: GPtr, mech: Mechanism) -> i64 {
+pub fn walk<B: Backend>(ctx: &mut B, head: GPtr, mech: Mechanism) -> i64 {
     ctx.call(|ctx| {
         let mut sum = 0i64;
         let mut l = head;
@@ -104,7 +104,7 @@ pub fn walk(ctx: &mut OldenCtx, head: GPtr, mech: Mechanism) -> i64 {
 
 /// Registry entry: the default run uses the paper's default choice for a
 /// list traversal (caching) on a blocked layout.
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     let n = elements(size);
     let head = build(ctx, n, Distribution::Blocked);
     walk(ctx, head, Mechanism::Cache) as u64

@@ -18,7 +18,7 @@
 use crate::rng::mix2;
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 const M: Mechanism = Mechanism::Migrate;
 
@@ -78,7 +78,7 @@ pub fn weight(i: u64, j: u64) -> u64 {
 const INF: i64 = i64::MAX / 2;
 
 /// Per-processor block anchors: anchor word 0 holds the block's list head.
-fn build(ctx: &mut OldenCtx, n: usize) -> Vec<GPtr> {
+fn build<B: Backend>(ctx: &mut B, n: usize) -> Vec<GPtr> {
     let procs = ctx.nprocs();
     ctx.uncharged(|ctx| {
         let mut anchors = Vec::with_capacity(procs);
@@ -105,12 +105,7 @@ fn build(ctx: &mut OldenCtx, n: usize) -> Vec<GPtr> {
 /// One block sweep: unlink `remove_id` if present, fold the new tree
 /// vertex `last_id` into every remaining `mindist`, and report the block
 /// minimum.
-fn scan_block(
-    ctx: &mut OldenCtx,
-    anchor: GPtr,
-    last_id: i64,
-    remove_id: i64,
-) -> (i64, i64) {
+fn scan_block<B: Backend>(ctx: &mut B, anchor: GPtr, last_id: i64, remove_id: i64) -> (i64, i64) {
     let mut best = INF;
     let mut best_id = -1i64;
     let mut prev = anchor; // anchor's slot 0 is the head pointer
@@ -145,7 +140,7 @@ fn scan_block(
 
 /// Compute the MST weight: N−1 rounds, each a parallel sweep over the
 /// blocks followed by a serial reduction at the root.
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     let n = vertices(size);
     let anchors = build(ctx, n);
     let mut total = 0u64;

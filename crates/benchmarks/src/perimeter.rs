@@ -18,7 +18,7 @@
 use crate::rng::mix2;
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 const MI: Mechanism = Mechanism::Migrate;
 const CA: Mechanism = Mechanism::Cache;
@@ -109,8 +109,8 @@ fn uniform(n: usize, x: usize, y: usize, s: usize) -> Option<bool> {
 /// Build the quadtree over `[x, x+s)²`, distributing quadrant subtrees
 /// over the processor range.
 #[allow(clippy::too_many_arguments)]
-fn build(
-    ctx: &mut OldenCtx,
+fn build<B: Backend>(
+    ctx: &mut B,
     n: usize,
     x: usize,
     y: usize,
@@ -184,7 +184,7 @@ fn mirror(quad: usize, dir: Dir) -> usize {
 /// (Samet's `gtequal_adj_neighbor`): climb while on the `dir` edge of the
 /// parent, step across, then descend the mirrored path. All dereferences
 /// cache — "they may be far away in the tree".
-fn gtequal_adj_neighbor(ctx: &mut OldenCtx, node: GPtr, dir: Dir) -> GPtr {
+fn gtequal_adj_neighbor<B: Backend>(ctx: &mut B, node: GPtr, dir: Dir) -> GPtr {
     let parent = ctx.read_ptr(node, F_PARENT, CA);
     if parent.is_null() {
         return GPtr::NULL; // off the image
@@ -204,13 +204,12 @@ fn gtequal_adj_neighbor(ctx: &mut OldenCtx, node: GPtr, dir: Dir) -> GPtr {
     } else {
         parent
     };
-    let child = ctx.read_ptr(q, F_CHILD0 + mirror(quad, dir), CA);
-    child
+    ctx.read_ptr(q, F_CHILD0 + mirror(quad, dir), CA)
 }
 
 /// Sum of the side lengths of white leaves along the `dir`-facing border
 /// of `t` (the contribution when a black leaf's neighbour is grey).
-fn sum_adjacent(ctx: &mut OldenCtx, t: GPtr, dir: Dir, size: i64) -> i64 {
+fn sum_adjacent<B: Backend>(ctx: &mut B, t: GPtr, dir: Dir, size: i64) -> i64 {
     ctx.work(W_VISIT);
     let color = ctx.read_i64(t, F_COLOR, CA);
     if color == GREY {
@@ -233,16 +232,15 @@ fn sum_adjacent(ctx: &mut OldenCtx, t: GPtr, dir: Dir, size: i64) -> i64 {
 
 /// Perimeter contribution of the subtree at `t` whose square side is
 /// `size`. The recursion migrates (and forks); neighbour probes cache.
-fn perimeter(ctx: &mut OldenCtx, t: GPtr, size: i64) -> i64 {
+fn perimeter<B: Backend>(ctx: &mut B, t: GPtr, size: i64) -> i64 {
     ctx.work(W_VISIT);
     let color = ctx.read_i64(t, F_COLOR, MI);
     if color == GREY {
         let mut handles = Vec::new();
         for q in 0..3 {
             let c = ctx.read_ptr(t, F_CHILD0 + q, MI);
-            handles.push(ctx.future_call(move |ctx| {
-                ctx.call(move |ctx| perimeter(ctx, c, size / 2))
-            }));
+            handles
+                .push(ctx.future_call(move |ctx| ctx.call(move |ctx| perimeter(ctx, c, size / 2))));
         }
         let c3 = ctx.read_ptr(t, F_CHILD0 + SE, MI);
         let mut total = ctx.call(|ctx| perimeter(ctx, c3, size / 2));
@@ -272,7 +270,7 @@ fn perimeter(ctx: &mut OldenCtx, t: GPtr, size: i64) -> i64 {
 }
 
 /// Kernel run (build uncharged).
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     let n = image_size(size);
     let procs = ctx.nprocs();
     let root = ctx.uncharged(|ctx| build(ctx, n, 0, 0, n, GPtr::NULL, 0, 0, procs));

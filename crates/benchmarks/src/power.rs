@@ -19,7 +19,7 @@
 use crate::rng::mix2;
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 const M: Mechanism = Mechanism::Migrate;
 
@@ -83,8 +83,8 @@ fn alpha(feeder: usize, lateral: usize, branch: usize, cust: usize) -> f64 {
 /// while spawning; the branch/customer subtree lives on the lateral's
 /// own processor (`proc`) so the lateral future's first dereference
 /// migrates there and forks.
-fn build_lateral(
-    ctx: &mut OldenCtx,
+fn build_lateral<B: Backend>(
+    ctx: &mut B,
     fproc: ProcId,
     proc: ProcId,
     fi: usize,
@@ -122,7 +122,7 @@ fn build_lateral(
 ///   there (forking the feeder future) and then walks locally;
 /// * each lateral's branch/customer subtree is spread across all
 ///   processors, so lateral futures fork to wherever their subtree is.
-fn build(ctx: &mut OldenCtx, size: SizeClass) -> GPtr {
+fn build<B: Backend>(ctx: &mut B, size: SizeClass) -> GPtr {
     let (nf, nl, nb, nc) = shape(size);
     let p = ctx.nprocs();
     // Feeders are built in parallel: each future migrates to the feeder's
@@ -159,7 +159,7 @@ fn build(ctx: &mut OldenCtx, size: SizeClass) -> GPtr {
 }
 
 /// Demand of one lateral at the given price (walks branches, customers).
-fn lateral_demand(ctx: &mut OldenCtx, lat: GPtr, price: f64) -> f64 {
+fn lateral_demand<B: Backend>(ctx: &mut B, lat: GPtr, price: f64) -> f64 {
     let mut total = 0.0;
     let mut b = ctx.read_ptr(lat, F_CHILD, M);
     while !b.is_null() {
@@ -179,13 +179,12 @@ fn lateral_demand(ctx: &mut OldenCtx, lat: GPtr, price: f64) -> f64 {
 }
 
 /// Demand of one feeder: a future per lateral.
-fn feeder_demand(ctx: &mut OldenCtx, feeder: GPtr, price: f64) -> f64 {
+fn feeder_demand<B: Backend>(ctx: &mut B, feeder: GPtr, price: f64) -> f64 {
     let mut handles = Vec::new();
     let mut l = ctx.read_ptr(feeder, F_CHILD, M);
     while !l.is_null() {
-        handles.push(ctx.future_call(move |ctx| {
-            ctx.call(move |ctx| lateral_demand(ctx, l, price))
-        }));
+        handles
+            .push(ctx.future_call(move |ctx| ctx.call(move |ctx| lateral_demand(ctx, l, price))));
         l = ctx.read_ptr(l, F_NEXT, M);
     }
     let mut total = 0.0;
@@ -197,13 +196,11 @@ fn feeder_demand(ctx: &mut OldenCtx, feeder: GPtr, price: f64) -> f64 {
 }
 
 /// One root pricing sweep: futures over feeders.
-fn total_demand(ctx: &mut OldenCtx, fhead: GPtr, price: f64) -> f64 {
+fn total_demand<B: Backend>(ctx: &mut B, fhead: GPtr, price: f64) -> f64 {
     let mut handles = Vec::new();
     let mut f = fhead;
     while !f.is_null() {
-        handles.push(
-            ctx.future_call(move |ctx| ctx.call(move |ctx| feeder_demand(ctx, f, price))),
-        );
+        handles.push(ctx.future_call(move |ctx| ctx.call(move |ctx| feeder_demand(ctx, f, price))));
         f = ctx.read_ptr(f, F_NEXT, M);
     }
     let mut total = 0.0;
@@ -216,7 +213,7 @@ fn total_demand(ctx: &mut OldenCtx, fhead: GPtr, price: f64) -> f64 {
 /// Whole-program run (build charged): iterate the price to convergence;
 /// the checksum mixes the converged price's bit pattern with the
 /// iteration count.
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     let (nf, nl, nb, nc) = shape(size);
     let capacity = CAP_PER_CUSTOMER * (nf * nl * nb * nc) as f64;
     let fhead = build(ctx, size);

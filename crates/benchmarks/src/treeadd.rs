@@ -11,7 +11,7 @@
 use crate::rng::mix2;
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 /// Field offsets of a tree node (3 words).
 pub const F_LEFT: usize = 0;
@@ -58,7 +58,7 @@ fn node_val(index: u64) -> i64 {
 /// processor range `[lo, hi)`: the range splits between the children
 /// until it is a single processor, which then owns the whole subtree —
 /// the §2 layout that yields one large-granularity task per subtree.
-fn build(ctx: &mut OldenCtx, level: u32, index: u64, lo: usize, hi: usize) -> GPtr {
+fn build<B: Backend>(ctx: &mut B, level: u32, index: u64, lo: usize, hi: usize) -> GPtr {
     if level == 0 {
         return GPtr::NULL;
     }
@@ -84,13 +84,13 @@ fn build(ctx: &mut OldenCtx, level: u32, index: u64, lo: usize, hi: usize) -> GP
 
 /// The recursive kernel. Every dereference of `t` migrates, per the
 /// heuristic.
-fn tree_add(ctx: &mut OldenCtx, t: GPtr) -> i64 {
+fn tree_add<B: Backend>(ctx: &mut B, t: GPtr) -> i64 {
     if t.is_null() {
         return 0;
     }
     ctx.work(W_NODE);
     let left = ctx.read_ptr(t, F_LEFT, Mechanism::Migrate);
-    let h = ctx.future_call(|ctx| ctx.call(|ctx| tree_add(ctx, left)));
+    let h = ctx.future_call(move |ctx| ctx.call(move |ctx| tree_add(ctx, left)));
     let right = ctx.read_ptr(t, F_RIGHT, Mechanism::Migrate);
     let rv = ctx.call(|ctx| tree_add(ctx, right));
     let v = ctx.read_i64(t, F_VAL, Mechanism::Migrate);
@@ -99,7 +99,7 @@ fn tree_add(ctx: &mut OldenCtx, t: GPtr) -> i64 {
 }
 
 /// Build (uncharged — Table 2 reports TreeAdd as a kernel time) and sum.
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     let n = ctx.nprocs();
     let root = ctx.uncharged(|ctx| build(ctx, levels(size), 1, 0, n));
     ctx.call(|ctx| tree_add(ctx, root)) as u64

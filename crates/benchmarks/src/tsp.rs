@@ -21,7 +21,7 @@
 use crate::rng::SplitMix64;
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
 
 const M: Mechanism = Mechanism::Migrate;
 
@@ -80,6 +80,7 @@ fn dist(a: Pt, b: Pt) -> f64 {
 /// Deterministic city coordinates: hierarchical bisection (cell
 /// `[x0,x1)×[y0,y1)` splits along `axis`) so the partition tree's spatial
 /// structure is identical at every processor count.
+#[allow(clippy::too_many_arguments)]
 fn gen_cell(
     out: &mut Vec<Pt>,
     n: usize,
@@ -160,9 +161,9 @@ fn splice_choice(t1: &[(usize, Pt)], t2: &[(usize, Pt)]) -> (usize, usize) {
 /// processor; the recursion splits the processor range (far half first so
 /// the left future forks).
 #[allow(clippy::too_many_arguments)]
-fn solve(
-    ctx: &mut OldenCtx,
-    pts: &[Pt],
+fn solve<B: Backend>(
+    ctx: &mut B,
+    pts: &std::sync::Arc<Vec<Pt>>,
     offset: usize,
     n: usize,
     lo: usize,
@@ -195,7 +196,8 @@ fn solve(
         (mid, hi, lo, mid)
     };
     let h = {
-        ctx.future_call(|ctx| ctx.call(|ctx| solve(ctx, pts, offset, half, l_lo, l_hi)))
+        let pts = std::sync::Arc::clone(pts);
+        ctx.future_call(move |ctx| ctx.call(move |ctx| solve(ctx, &pts, offset, half, l_lo, l_hi)))
     };
     let t2 = ctx.call(|ctx| solve(ctx, pts, offset + half, n - half, r_lo, r_hi));
     let t1 = ctx.touch(h);
@@ -204,7 +206,7 @@ fn solve(
 
 /// Collect a tour into `(ptr, point)` pairs by walking the cycle — the
 /// §5 "subtree walk" that migrates across each participating processor.
-fn collect_tour(ctx: &mut OldenCtx, head: GPtr) -> Vec<(GPtr, Pt)> {
+fn collect_tour<B: Backend>(ctx: &mut B, head: GPtr) -> Vec<(GPtr, Pt)> {
     let mut out = Vec::new();
     let mut c = head;
     loop {
@@ -221,7 +223,7 @@ fn collect_tour(ctx: &mut OldenCtx, head: GPtr) -> Vec<(GPtr, Pt)> {
 }
 
 /// Merge two distributed tours.
-fn merge(ctx: &mut OldenCtx, t1: GPtr, t2: GPtr) -> GPtr {
+fn merge<B: Backend>(ctx: &mut B, t1: GPtr, t2: GPtr) -> GPtr {
     let c1 = ctx.call(|ctx| collect_tour(ctx, t1));
     let c2 = ctx.call(|ctx| collect_tour(ctx, t2));
     let k1: Vec<(usize, Pt)> = c1.iter().enumerate().map(|(i, &(_, p))| (i, p)).collect();
@@ -238,7 +240,7 @@ fn merge(ctx: &mut OldenCtx, t1: GPtr, t2: GPtr) -> GPtr {
 }
 
 /// Total tour length (bit-exact accumulation order: from the head).
-fn tour_length(ctx: &mut OldenCtx, head: GPtr) -> f64 {
+fn tour_length<B: Backend>(ctx: &mut B, head: GPtr) -> f64 {
     let pts = collect_tour(ctx, head);
     let mut total = 0.0;
     for i in 0..pts.len() {
@@ -250,8 +252,8 @@ fn tour_length(ctx: &mut OldenCtx, head: GPtr) -> f64 {
 /// Kernel run: the partition tours are built as part of the kernel (the
 /// paper's TSP is a kernel benchmark over a pre-generated city set; the
 /// coordinates here are inputs, the heap structures are the kernel's).
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
-    let pts = points(size);
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
+    let pts = std::sync::Arc::new(points(size));
     let n = ctx.nprocs();
     let head = ctx.call(|ctx| solve(ctx, &pts, 0, pts.len(), 0, n));
     let mut len = 0.0;
@@ -324,7 +326,7 @@ mod tests {
     fn tour_is_a_single_cycle_visiting_every_city() {
         let n = cities(SizeClass::Tiny);
         let ((), _) = run_sim(Config::olden(4), |ctx| {
-            let pts = points(SizeClass::Tiny);
+            let pts = std::sync::Arc::new(points(SizeClass::Tiny));
             let p = ctx.nprocs();
             let head = ctx.call(|ctx| solve(ctx, &pts, 0, pts.len(), 0, p));
             ctx.uncharged(|ctx| {

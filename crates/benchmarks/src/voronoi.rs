@@ -27,7 +27,8 @@
 use crate::rng::{mix2, SplitMix64};
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Mechanism, OldenCtx};
+use olden_runtime::{Backend, Mechanism};
+use std::sync::{Arc, Mutex};
 
 const MI: Mechanism = Mechanism::Migrate;
 const CA: Mechanism = Mechanism::Cache;
@@ -91,8 +92,7 @@ pub fn points(size: SizeClass) -> Vec<(i64, i64)> {
 
 /// Twice the signed area of triangle (a, b, c): > 0 iff counterclockwise.
 fn ccw(a: (i64, i64), b: (i64, i64), c: (i64, i64)) -> bool {
-    let v = (b.0 - a.0) as i128 * (c.1 - a.1) as i128
-        - (b.1 - a.1) as i128 * (c.0 - a.0) as i128;
+    let v = (b.0 - a.0) as i128 * (c.1 - a.1) as i128 - (b.1 - a.1) as i128 * (c.0 - a.0) as i128;
     v > 0
 }
 
@@ -130,7 +130,7 @@ fn in_circle(a: (i64, i64), b: (i64, i64), c: (i64, i64), d: (i64, i64)) -> bool
 /// operation — instead of storing it in the store — is what lets the
 /// heap implementation spawn futures in [`QeStore::par2`].
 trait QeStore<C> {
-    type Edge: Copy + PartialEq;
+    type Edge: Copy + PartialEq + Send + 'static;
     /// Allocate an edge group near `region` (leaf-cell placement).
     fn make_edge(&mut self, c: &mut C, region: usize) -> Self::Edge;
     fn rot(&self, e: Self::Edge) -> Self::Edge;
@@ -148,12 +148,14 @@ trait QeStore<C> {
     /// subresults"); no-op for the arena.
     fn enter_region(&mut self, _c: &mut C, _point_id: usize) {}
     /// Run the two half-problems, possibly in parallel (the heap version
-    /// wraps the left one in a `futurecall`).
-    fn par2<T>(
+    /// wraps the right one in a `futurecall`). The right closure carries
+    /// `Send + 'static` because a real thread backend may run the forked
+    /// body on another OS thread.
+    fn par2<T: Send + 'static>(
         &mut self,
         c: &mut C,
         l: impl FnOnce(&mut Self, &mut C) -> T,
-        r: impl FnOnce(&mut Self, &mut C) -> T,
+        r: impl FnOnce(&mut Self, &mut C) -> T + Send + 'static,
     ) -> (T, T)
     where
         Self: Sized,
@@ -249,10 +251,10 @@ impl Ids {
 fn delaunay<C, S: QeStore<C>>(
     s: &mut S,
     c: &mut C,
-    pts: &[(i64, i64)],
+    pts: &Arc<Vec<(i64, i64)>>,
     lo: usize,
     hi: usize,
-    ids: &Ids,
+    ids: &Arc<Ids>,
 ) -> (S::Edge, S::Edge) {
     let n = hi - lo;
     debug_assert!(n >= 2);
@@ -287,10 +289,12 @@ fn delaunay<C, S: QeStore<C>>(
         }
     }
     let mid = lo + n / 2;
+    let (lp, li) = (Arc::clone(pts), Arc::clone(ids));
+    let (rp, ri) = (Arc::clone(pts), Arc::clone(ids));
     let ((mut ldo, ldi), (rdi, mut rdo)) = s.par2(
         c,
-        |s, c| delaunay(s, c, pts, lo, mid, ids),
-        |s, c| delaunay(s, c, pts, mid, hi, ids),
+        move |s, c| delaunay(s, c, &lp, lo, mid, &li),
+        move |s, c| delaunay(s, c, &rp, mid, hi, &ri),
     );
     s.enter_region(c, lo);
     let mut ldi = ldi;
@@ -511,10 +515,11 @@ fn checksum_edges(edges: &[(usize, usize)]) -> u64 {
 
 /// Serial reference: the same algorithm over the arena.
 pub fn reference(size: SizeClass) -> u64 {
-    let pts = points(size);
-    let ids = Ids::new(&pts);
+    let pts = Arc::new(points(size));
+    let ids = Arc::new(Ids::new(&pts));
+    let n = pts.len();
     let mut s = ArenaStore::new(&pts);
-    delaunay(&mut s, &mut (), &pts, 0, pts.len(), &ids);
+    delaunay(&mut s, &mut (), &pts, 0, n, &ids);
     checksum_edges(&arena_edges(&s))
 }
 
@@ -526,18 +531,37 @@ pub fn reference(size: SizeClass) -> u64 {
 /// `GPtr` to word `base + 2r` of its 8-word group; `rot`/`sym` are pure
 /// address arithmetic (the groups are 8-word aligned because every
 /// allocation in this module is 8 words).
-struct HeapStore {
+/// Host-side bookkeeping tables, behind a mutex so a forked right
+/// half-problem (running on another OS thread under the thread backend)
+/// can record groups concurrently with the left. The final edge set is
+/// sorted before checksumming, so insertion order never reaches the
+/// result. Under the simulator the fork runs inline and the lock is
+/// uncontended.
+#[derive(Default)]
+struct StoreTables {
     /// Every group allocated (for the final edge-set extraction).
     groups: Vec<GPtr>,
-    /// Group base pointer → index in `groups` (host-side bookkeeping).
+    /// Group base pointer → index in `groups`.
     group_idx: std::collections::HashMap<GPtr, usize>,
     /// org/dest ids per group (kept host-side for checksumming; the heap
     /// holds the point records themselves).
     org: Vec<usize>,
     dest: Vec<usize>,
     alive: Vec<bool>,
-    /// Heap point records, indexed by point id.
-    point_recs: Vec<GPtr>,
+}
+
+impl StoreTables {
+    fn group_index(&self, e: GPtr) -> usize {
+        let base = GPtr::new(e.proc(), e.local() & !7);
+        self.group_idx[&base]
+    }
+}
+
+#[derive(Clone)]
+struct HeapStore {
+    tables: Arc<Mutex<StoreTables>>,
+    /// Heap point records, indexed by point id (read-only after setup).
+    point_recs: Arc<Vec<GPtr>>,
     /// Processor range for leaf-cell placement.
     procs: usize,
     npoints: usize,
@@ -545,17 +569,10 @@ struct HeapStore {
     mech: Mechanism,
 }
 
-impl HeapStore {
-    fn group_index(&self, e: GPtr) -> usize {
-        let base = GPtr::new(e.proc(), e.local() & !7);
-        self.group_idx[&base]
-    }
-}
-
-impl QeStore<OldenCtx> for HeapStore {
+impl<B: Backend> QeStore<B> for HeapStore {
     type Edge = GPtr;
 
-    fn make_edge(&mut self, ctx: &mut OldenCtx, region: usize) -> GPtr {
+    fn make_edge(&mut self, ctx: &mut B, region: usize) -> GPtr {
         let proc = (region * self.procs / self.npoints.max(1)).min(self.procs - 1) as ProcId;
         let g = ctx.alloc(proc, GROUP_WORDS);
         debug_assert_eq!(g.local() % 8, 0, "groups stay 8-word aligned");
@@ -564,11 +581,13 @@ impl QeStore<OldenCtx> for HeapStore {
         ctx.write(g, 2, g.offset(6), self.mech);
         ctx.write(g, 4, g.offset(4), self.mech);
         ctx.write(g, 6, g.offset(2), self.mech);
-        self.group_idx.insert(g, self.groups.len());
-        self.groups.push(g);
-        self.org.push(usize::MAX);
-        self.dest.push(usize::MAX);
-        self.alive.push(true);
+        let mut t = self.tables.lock().unwrap();
+        let idx = t.groups.len();
+        t.group_idx.insert(g, idx);
+        t.groups.push(g);
+        t.org.push(usize::MAX);
+        t.dest.push(usize::MAX);
+        t.alive.push(true);
         g
     }
     fn rot(&self, e: GPtr) -> GPtr {
@@ -586,38 +605,40 @@ impl QeStore<OldenCtx> for HeapStore {
         let r = (e.local() & 7) / 2;
         GPtr::new(e.proc(), base + ((r + 3) % 4) * 2)
     }
-    fn onext(&mut self, ctx: &mut OldenCtx, e: GPtr) -> GPtr {
+    fn onext(&mut self, ctx: &mut B, e: GPtr) -> GPtr {
         ctx.read_ptr(e, 0, self.mech)
     }
-    fn set_onext(&mut self, ctx: &mut OldenCtx, e: GPtr, v: GPtr) {
+    fn set_onext(&mut self, ctx: &mut B, e: GPtr, v: GPtr) {
         ctx.write(e, 0, v, self.mech);
     }
-    fn org(&mut self, ctx: &mut OldenCtx, e: GPtr) -> (i64, i64) {
+    fn org(&mut self, ctx: &mut B, e: GPtr) -> (i64, i64) {
         let p = ctx.read_ptr(e, 1, self.mech);
         let x = ctx.read_i64(p, P_X, self.mech);
         let y = ctx.read_i64(p, P_Y, self.mech);
         (x, y)
     }
-    fn set_org_dest(&mut self, ctx: &mut OldenCtx, e: GPtr, org_id: usize, dest_id: usize) {
+    fn set_org_dest(&mut self, ctx: &mut B, e: GPtr, org_id: usize, dest_id: usize) {
         let rec_o = self.point_recs[org_id];
         let rec_d = self.point_recs[dest_id];
         ctx.write(e, 1, rec_o, self.mech);
-        let s = self.sym(e);
+        let s = QeStore::<B>::sym(self, e);
         ctx.write(s, 1, rec_d, self.mech);
-        let g = self.group_index(e);
+        let mut t = self.tables.lock().unwrap();
+        let g = t.group_index(e);
         if e.local() & 7 == 0 {
-            self.org[g] = org_id;
-            self.dest[g] = dest_id;
+            t.org[g] = org_id;
+            t.dest[g] = dest_id;
         } else {
-            self.org[g] = dest_id;
-            self.dest[g] = org_id;
+            t.org[g] = dest_id;
+            t.dest[g] = org_id;
         }
     }
     fn mark_deleted(&mut self, e: GPtr) {
-        let g = self.group_index(e);
-        self.alive[g] = false;
+        let mut t = self.tables.lock().unwrap();
+        let g = t.group_index(e);
+        t.alive[g] = false;
     }
-    fn charge(&mut self, ctx: &mut OldenCtx, cycles: u64) {
+    fn charge(&mut self, ctx: &mut B, cycles: u64) {
         ctx.work(cycles);
     }
 
@@ -625,7 +646,7 @@ impl QeStore<OldenCtx> for HeapStore {
     /// "pin the computation on the processor that owns the root of one
     /// of the subresults" (§5). Everything else the merge touches is
     /// brought in through the software cache.
-    fn enter_region(&mut self, ctx: &mut OldenCtx, point_id: usize) {
+    fn enter_region(&mut self, ctx: &mut B, point_id: usize) {
         let rec = self.point_recs[point_id];
         ctx.read_i64(rec, P_ID, MI);
     }
@@ -635,15 +656,17 @@ impl QeStore<OldenCtx> for HeapStore {
     /// processor, so a left future would run inline and serialize), the
     /// vacated processor steals the spawner, and the left half proceeds
     /// locally in parallel.
-    fn par2<T>(
+    fn par2<T: Send + 'static>(
         &mut self,
-        ctx: &mut OldenCtx,
-        l: impl FnOnce(&mut Self, &mut OldenCtx) -> T,
-        r: impl FnOnce(&mut Self, &mut OldenCtx) -> T,
+        ctx: &mut B,
+        l: impl FnOnce(&mut Self, &mut B) -> T,
+        r: impl FnOnce(&mut Self, &mut B) -> T + Send + 'static,
     ) -> (T, T) {
         let h = {
-            let s1: &mut Self = &mut *self;
-            ctx.future_call(move |cc| cc.call(move |cc| r(s1, cc)))
+            // The store is a handle onto shared tables: clone it into the
+            // forked body instead of borrowing across the fork.
+            let mut s1 = self.clone();
+            ctx.future_call(move |cc| cc.call(move |cc| r(&mut s1, cc)))
         };
         let lv = {
             let s2: &mut Self = &mut *self;
@@ -656,11 +679,11 @@ impl QeStore<OldenCtx> for HeapStore {
 
 /// Distributed run: allocate point records (leaf regions own their
 /// points), triangulate, checksum the edge set.
-pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
-    let pts = points(size);
+pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
+    let pts = Arc::new(points(size));
     let procs = ctx.nprocs();
     let n = pts.len();
-    let ids = Ids::new(&pts);
+    let ids = Arc::new(Ids::new(&pts));
     let point_recs: Vec<GPtr> = ctx.uncharged(|ctx| {
         pts.iter()
             .enumerate()
@@ -675,21 +698,18 @@ pub fn run(ctx: &mut OldenCtx, size: SizeClass) -> u64 {
             .collect()
     });
     let mut store = HeapStore {
-        groups: Vec::new(),
-        group_idx: std::collections::HashMap::new(),
-        org: Vec::new(),
-        dest: Vec::new(),
-        alive: Vec::new(),
-        point_recs,
+        tables: Arc::new(Mutex::new(StoreTables::default())),
+        point_recs: Arc::new(point_recs),
         procs,
         npoints: n,
         mech: CA,
     };
     ctx.call(|ctx| delaunay(&mut store, ctx, &pts, 0, n, &ids));
-    let mut edges: Vec<(usize, usize)> = (0..store.alive.len())
-        .filter(|&g| store.alive[g])
+    let t = store.tables.lock().unwrap();
+    let mut edges: Vec<(usize, usize)> = (0..t.alive.len())
+        .filter(|&g| t.alive[g])
         .map(|g| {
-            let (a, b) = (store.org[g], store.dest[g]);
+            let (a, b) = (t.org[g], t.dest[g]);
             (a.min(b), a.max(b))
         })
         .collect();
@@ -749,12 +769,12 @@ mod tests {
                     } else {
                         (pa, pc, pb)
                     };
-                    for d in 0..n {
+                    for (d, &pd) in pts.iter().enumerate().take(n) {
                         if d == a || d == b || d == c {
                             continue;
                         }
                         assert!(
-                            !in_circle(pa, pb, pc, pts[d]),
+                            !in_circle(pa, pb, pc, pd),
                             "point {d} inside circumcircle of ({a},{b},{c})"
                         );
                     }
@@ -772,8 +792,8 @@ mod tests {
 
     #[test]
     fn reference_produces_a_delaunay_triangulation() {
-        let pts = points(SizeClass::Tiny);
-        let ids = Ids::new(&pts);
+        let pts = Arc::new(points(SizeClass::Tiny));
+        let ids = Arc::new(Ids::new(&pts));
         let mut s = ArenaStore::new(&pts);
         delaunay(&mut s, &mut (), &pts, 0, pts.len(), &ids);
         let edges = arena_edges(&s);
@@ -805,7 +825,8 @@ mod tests {
             }
         }
         pts.sort_unstable();
-        let ids = Ids::new(&pts);
+        let pts = Arc::new(pts);
+        let ids = Arc::new(Ids::new(&pts));
         let mut s = ArenaStore::new(&pts);
         delaunay(&mut s, &mut (), &pts, 0, pts.len(), &ids);
         let edges = arena_edges(&s);

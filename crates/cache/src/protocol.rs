@@ -263,7 +263,13 @@ impl CacheSystem {
     /// compiler cannot tell which at the write site, which is exactly why
     /// the tracking overhead is pervasive. Returns the cycles the inserted
     /// tracking code costs (zero under local knowledge).
-    pub fn note_write(&mut self, _writer: ProcId, home: ProcId, page: PageNum, line: LineInPage) -> u64 {
+    pub fn note_write(
+        &mut self,
+        _writer: ProcId,
+        home: ProcId,
+        page: PageNum,
+        line: LineInPage,
+    ) -> u64 {
         if self.protocol == Protocol::LocalKnowledge {
             return 0;
         }
@@ -275,7 +281,11 @@ impl CacheSystem {
         let shared = self.homes[home as usize]
             .get(&page)
             .is_some_and(|hp| !hp.sharers.is_empty());
-        let cycles = if shared { TRACK_SHARED } else { TRACK_NONSHARED };
+        let cycles = if shared {
+            TRACK_SHARED
+        } else {
+            TRACK_NONSHARED
+        };
         self.stats.write_track_cycles += cycles;
         cycles
     }
@@ -397,8 +407,13 @@ mod tests {
         let mut s = sys(Protocol::LocalKnowledge);
         s.access(0, 1, 5, 2, false); // page homed on 1
         s.access(0, 2, 9, 0, false); // page homed on 2
-        // Thread returns having written only processor 2's memory.
-        s.arrive(0, Arrival::Return { written_homes: &[2] });
+                                     // Thread returns having written only processor 2's memory.
+        s.arrive(
+            0,
+            Arrival::Return {
+                written_homes: &[2],
+            },
+        );
         assert_eq!(s.access(0, 1, 5, 2, false), Access::Hit);
         assert_eq!(
             s.access(0, 2, 9, 0, false),
@@ -444,7 +459,7 @@ mod tests {
         let mut s = sys(Protocol::Bilateral);
         s.access(0, 1, 5, 2, false);
         s.arrive(0, Arrival::Call); // marks all pages
-        // Nothing was written: revalidation round trip, line survives.
+                                    // Nothing was written: revalidation round trip, line survives.
         assert_eq!(
             s.access(0, 1, 5, 2, false),
             Access::Miss { revalidation: true }

@@ -1,0 +1,27 @@
+//! The README's "Real execution" sample, runnable: TreeAdd on 8 real
+//! worker threads in lockstep mode, then an edge case — parallel mode
+//! on a single processor (every future body inlines; nothing can
+//! migrate away).
+
+use olden_benchmarks::{generic_run, SizeClass};
+use olden_exec::{run_exec, ExecConfig};
+
+fn main() {
+    let (value, report) = run_exec(ExecConfig::lockstep(8), |ctx| {
+        generic_run("TreeAdd", ctx, SizeClass::Default).unwrap()
+    });
+    println!("lockstep p8: TreeAdd = {value}");
+    println!(
+        "  migrations={} steals={} futures={} mailbox msgs={}",
+        report.stats.migrations, report.stats.steals, report.stats.futures, report.messages
+    );
+
+    let (value, report) = run_exec(ExecConfig::parallel(1), |ctx| {
+        generic_run("TreeAdd", ctx, SizeClass::Tiny).unwrap()
+    });
+    println!("parallel p1: TreeAdd = {value}");
+    println!(
+        "  migrations={} steals={} clients={}",
+        report.stats.migrations, report.stats.steals, report.clients
+    );
+}

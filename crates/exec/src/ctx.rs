@@ -1,0 +1,565 @@
+//! [`ExecCtx`]: the thread backend's execution context.
+//!
+//! One `ExecCtx` is the state of one *logical Olden thread* — the thread
+//! of control the paper's runtime migrates between processors. It tracks
+//! the current processor, the future-frame stack, and the write-set
+//! scopes, and turns every heap operation into messages to the worker
+//! that owns the touched processor.
+//!
+//! ### Lockstep parity
+//!
+//! In [`Mode::Lockstep`](crate::Mode) the context performs *exactly* the
+//! operation sequence of the simulator's `OldenCtx` (future bodies run
+//! inline on the one logical thread), so every event counter — migrations,
+//! steals, cache hits and misses, per-processor pages cached — must equal
+//! the simulator's for the same program. The integration tests hold the
+//! two implementations to that.
+//!
+//! ### Parallel mode
+//!
+//! In [`Mode::Parallel`](crate::Mode) a `future_call` spawns the body on
+//! its own OS thread and blocks until the body either completes or
+//! migrates off the spawning processor (lazy task creation: only a
+//! migration makes the continuation stealable). Values and the
+//! steal/migration counters stay deterministic — both depend only on the
+//! program's own data — but cache hit/miss totals become
+//! interleaving-dependent, since concurrent threads really do share the
+//! per-processor caches.
+
+use crate::frame::{CompleteOnDrop, FrameHandle};
+use crate::msg::{ArrivalKind, LookupReply, Msg};
+use crate::{ClientSlot, Mode, Shared, C_DONE, C_JOINING, C_RUNNING, C_WAITING_BODY};
+use olden_gptr::{GPtr, ProcId, Word, LINE_WORDS};
+use olden_runtime::{Backend, Mechanism, RunStats};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What a future body's thread hands back when joined.
+pub(crate) struct BodyOutcome<T> {
+    value: T,
+    written: Vec<ProcId>,
+    stats: RunStats,
+    cacheable_reads: u64,
+    cacheable_writes: u64,
+}
+
+enum HandleInner<T: Send + 'static> {
+    /// Body already completed on this logical thread (lockstep, an
+    /// uncharged region, or a parallel body that finished without
+    /// migrating). `parallel` records whether the continuation was stolen,
+    /// i.e. whether the touch is a real join needing a return-acquire.
+    Ready {
+        value: T,
+        written: Vec<ProcId>,
+        parallel: bool,
+    },
+    /// Parallel mode, continuation stolen: the body is (or was) running on
+    /// its own OS thread; the touch joins it.
+    Pending { join: JoinHandle<BodyOutcome<T>> },
+}
+
+/// The result of a `future_call` on the thread backend, claimed by
+/// `touch`.
+#[must_use = "a future must be touched before its value is used"]
+pub struct ExecHandle<T: Send + 'static>(HandleInner<T>);
+
+impl<T: Send + 'static> ExecHandle<T> {
+    /// Whether this future turned into a real parallel task.
+    pub fn is_parallel(&self) -> bool {
+        match &self.0 {
+            HandleInner::Ready { parallel, .. } => *parallel,
+            HandleInner::Pending { .. } => true,
+        }
+    }
+}
+
+fn join_body<T>(join: JoinHandle<BodyOutcome<T>>) -> BodyOutcome<T> {
+    match join.join() {
+        Ok(out) => out,
+        // The body panicked; its CompleteOnDrop guard already woke us.
+        // Re-raise on the joining thread so the failure surfaces.
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// One logical Olden thread executing against the worker fleet.
+pub struct ExecCtx {
+    shared: Arc<Shared>,
+    cur_proc: ProcId,
+    /// When > 0, execution is in an uncharged region: values are computed
+    /// (heap traffic still flows) but no events are counted and no cache
+    /// or migration machinery runs — mirroring the simulator.
+    free_depth: u32,
+    /// In-flight future frames this thread can steal from: its own plus,
+    /// for a body thread, the frames inherited from its spawner (a
+    /// migration here must be able to steal an ancestor's continuation).
+    frames: Vec<Arc<FrameHandle>>,
+    write_scopes: Vec<Vec<ProcId>>,
+    stats: RunStats,
+    /// Client-side halves of the cache counters (the remote halves live in
+    /// the workers).
+    cacheable_reads: u64,
+    cacheable_writes: u64,
+    slot: Arc<ClientSlot>,
+}
+
+impl ExecCtx {
+    pub(crate) fn root(shared: Arc<Shared>) -> ExecCtx {
+        ExecCtx::fresh(shared, 0)
+    }
+
+    fn fresh(shared: Arc<Shared>, proc: ProcId) -> ExecCtx {
+        let slot = shared.register_client(proc);
+        ExecCtx {
+            shared,
+            cur_proc: proc,
+            free_depth: 0,
+            frames: Vec::new(),
+            write_scopes: vec![Vec::new()],
+            stats: RunStats::default(),
+            cacheable_reads: 0,
+            cacheable_writes: 0,
+            slot,
+        }
+    }
+
+    pub(crate) fn finish(self) -> ClientFinal {
+        self.slot.state.store(C_DONE, Ordering::Relaxed);
+        ClientFinal {
+            stats: self.stats,
+            cacheable_reads: self.cacheable_reads,
+            cacheable_writes: self.cacheable_writes,
+        }
+    }
+
+    /// Event counters accumulated by this logical thread so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Every operation bumps the run's progress counter; the watchdog
+    /// declares a stall only when this stops moving.
+    fn bump(&self) {
+        self.shared.progress.fetch_add(1, Ordering::Relaxed);
+        self.slot.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request/reply round trip to a worker's mailbox.
+    fn req<R>(&self, proc: ProcId, build: impl FnOnce(Sender<R>) -> Msg) -> R {
+        let (tx, rx) = mpsc::channel();
+        self.shared.mailboxes[proc as usize]
+            .send(build(tx))
+            .expect("worker mailbox closed mid-run");
+        let r = rx.recv().expect("worker dropped a reply");
+        self.bump();
+        r
+    }
+
+    fn read_home(&self, p: GPtr) -> Word {
+        self.req(p.proc(), |reply| Msg::ReadHome {
+            local: p.local(),
+            reply,
+        })
+    }
+
+    fn write_home(&self, p: GPtr, value: Word) {
+        self.req(p.proc(), |reply| Msg::WriteHome {
+            local: p.local(),
+            value,
+            reply,
+        })
+    }
+
+    /// A remote access under the cache mechanism: consult the current
+    /// processor's cache; on a miss, do the fetch round trip to the home
+    /// and install the line. Returns the word seen through the cache —
+    /// which, by design, may be stale until the next acquire.
+    fn cached_access(&mut self, p: GPtr, write: bool, wval: Option<Word>) -> Word {
+        let (home, page, line) = (p.proc(), p.page(), p.line_in_page());
+        let word = p.local() as usize % LINE_WORDS;
+        let cur = self.cur_proc;
+        let reply = self.req(cur, |reply| Msg::CacheLookup {
+            home,
+            page,
+            line,
+            word,
+            write,
+            wval,
+            reply,
+        });
+        match reply {
+            LookupReply::Hit(w) => w,
+            LookupReply::Miss => {
+                let data = self.req(home, |reply| Msg::LineFetchReq { page, line, reply });
+                self.req(cur, |reply| Msg::CacheInstall {
+                    home,
+                    page,
+                    line,
+                    data,
+                    word,
+                    write,
+                    wval,
+                    reply,
+                })
+            }
+        }
+    }
+
+    fn note_written(&mut self, home: ProcId) {
+        let top = self.write_scopes.last_mut().expect("write scope stack");
+        if !top.contains(&home) {
+            top.push(home);
+        }
+    }
+
+    fn merge_written(&mut self, written: &[ProcId]) {
+        for &p in written {
+            self.note_written(p);
+        }
+    }
+
+    /// Thread migration to `target`: release at the origin (a no-op under
+    /// local knowledge), make futures spawned from the vacated processor
+    /// stealable, and acquire at the destination (whole-cache clear).
+    fn migrate_to(&mut self, target: ProcId) {
+        let from = self.cur_proc;
+        debug_assert_ne!(from, target);
+        self.stats.migrations += 1;
+        self.mark_steals(from);
+        self.cur_proc = target;
+        self.slot.proc.store(target, Ordering::Relaxed);
+        self.req(target, |reply| Msg::MigrateThread {
+            arrival: ArrivalKind::Call,
+            reply,
+        });
+    }
+
+    /// A migration just vacated `proc`: every in-flight future anchored
+    /// there becomes stolen (in parallel mode this wakes the spawner
+    /// blocked in `future_call` — the StealNotify of the protocol).
+    fn mark_steals(&mut self, proc: ProcId) {
+        for f in self.frames.iter().rev() {
+            if f.anchor == proc {
+                f.steal();
+            }
+        }
+    }
+
+    /// The return-stub / touched-value acquire at the current processor.
+    fn arrive_return(&mut self, written: Vec<ProcId>) {
+        self.req(self.cur_proc, move |reply| Msg::MigrateThread {
+            arrival: ArrivalKind::Return(written),
+            reply,
+        });
+    }
+
+    fn absorb(&mut self, stats: &RunStats, cacheable_reads: u64, cacheable_writes: u64) {
+        let s = &mut self.stats;
+        s.migrations += stats.migrations;
+        s.return_migrations += stats.return_migrations;
+        s.futures += stats.futures;
+        s.steals += stats.steals;
+        s.touches += stats.touches;
+        s.allocs += stats.allocs;
+        s.words_allocated += stats.words_allocated;
+        s.migrate_local += stats.migrate_local;
+        s.migrate_remote += stats.migrate_remote;
+        self.cacheable_reads += cacheable_reads;
+        self.cacheable_writes += cacheable_writes;
+    }
+
+    fn read_impl(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> Word {
+        let p = ptr.offset(field as u64);
+        debug_assert!(!p.is_null(), "null dereference");
+        if self.free_depth > 0 {
+            return self.read_home(p);
+        }
+        self.bump();
+        let mech = self.shared.force.unwrap_or(mech);
+        match mech {
+            Mechanism::Migrate => {
+                if p.is_local_to(self.cur_proc) {
+                    self.stats.migrate_local += 1;
+                } else {
+                    self.stats.migrate_remote += 1;
+                    self.migrate_to(p.proc());
+                }
+                self.read_home(p)
+            }
+            Mechanism::Cache => {
+                self.cacheable_reads += 1;
+                if p.is_local_to(self.cur_proc) {
+                    self.read_home(p)
+                } else {
+                    self.cached_access(p, false, None)
+                }
+            }
+        }
+    }
+
+    fn write_impl(&mut self, ptr: GPtr, field: usize, value: Word, mech: Mechanism) {
+        let p = ptr.offset(field as u64);
+        debug_assert!(!p.is_null(), "null dereference");
+        if self.free_depth > 0 {
+            self.write_home(p, value);
+            return;
+        }
+        self.bump();
+        let mech = self.shared.force.unwrap_or(mech);
+        match mech {
+            Mechanism::Migrate => {
+                if p.is_local_to(self.cur_proc) {
+                    self.stats.migrate_local += 1;
+                } else {
+                    self.stats.migrate_remote += 1;
+                    self.migrate_to(p.proc());
+                }
+                self.write_home(p, value);
+            }
+            Mechanism::Cache => {
+                self.cacheable_writes += 1;
+                if p.is_local_to(self.cur_proc) {
+                    self.write_home(p, value);
+                } else {
+                    // Update the cached copy (allocating the line on a
+                    // miss), then write through to the home — every write
+                    // reaches the authoritative copy synchronously.
+                    self.cached_access(p, true, Some(value));
+                    self.write_home(p, value);
+                }
+            }
+        }
+        self.note_written(p.proc());
+    }
+
+    fn call_impl<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        if self.free_depth > 0 {
+            return f(self);
+        }
+        let entry = self.cur_proc;
+        self.write_scopes.push(Vec::new());
+        let r = f(self);
+        let written = self.write_scopes.pop().expect("scope underflow");
+        self.merge_written(&written);
+        if self.cur_proc != entry {
+            self.stats.return_migrations += 1;
+            let from = self.cur_proc;
+            self.mark_steals(from);
+            self.cur_proc = entry;
+            self.slot.proc.store(entry, Ordering::Relaxed);
+            self.arrive_return(written);
+        }
+        r
+    }
+
+    fn future_call_impl<T, F>(&mut self, f: F) -> ExecHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Self) -> T + Send + 'static,
+    {
+        if self.free_depth > 0 {
+            let value = f(self);
+            return ExecHandle(HandleInner::Ready {
+                value,
+                written: Vec::new(),
+                parallel: false,
+            });
+        }
+        self.bump();
+        self.stats.futures += 1;
+        let spawn_proc = self.cur_proc;
+        let frame = Arc::new(FrameHandle::new(spawn_proc));
+        self.frames.push(Arc::clone(&frame));
+        match self.shared.mode {
+            Mode::Lockstep => {
+                // The simulator's discipline exactly: body inline, one
+                // logical thread throughout.
+                self.write_scopes.push(Vec::new());
+                let value = f(self);
+                let written = self.write_scopes.pop().expect("scope underflow");
+                self.merge_written(&written);
+                self.frames.pop().expect("frame underflow");
+                if frame.is_stolen() {
+                    self.stats.steals += 1;
+                    // The idle spawn processor grabbed the continuation;
+                    // resume there (no acquire — the continuation never
+                    // left).
+                    self.cur_proc = spawn_proc;
+                    self.slot.proc.store(spawn_proc, Ordering::Relaxed);
+                    ExecHandle(HandleInner::Ready {
+                        value,
+                        written,
+                        parallel: true,
+                    })
+                } else {
+                    debug_assert_eq!(self.cur_proc, spawn_proc, "unstolen body cannot move");
+                    ExecHandle(HandleInner::Ready {
+                        value,
+                        written,
+                        parallel: false,
+                    })
+                }
+            }
+            Mode::Parallel => {
+                let mut child = ExecCtx {
+                    shared: Arc::clone(&self.shared),
+                    cur_proc: spawn_proc,
+                    free_depth: 0,
+                    // The body can steal its own frame and any ancestor's.
+                    frames: self.frames.clone(),
+                    write_scopes: vec![Vec::new()],
+                    stats: RunStats::default(),
+                    cacheable_reads: 0,
+                    cacheable_writes: 0,
+                    slot: self.shared.register_client(spawn_proc),
+                };
+                let body_frame = Arc::clone(&frame);
+                let join = std::thread::Builder::new()
+                    .name(format!("olden-body-{}", child.slot.id))
+                    .spawn(move || {
+                        let _complete = CompleteOnDrop(body_frame);
+                        let value = f(&mut child);
+                        let written = child.write_scopes.pop().expect("scope underflow");
+                        child.slot.state.store(C_DONE, Ordering::Relaxed);
+                        BodyOutcome {
+                            value,
+                            written,
+                            stats: child.stats,
+                            cacheable_reads: child.cacheable_reads,
+                            cacheable_writes: child.cacheable_writes,
+                        }
+                    })
+                    .expect("spawn future body thread");
+                // Lazy task creation: the spawner is not a parallel thread
+                // yet. It waits until the body either finishes (inline
+                // future, cheap) or migrates away, stealing it the
+                // continuation.
+                self.slot.state.store(C_WAITING_BODY, Ordering::Relaxed);
+                let st = frame.wait_done_or_stolen();
+                self.slot.state.store(C_RUNNING, Ordering::Relaxed);
+                self.bump();
+                self.frames.pop().expect("frame underflow");
+                if st.stolen {
+                    self.stats.steals += 1;
+                    self.cur_proc = spawn_proc;
+                    self.slot.proc.store(spawn_proc, Ordering::Relaxed);
+                    ExecHandle(HandleInner::Pending { join })
+                } else {
+                    // Completed without migrating: join immediately; the
+                    // future never forked.
+                    let out = join_body(join);
+                    self.absorb(&out.stats, out.cacheable_reads, out.cacheable_writes);
+                    self.merge_written(&out.written);
+                    ExecHandle(HandleInner::Ready {
+                        value: out.value,
+                        written: out.written,
+                        parallel: false,
+                    })
+                }
+            }
+        }
+    }
+
+    fn touch_impl<T: Send + 'static>(&mut self, h: ExecHandle<T>) -> T {
+        if self.free_depth == 0 {
+            self.bump();
+            self.stats.touches += 1;
+        }
+        match h.0 {
+            HandleInner::Ready {
+                value,
+                written,
+                parallel,
+            } => {
+                if parallel && self.free_depth == 0 {
+                    // Receiving the future's value is a migration receipt:
+                    // acquire with the body's write set.
+                    self.arrive_return(written);
+                }
+                value
+            }
+            HandleInner::Pending { join } => {
+                self.slot.state.store(C_JOINING, Ordering::Relaxed);
+                let out = join_body(join);
+                self.slot.state.store(C_RUNNING, Ordering::Relaxed);
+                self.bump();
+                self.absorb(&out.stats, out.cacheable_reads, out.cacheable_writes);
+                self.merge_written(&out.written);
+                if self.free_depth == 0 {
+                    self.arrive_return(out.written);
+                }
+                out.value
+            }
+        }
+    }
+}
+
+pub(crate) struct ClientFinal {
+    pub stats: RunStats,
+    pub cacheable_reads: u64,
+    pub cacheable_writes: u64,
+}
+
+impl Backend for ExecCtx {
+    type Handle<T: Send + 'static> = ExecHandle<T>;
+
+    fn nprocs(&self) -> usize {
+        self.shared.procs
+    }
+
+    fn cur_proc(&self) -> ProcId {
+        self.cur_proc
+    }
+
+    /// Cycle accounting belongs to the simulator; here the call only feeds
+    /// the watchdog's progress signal.
+    fn work(&mut self, _cycles: u64) {
+        self.bump();
+    }
+
+    fn alloc(&mut self, proc: ProcId, words: usize) -> GPtr {
+        assert!(
+            (proc as usize) < self.shared.procs,
+            "ALLOC on unknown processor"
+        );
+        if self.free_depth == 0 {
+            self.bump();
+            self.stats.allocs += 1;
+            self.stats.words_allocated += words as u64;
+        }
+        self.req(proc, |reply| Msg::Alloc { words, reply })
+    }
+
+    fn read(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> Word {
+        self.read_impl(ptr, field, mech)
+    }
+
+    fn write_word(&mut self, ptr: GPtr, field: usize, value: Word, mech: Mechanism) {
+        self.write_impl(ptr, field, value, mech);
+    }
+
+    fn uncharged<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.free_depth += 1;
+        let r = f(self);
+        self.free_depth -= 1;
+        r
+    }
+
+    fn call<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.call_impl(f)
+    }
+
+    fn future_call<T, F>(&mut self, f: F) -> ExecHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Self) -> T + Send + 'static,
+    {
+        self.future_call_impl(f)
+    }
+
+    fn touch<T: Send + 'static>(&mut self, h: ExecHandle<T>) -> T {
+        self.touch_impl(h)
+    }
+}

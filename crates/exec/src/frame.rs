@@ -1,0 +1,86 @@
+//! Future frames: the in-process half of the protocol.
+//!
+//! A `futurecall` saves the caller's continuation on the spawning
+//! processor's work list; the continuation runs only when the body
+//! migrates away (a *steal*) or completes. The frame handle carries that
+//! state between the spawning thread and (in parallel mode) the body's
+//! OS thread: the body's migrations deliver *StealNotify* by flipping
+//! `stolen` under the mutex and waking the spawner, and body completion
+//! delivers *TouchResult* the same way.
+
+use olden_gptr::ProcId;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+pub struct FrameState {
+    /// A migration vacated the spawn processor while this frame's body
+    /// was outstanding: the continuation has been stolen.
+    pub stolen: bool,
+    /// The body finished (normally or by panic).
+    pub done: bool,
+}
+
+/// Shared bookkeeping for one spawned future.
+#[derive(Debug)]
+pub struct FrameHandle {
+    /// Processor the future was spawned from — where its continuation
+    /// waits on the work list.
+    pub anchor: ProcId,
+    state: Mutex<FrameState>,
+    cv: Condvar,
+}
+
+impl FrameHandle {
+    pub fn new(anchor: ProcId) -> FrameHandle {
+        FrameHandle {
+            anchor,
+            state: Mutex::new(FrameState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark the continuation stolen (idempotent). Returns whether this
+    /// call changed the state.
+    pub fn steal(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        let fresh = !st.stolen;
+        st.stolen = true;
+        self.cv.notify_all();
+        fresh
+    }
+
+    /// Mark the body complete and wake the spawner.
+    pub fn complete(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.done = true;
+        self.cv.notify_all();
+    }
+
+    pub fn is_stolen(&self) -> bool {
+        self.state.lock().unwrap().stolen
+    }
+
+    /// Block until the body completes or the continuation is stolen;
+    /// returns the state at wake-up.
+    pub fn wait_done_or_stolen(&self) -> FrameState {
+        let mut st = self.state.lock().unwrap();
+        while !st.done && !st.stolen {
+            st = self.cv.wait(st).unwrap();
+        }
+        FrameState {
+            stolen: st.stolen,
+            done: st.done,
+        }
+    }
+}
+
+/// Marks the frame complete even if the body panics, so the spawner
+/// blocked in [`FrameHandle::wait_done_or_stolen`] wakes up and the panic
+/// propagates through the join instead of deadlocking the run.
+pub struct CompleteOnDrop(pub std::sync::Arc<FrameHandle>);
+
+impl Drop for CompleteOnDrop {
+    fn drop(&mut self) {
+        self.0.complete();
+    }
+}

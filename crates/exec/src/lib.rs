@@ -1,0 +1,500 @@
+//! olden-exec: a real multi-threaded SPMD execution backend for the Olden
+//! reproduction, cross-validated against the simulator.
+//!
+//! Where `olden-runtime`'s `OldenCtx` *simulates* the paper's runtime —
+//! one sequential pass recording a task DAG — this crate *executes* it:
+//! one OS **worker thread per simulated processor**, each owning its heap
+//! section and its software cache, connected by `std::sync::mpsc`
+//! mailboxes carrying the typed messages of [`msg::Msg`]. Migrations,
+//! cache-line fetches, and local-knowledge invalidations really happen as
+//! messages between threads; future steals and touch joins really happen
+//! as thread wake-ups.
+//!
+//! The topology is a strict client–server star (see [`msg`]): logical
+//! Olden threads send requests, workers answer from local state, and
+//! workers never wait on anything — so no wait cycle can form and the
+//! mailbox system is deadlock-free by construction. Program-level hangs
+//! (a buggy kernel blocking forever) are caught by a watchdog that fails
+//! the run with a per-worker/per-client state dump instead of hanging the
+//! test suite.
+//!
+//! Two modes (see [`Mode`]): **lockstep** mirrors the simulator's
+//! operation sequence exactly, so every event counter reconciles with the
+//! simulator's trace (each backend is the other's correctness oracle);
+//! **parallel** spawns each future body on its own OS thread, turning
+//! migrations into genuine parallelism while keeping values — and the
+//! data-dependent migration/steal counters — deterministic.
+
+pub mod frame;
+pub mod msg;
+pub mod worker;
+
+mod ctx;
+
+pub use ctx::{ExecCtx, ExecHandle};
+
+use crate::msg::Msg;
+use crate::worker::{Worker, WorkerSlot, W_EXITED, W_SERVING, W_WAITING};
+use olden_gptr::{ProcId, MAX_PROCS};
+use olden_runtime::{CacheStats, Mechanism, RunStats};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How future bodies execute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Bodies run inline on the one logical thread, in exactly the
+    /// simulator's order: every counter must reconcile with the
+    /// simulator's for the same program.
+    Lockstep,
+    /// Each future body runs on its own OS thread; the spawner blocks
+    /// until the body completes or migrates away (lazy task creation).
+    /// Values stay deterministic; cache hit/miss totals become
+    /// interleaving-dependent.
+    Parallel,
+}
+
+/// Configuration of one execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Worker (simulated processor) count.
+    pub procs: usize,
+    pub mode: Mode,
+    /// When set, every dereference uses this mechanism regardless of what
+    /// the benchmark requested (the simulator's `Config::force`).
+    pub force: Option<Mechanism>,
+    /// The watchdog fails the run if the global progress counter stops
+    /// moving for this long.
+    pub stall_timeout: Duration,
+}
+
+impl ExecConfig {
+    pub fn lockstep(procs: usize) -> ExecConfig {
+        ExecConfig {
+            procs,
+            mode: Mode::Lockstep,
+            force: None,
+            stall_timeout: Duration::from_secs(10),
+        }
+    }
+
+    pub fn parallel(procs: usize) -> ExecConfig {
+        ExecConfig {
+            mode: Mode::Parallel,
+            ..ExecConfig::lockstep(procs)
+        }
+    }
+
+    /// Same configuration with a forced mechanism.
+    pub fn forced(mut self, m: Mechanism) -> ExecConfig {
+        self.force = Some(m);
+        self
+    }
+
+    pub fn with_stall_timeout(mut self, d: Duration) -> ExecConfig {
+        self.stall_timeout = d;
+        self
+    }
+}
+
+/// Watchdog-readable state of one logical thread.
+pub(crate) struct ClientSlot {
+    pub id: u64,
+    /// Operations performed (monotone).
+    pub ops: AtomicU64,
+    pub state: AtomicU8,
+    /// Processor the thread currently executes on.
+    pub proc: AtomicU8,
+}
+
+pub(crate) const C_RUNNING: u8 = 0;
+pub(crate) const C_WAITING_BODY: u8 = 1;
+pub(crate) const C_JOINING: u8 = 2;
+pub(crate) const C_DONE: u8 = 3;
+
+/// State shared by every logical thread of one run.
+pub(crate) struct Shared {
+    pub procs: usize,
+    pub mode: Mode,
+    pub force: Option<Mechanism>,
+    pub mailboxes: Vec<Sender<Msg>>,
+    /// Bumped by every worker message and every client operation; the
+    /// watchdog's only signal.
+    pub progress: Arc<AtomicU64>,
+    pub clients: Mutex<Vec<Arc<ClientSlot>>>,
+    next_client: AtomicU64,
+}
+
+impl Shared {
+    pub fn register_client(&self, proc: ProcId) -> Arc<ClientSlot> {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(ClientSlot {
+            id,
+            ops: AtomicU64::new(0),
+            state: AtomicU8::new(C_RUNNING),
+            proc: AtomicU8::new(proc),
+        });
+        self.clients.lock().unwrap().push(Arc::clone(&slot));
+        slot
+    }
+}
+
+/// Everything measured about one execution (the thread backend's
+/// counterpart of the simulator's `RunReport`, minus cycle accounting —
+/// timing is the simulator's job).
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Workers in the configuration.
+    pub procs: usize,
+    /// Runtime event counters, summed over every logical thread.
+    pub stats: RunStats,
+    /// Software-cache counters: client-side cacheable totals plus the
+    /// remote/hit/miss counts summed over the workers.
+    pub cache: CacheStats,
+    /// Distinct pages ever cached, summed over the workers.
+    pub pages_cached: u64,
+    /// Words held in the workers' heap sections at shutdown (includes
+    /// uncharged allocations, unlike `stats.words_allocated`).
+    pub section_words: u64,
+    /// Mailbox messages serviced across all workers.
+    pub messages: u64,
+    /// Logical threads that existed over the run (1 in lockstep mode).
+    pub clients: u64,
+}
+
+fn dump_state(worker_slots: &[Arc<WorkerSlot>], shared: &Shared) -> String {
+    let mut s = String::new();
+    for (p, w) in worker_slots.iter().enumerate() {
+        let st = match w.state.load(Ordering::Relaxed) {
+            W_WAITING => "waiting on mailbox",
+            W_SERVING => "servicing a message",
+            W_EXITED => "exited",
+            _ => "unknown",
+        };
+        let _ = writeln!(
+            s,
+            "  worker {p}: {st}, {} messages served",
+            w.served.load(Ordering::Relaxed)
+        );
+    }
+    for c in shared.clients.lock().unwrap().iter() {
+        let st = match c.state.load(Ordering::Relaxed) {
+            C_RUNNING => "running",
+            C_WAITING_BODY => "waiting for a future body",
+            C_JOINING => "joining a touched future",
+            C_DONE => "done",
+            _ => "unknown",
+        };
+        let _ = writeln!(
+            s,
+            "  client {}: {st} on proc {}, {} ops",
+            c.id,
+            c.proc.load(Ordering::Relaxed),
+            c.ops.load(Ordering::Relaxed)
+        );
+    }
+    s
+}
+
+/// Execute `program` on `cfg.procs` worker threads and report.
+///
+/// Spawns the worker fleet, runs the program as the root logical thread,
+/// then performs a deterministic shutdown: a [`Msg::Shutdown`] to each
+/// worker in processor order, collecting each one's final statistics. The
+/// calling thread meanwhile acts as the watchdog — if the run's progress
+/// counter stalls for `cfg.stall_timeout`, it panics with a state dump of
+/// every worker and logical thread instead of hanging.
+pub fn run_exec<T, F>(cfg: ExecConfig, program: F) -> (T, ExecReport)
+where
+    T: Send + 'static,
+    F: FnOnce(&mut ExecCtx) -> T + Send + 'static,
+{
+    assert!(cfg.procs >= 1 && cfg.procs <= MAX_PROCS);
+    let progress = Arc::new(AtomicU64::new(0));
+    let mut mailboxes = Vec::with_capacity(cfg.procs);
+    let mut worker_slots = Vec::with_capacity(cfg.procs);
+    let mut worker_joins = Vec::with_capacity(cfg.procs);
+    for p in 0..cfg.procs {
+        let (tx, rx) = mpsc::channel();
+        let slot = Arc::new(WorkerSlot::default());
+        let worker = Worker::new(p as ProcId, Arc::clone(&slot), Arc::clone(&progress));
+        let jh = thread::Builder::new()
+            .name(format!("olden-worker-{p}"))
+            .spawn(move || worker.serve(rx))
+            .expect("spawn worker thread");
+        mailboxes.push(tx);
+        worker_slots.push(slot);
+        worker_joins.push(jh);
+    }
+    let shared = Arc::new(Shared {
+        procs: cfg.procs,
+        mode: cfg.mode,
+        force: cfg.force,
+        mailboxes,
+        progress: Arc::clone(&progress),
+        clients: Mutex::new(Vec::new()),
+        next_client: AtomicU64::new(0),
+    });
+
+    let (res_tx, res_rx) = mpsc::channel();
+    let root_shared = Arc::clone(&shared);
+    let root = thread::Builder::new()
+        .name("olden-root".into())
+        .spawn(move || {
+            let mut ctx = ExecCtx::root(root_shared);
+            let value = program(&mut ctx);
+            let _ = res_tx.send((value, ctx.finish()));
+        })
+        .expect("spawn root client thread");
+
+    // Watchdog loop: wait for the result, checking the progress counter
+    // at every tick. A run making any progress at all never trips it.
+    let tick = (cfg.stall_timeout / 8).max(Duration::from_millis(10));
+    let mut last = progress.load(Ordering::Relaxed);
+    let mut stalled = Duration::ZERO;
+    let outcome = loop {
+        match res_rx.recv_timeout(tick) {
+            Ok(out) => break Some(out),
+            Err(RecvTimeoutError::Timeout) => {
+                let now = progress.load(Ordering::Relaxed);
+                if now != last {
+                    last = now;
+                    stalled = Duration::ZERO;
+                } else {
+                    stalled += tick;
+                    if stalled >= cfg.stall_timeout {
+                        panic!(
+                            "olden-exec watchdog: no progress for {:?}; run is stalled\n{}",
+                            cfg.stall_timeout,
+                            dump_state(&worker_slots, &shared)
+                        );
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break None,
+        }
+    };
+    let Some((value, client)) = outcome else {
+        // The root dropped its channel without sending a result: it
+        // panicked. Re-raise here so the failure is the caller's.
+        match root.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) => unreachable!("root client exited without a result"),
+        }
+    };
+    root.join().expect("root client already sent its result");
+
+    // Deterministic shutdown: each worker reports and exits, in processor
+    // order.
+    let mut reports = Vec::with_capacity(cfg.procs);
+    for tx in &shared.mailboxes {
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Msg::Shutdown { reply: rtx })
+            .expect("worker alive at shutdown");
+        reports.push(rrx.recv().expect("worker shutdown report"));
+    }
+    for jh in worker_joins {
+        jh.join().expect("worker exited cleanly");
+    }
+
+    let mut cache = CacheStats {
+        cacheable_reads: client.cacheable_reads,
+        cacheable_writes: client.cacheable_writes,
+        ..CacheStats::default()
+    };
+    let (mut pages_cached, mut section_words, mut messages) = (0, 0, 0);
+    for r in &reports {
+        cache.remote_reads += r.cache.remote_reads;
+        cache.remote_writes += r.cache.remote_writes;
+        cache.hits += r.cache.hits;
+        cache.misses += r.cache.misses;
+        pages_cached += r.pages_ever;
+        section_words += r.words_allocated;
+        messages += r.served;
+    }
+    let clients = shared.clients.lock().unwrap().len() as u64;
+    let report = ExecReport {
+        procs: cfg.procs,
+        stats: client.stats,
+        cache,
+        pages_cached,
+        section_words,
+        messages,
+        clients,
+    };
+    (value, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olden_gptr::GPtr;
+    use olden_runtime::{Backend, Config, OldenCtx};
+
+    /// The exec backend round-trips values through real worker threads.
+    #[test]
+    fn values_round_trip_through_workers() {
+        let (sum, rep) = run_exec(ExecConfig::lockstep(4), |ctx| {
+            let mut total = 0i64;
+            for p in 0..4u8 {
+                let a = ctx.alloc(p, 2);
+                ctx.write(a, 0, p as i64 * 3, Mechanism::Migrate);
+                total += ctx.read_i64(a, 0, Mechanism::Migrate);
+            }
+            total
+        });
+        assert_eq!(sum, 3 + 6 + 9);
+        assert_eq!(rep.stats.allocs, 4);
+        assert_eq!(rep.stats.migrations, 3, "procs 1..3 are remote");
+        assert!(rep.messages > 0);
+        assert_eq!(rep.clients, 1);
+    }
+
+    /// A kernel generic over `Backend` produces identical values AND
+    /// identical event counters on the simulator and the lockstep thread
+    /// backend.
+    #[test]
+    fn lockstep_counters_reconcile_with_simulator() {
+        fn kernel<B: Backend>(ctx: &mut B) -> i64 {
+            let n = ctx.nprocs() as u8;
+            let ptrs: Vec<GPtr> = (0..n)
+                .map(|p| {
+                    let a = ctx.alloc(p, 2);
+                    ctx.uncharged(|c| c.write(a, 0, p as i64 + 1, Mechanism::Migrate));
+                    a
+                })
+                .collect();
+            let mut total = 0i64;
+            // Cached remote reads (miss then hit), then a migrating sweep.
+            for &a in &ptrs {
+                total += ctx.read_i64(a, 0, Mechanism::Cache);
+                total += ctx.read_i64(a, 0, Mechanism::Cache);
+            }
+            for &a in &ptrs {
+                total += ctx.call(|c| c.read_i64(a, 0, Mechanism::Migrate));
+            }
+            let hs: Vec<_> = ptrs
+                .iter()
+                .map(|&a| {
+                    ctx.future_call(move |c| c.call(move |c| c.read_i64(a, 0, Mechanism::Migrate)))
+                })
+                .collect();
+            for h in hs {
+                total += ctx.touch(h);
+            }
+            total
+        }
+        let mut sim = OldenCtx::new(Config::olden(4));
+        let sim_val = kernel(&mut sim);
+        let (exec_val, rep) = run_exec(ExecConfig::lockstep(4), kernel);
+        assert_eq!(exec_val, sim_val);
+        assert_eq!(rep.stats, *sim.stats(), "runtime event counters");
+        let sc = sim.cache().stats();
+        assert_eq!(rep.cache.cacheable_reads, sc.cacheable_reads);
+        assert_eq!(rep.cache.cacheable_writes, sc.cacheable_writes);
+        assert_eq!(rep.cache.remote_reads, sc.remote_reads);
+        assert_eq!(rep.cache.remote_writes, sc.remote_writes);
+        assert_eq!(rep.cache.hits, sc.hits);
+        assert_eq!(rep.cache.misses, sc.misses);
+        assert_eq!(rep.pages_cached, sim.cache().pages_cached());
+    }
+
+    /// Local-knowledge acquire: arriving by migration really clears the
+    /// destination worker's cache.
+    #[test]
+    fn migration_clears_destination_cache() {
+        let (_, rep) = run_exec(ExecConfig::lockstep(4), |ctx| {
+            let a = ctx.alloc(1, 1);
+            let b = ctx.alloc(2, 1);
+            ctx.uncharged(|c| {
+                c.write(a, 0, 1i64, Mechanism::Migrate);
+                c.write(b, 0, 2i64, Mechanism::Migrate);
+            });
+            ctx.read(a, 0, Mechanism::Cache); // proc 0: miss
+            ctx.read(a, 0, Mechanism::Cache); // proc 0: hit
+            ctx.read(b, 0, Mechanism::Migrate); // migrate 0 -> 2
+            assert_eq!(ctx.cur_proc(), 2);
+            ctx.read(a, 0, Mechanism::Cache); // proc 2's cache: miss
+        });
+        assert_eq!(rep.cache.hits, 1);
+        assert_eq!(rep.cache.misses, 2);
+    }
+
+    /// Writes through the cache reach the home synchronously and are seen
+    /// by a later reader on a third processor.
+    #[test]
+    fn cached_writes_reach_home() {
+        let (v, _) = run_exec(ExecConfig::lockstep(4), |ctx| {
+            let a = ctx.alloc(1, 1);
+            ctx.write(a, 0, 41i64, Mechanism::Cache); // from proc 0, write miss
+            ctx.write(a, 0, 42i64, Mechanism::Cache); // write hit, still written through
+            let b = ctx.alloc(3, 1);
+            ctx.read(b, 0, Mechanism::Migrate); // hop to proc 3
+            ctx.read_i64(a, 0, Mechanism::Cache) // fresh cache: fetches home copy
+        });
+        assert_eq!(v, 42);
+    }
+
+    /// Parallel mode: a migrating body forks for real; values and the
+    /// deterministic counters match the simulator.
+    #[test]
+    fn parallel_future_forks_and_joins() {
+        fn kernel<B: Backend>(ctx: &mut B) -> i64 {
+            let a = ctx.alloc(2, 1);
+            ctx.uncharged(|c| c.write(a, 0, 21i64, Mechanism::Migrate));
+            let h = ctx.future_call(move |c| c.call(move |c| c.read_i64(a, 0, Mechanism::Migrate)));
+            let local = ctx.alloc(0, 1);
+            ctx.write(local, 0, 1i64, Mechanism::Migrate);
+            ctx.touch(h) + ctx.read_i64(local, 0, Mechanism::Migrate)
+        }
+        let mut sim = OldenCtx::new(Config::olden(4));
+        let sim_val = kernel(&mut sim);
+        let (v, rep) = run_exec(ExecConfig::parallel(4), kernel);
+        assert_eq!(v, sim_val);
+        assert_eq!(rep.stats.steals, sim.stats().steals);
+        assert_eq!(rep.stats.migrations, sim.stats().migrations);
+        assert_eq!(rep.clients, 2, "root + one forked body");
+    }
+
+    /// Parallel mode: an unstolen body stays an inline future.
+    #[test]
+    fn parallel_unstolen_future_is_inline() {
+        let (v, rep) = run_exec(ExecConfig::parallel(2), |ctx| {
+            let a = ctx.alloc(0, 1);
+            ctx.write(a, 0, 7i64, Mechanism::Migrate);
+            let h = ctx.future_call(move |c| c.read_i64(a, 0, Mechanism::Migrate));
+            ctx.touch(h)
+        });
+        assert_eq!(v, 7);
+        assert_eq!(rep.stats.futures, 1);
+        assert_eq!(rep.stats.steals, 0, "no migration, no fork");
+    }
+
+    /// The forced-mechanism override reaches every dereference.
+    #[test]
+    fn forced_migrate_disables_caching() {
+        let (_, rep) = run_exec(ExecConfig::lockstep(4).forced(Mechanism::Migrate), |ctx| {
+            let a = ctx.alloc(3, 1);
+            ctx.write(a, 0, 1i64, Mechanism::Cache); // forced to migrate
+        });
+        assert_eq!(rep.stats.migrations, 1);
+        assert_eq!(rep.cache.remote_writes, 0);
+    }
+
+    /// A stalled run fails loudly with the state dump, not by hanging.
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn watchdog_trips_on_a_stalled_client() {
+        let cfg = ExecConfig::lockstep(2).with_stall_timeout(Duration::from_millis(300));
+        let _ = run_exec(cfg, |ctx| {
+            let a = ctx.alloc(1, 1);
+            ctx.write(a, 0, 1i64, Mechanism::Migrate);
+            // A buggy kernel that blocks forever.
+            thread::sleep(Duration::from_secs(3600));
+        });
+    }
+}

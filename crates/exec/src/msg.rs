@@ -1,0 +1,118 @@
+//! Typed messages between logical Olden threads and the worker that owns
+//! each simulated processor.
+//!
+//! The topology is a strict client–server star: **only logical threads
+//! send requests, and only workers reply**, each reply on a fresh
+//! rendezvous channel carried inside the request. Workers service every
+//! message with purely local state (their heap section and their
+//! processor's software cache) and never wait on another worker, so no
+//! wait cycle can form and the system is deadlock-free by construction.
+//!
+//! Two of the protocol's events never appear on a mailbox because they
+//! are in-process by nature: *StealNotify* (a migration vacating a
+//! processor wakes the continuations anchored there) and *TouchResult*
+//! (a touch joining a forked body) travel through
+//! [`FrameHandle`](crate::frame::FrameHandle)s shared between the
+//! spawning and the body thread.
+
+use olden_cache::CacheStats;
+use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS};
+use std::sync::mpsc::Sender;
+
+/// One 64-byte line's payload, as moved by a fetch reply.
+pub type LineData = [Word; LINE_WORDS];
+
+/// How a thread arrives at a processor (the acquire of the release-
+/// consistency reduction; mirrors `olden_cache::Arrival`).
+#[derive(Clone, Debug)]
+pub enum ArrivalKind {
+    /// Forward migration into a procedure body: under local knowledge the
+    /// whole cache is invalidated.
+    Call,
+    /// Return-stub migration (or a touched future's value receipt);
+    /// carries the processors whose memories the thread wrote, so only
+    /// lines homed there are invalidated (§3.2 refinement).
+    Return(Vec<ProcId>),
+}
+
+/// Reply to a [`Msg::CacheLookup`].
+#[derive(Clone, Copy, Debug)]
+pub enum LookupReply {
+    /// Line valid in this worker's cache; the word read from (or, for a
+    /// write, now updated in) the cached copy.
+    Hit(Word),
+    /// Line absent or invalid. The client performs the fetch round trip
+    /// ([`Msg::LineFetchReq`] to the home, then [`Msg::CacheInstall`]
+    /// back here); the miss has already been counted.
+    Miss,
+}
+
+/// Everything a worker can be asked to do.
+pub enum Msg {
+    /// `ALLOC(words)` in this worker's heap section.
+    Alloc { words: usize, reply: Sender<GPtr> },
+    /// Read the home copy of one word.
+    ReadHome { local: u64, reply: Sender<Word> },
+    /// Write the home copy of one word (the write-through of every heap
+    /// write, however its address was resolved).
+    WriteHome {
+        local: u64,
+        value: Word,
+        reply: Sender<()>,
+    },
+    /// Home side of a cache miss: ship one line of this worker's section.
+    LineFetchReq {
+        page: PageNum,
+        line: LineInPage,
+        reply: Sender<LineData>,
+    },
+    /// Consult this worker's software cache for a remotely homed word.
+    CacheLookup {
+        home: ProcId,
+        page: PageNum,
+        line: LineInPage,
+        /// Word index within the line (0..8).
+        word: usize,
+        /// For a write hit the worker updates the cached copy in place
+        /// with `wval` (the client still write-throughs to the home).
+        write: bool,
+        wval: Option<Word>,
+        reply: Sender<LookupReply>,
+    },
+    /// Install a line fetched from its home into this worker's cache and
+    /// return the requested word (after applying `wval` for a write).
+    CacheInstall {
+        home: ProcId,
+        page: PageNum,
+        line: LineInPage,
+        data: LineData,
+        word: usize,
+        write: bool,
+        wval: Option<Word>,
+        reply: Sender<Word>,
+    },
+    /// The logical thread arrives here by migration: perform the acquire
+    /// (local-knowledge invalidation per [`ArrivalKind`]).
+    MigrateThread {
+        arrival: ArrivalKind,
+        reply: Sender<()>,
+    },
+    /// Deterministic shutdown: reply with the worker's final statistics
+    /// and exit the service loop.
+    Shutdown { reply: Sender<WorkerReport> },
+}
+
+/// A worker's final accounting, returned in the [`Msg::Shutdown`] reply.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerReport {
+    /// Cache-side statistics accumulated by this worker (hits, misses,
+    /// remote reads/writes).
+    pub cache: CacheStats,
+    /// Distinct pages ever cached here (Table 3's per-processor term).
+    pub pages_ever: u64,
+    /// Words allocated in this worker's section (excluding the reserved
+    /// null line).
+    pub words_allocated: u64,
+    /// Messages serviced over the worker's lifetime.
+    pub served: u64,
+}

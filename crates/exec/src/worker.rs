@@ -1,0 +1,198 @@
+//! The worker thread: owner of one simulated processor.
+//!
+//! Each worker holds the processor's heap section (the authoritative copy
+//! of every word homed there) and its software cache — the same
+//! translation table ([`olden_cache::ProcCache`]) the simulator's
+//! metadata-only cache system uses, here paired with the actual line
+//! data, under the local-knowledge protocol. The worker's service loop
+//! drains its mailbox until a [`Msg::Shutdown`] arrives; every request is
+//! serviced from local state only (see `msg` module docs for why that
+//! makes the system deadlock-free).
+
+use crate::msg::{ArrivalKind, LineData, LookupReply, Msg, WorkerReport};
+use olden_cache::{CacheStats, ProcCache};
+use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS, PAGE_WORDS};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+/// Lock-free view of a worker's liveness for the watchdog's state dump
+/// (a stalled worker cannot answer a mailbox query, so this must be
+/// readable from outside).
+#[derive(Debug, Default)]
+pub struct WorkerSlot {
+    /// Messages serviced so far.
+    pub served: AtomicU64,
+    /// 0 = waiting on mailbox, 1 = servicing a message, 2 = exited.
+    pub state: AtomicU8,
+}
+
+pub const W_WAITING: u8 = 0;
+pub const W_SERVING: u8 = 1;
+pub const W_EXITED: u8 = 2;
+
+pub struct Worker {
+    proc: ProcId,
+    /// Heap section; word 0's line reserved so the all-zero GPtr stays
+    /// null (identical layout to `olden_runtime::DistributedHeap`).
+    section: Vec<Word>,
+    /// Line-validity metadata: the Figure-1 translation table.
+    cache: ProcCache,
+    /// The cached lines' payloads. Cleared metadata leaves entries behind
+    /// (unreachable until re-installed), which keeps invalidation O(table)
+    /// as in the protocol.
+    lines: HashMap<(ProcId, PageNum, LineInPage), LineData>,
+    stats: CacheStats,
+    slot: Arc<WorkerSlot>,
+    progress: Arc<AtomicU64>,
+}
+
+impl Worker {
+    pub fn new(proc: ProcId, slot: Arc<WorkerSlot>, progress: Arc<AtomicU64>) -> Worker {
+        Worker {
+            proc,
+            section: vec![Word::ZERO; LINE_WORDS],
+            cache: ProcCache::new(),
+            lines: HashMap::new(),
+            stats: CacheStats::default(),
+            slot,
+            progress,
+        }
+    }
+
+    /// Service messages until shutdown.
+    pub fn serve(mut self, rx: Receiver<Msg>) {
+        loop {
+            self.slot.state.store(W_WAITING, Ordering::Relaxed);
+            let Ok(msg) = rx.recv() else {
+                // All senders dropped without a shutdown: the run aborted
+                // (e.g. a client panicked); exit quietly.
+                break;
+            };
+            self.slot.state.store(W_SERVING, Ordering::Relaxed);
+            self.slot.served.fetch_add(1, Ordering::Relaxed);
+            self.progress.fetch_add(1, Ordering::Relaxed);
+            if !self.handle(msg) {
+                break;
+            }
+        }
+        self.slot.state.store(W_EXITED, Ordering::Relaxed);
+    }
+
+    /// Returns false when the message was a shutdown.
+    fn handle(&mut self, msg: Msg) -> bool {
+        match msg {
+            Msg::Alloc { words, reply } => {
+                assert!(words > 0, "zero-size allocation");
+                let base = self.section.len() as u64;
+                self.section.resize(self.section.len() + words, Word::ZERO);
+                let _ = reply.send(GPtr::new(self.proc, base));
+            }
+            Msg::ReadHome { local, reply } => {
+                let _ = reply.send(self.section[local as usize]);
+            }
+            Msg::WriteHome {
+                local,
+                value,
+                reply,
+            } => {
+                self.section[local as usize] = value;
+                let _ = reply.send(());
+            }
+            Msg::LineFetchReq { page, line, reply } => {
+                let _ = reply.send(self.read_line(page, line));
+            }
+            Msg::CacheLookup {
+                home,
+                page,
+                line,
+                word,
+                write,
+                wval,
+                reply,
+            } => {
+                debug_assert_ne!(home, self.proc, "local references bypass the cache");
+                if write {
+                    self.stats.remote_writes += 1;
+                } else {
+                    self.stats.remote_reads += 1;
+                }
+                let valid = self
+                    .cache
+                    .lookup(home, page)
+                    .is_some_and(|cp| cp.line_valid(line));
+                if valid {
+                    self.stats.hits += 1;
+                    let data = self
+                        .lines
+                        .get_mut(&(home, page, line))
+                        .expect("valid line has data");
+                    if write {
+                        data[word] = wval.expect("write carries a value");
+                    }
+                    let _ = reply.send(LookupReply::Hit(data[word]));
+                } else {
+                    // The miss (one round trip to the home) is counted
+                    // here; the client now performs that trip and installs
+                    // the line.
+                    self.stats.misses += 1;
+                    let _ = reply.send(LookupReply::Miss);
+                }
+            }
+            Msg::CacheInstall {
+                home,
+                page,
+                line,
+                mut data,
+                word,
+                write,
+                wval,
+                reply,
+            } => {
+                if write {
+                    data[word] = wval.expect("write carries a value");
+                }
+                let cp = match self.cache.lookup(home, page) {
+                    Some(_) => self.cache.lookup(home, page).unwrap(),
+                    None => self.cache.insert(home, page),
+                };
+                cp.set_line(line);
+                self.lines.insert((home, page, line), data);
+                let _ = reply.send(data[word]);
+            }
+            Msg::MigrateThread { arrival, reply } => {
+                match arrival {
+                    ArrivalKind::Call => self.cache.clear_all(),
+                    ArrivalKind::Return(written) => self.cache.clear_homes(&written),
+                }
+                let _ = reply.send(());
+            }
+            Msg::Shutdown { reply } => {
+                let report = WorkerReport {
+                    cache: self.stats,
+                    pages_ever: self.cache.pages_ever(),
+                    words_allocated: (self.section.len() - LINE_WORDS) as u64,
+                    served: self.slot.served.load(Ordering::Relaxed),
+                };
+                let _ = reply.send(report);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Read one line of the home section, zero-padding past the
+    /// bump-allocator's high-water mark (a fetched line may cover words
+    /// not yet allocated).
+    fn read_line(&self, page: PageNum, line: LineInPage) -> LineData {
+        let start = page as usize * PAGE_WORDS + line as usize * LINE_WORDS;
+        let mut out = [Word::ZERO; LINE_WORDS];
+        for (i, w) in out.iter_mut().enumerate() {
+            if let Some(v) = self.section.get(start + i) {
+                *w = *v;
+            }
+        }
+        out
+    }
+}

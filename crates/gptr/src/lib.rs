@@ -15,8 +15,7 @@ pub mod geometry;
 pub mod word;
 
 pub use geometry::{
-    LineInPage, PageNum, LINES_PER_PAGE, LINE_BYTES, LINE_WORDS, PAGE_BYTES, PAGE_WORDS,
-    WORD_BYTES,
+    LineInPage, PageNum, LINES_PER_PAGE, LINE_BYTES, LINE_WORDS, PAGE_BYTES, PAGE_WORDS, WORD_BYTES,
 };
 pub use word::Word;
 

@@ -1,61 +1,94 @@
-//! Property tests for pointer encoding and heap geometry.
+//! Randomized tests for pointer encoding and heap geometry, driven by the
+//! workspace's deterministic RNG (no external property-test dependency).
 
 use olden_gptr::{geometry, GPtr, Word, LINE_WORDS, LOCAL_MASK, PAGE_WORDS};
-use proptest::prelude::*;
+use olden_rng::SplitMix64;
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(proc in 0u8..=255, local in 0u64..=LOCAL_MASK) {
+const CASES: usize = 512;
+
+#[test]
+fn encode_decode_roundtrip() {
+    let mut r = SplitMix64::new(0x9971);
+    for _ in 0..CASES {
+        let proc = r.below(256) as u8;
+        let local = r.below(LOCAL_MASK + 1);
         let p = GPtr::new(proc, local);
-        prop_assert_eq!(p.proc(), proc);
-        prop_assert_eq!(p.local(), local);
-        prop_assert_eq!(GPtr::from_bits(p.bits()), p);
+        assert_eq!(p.proc(), proc);
+        assert_eq!(p.local(), local);
+        assert_eq!(GPtr::from_bits(p.bits()), p);
     }
+}
 
-    #[test]
-    fn locality_matches_proc(proc in 0u8..=255, other in 0u8..=255, local in 1u64..=LOCAL_MASK) {
+#[test]
+fn locality_matches_proc() {
+    let mut r = SplitMix64::new(0x9972);
+    for _ in 0..CASES {
+        let proc = r.below(256) as u8;
+        let other = r.below(256) as u8;
+        let local = 1 + r.below(LOCAL_MASK);
         let p = GPtr::new(proc, local);
-        prop_assert_eq!(p.is_local_to(other), proc == other);
+        assert_eq!(p.is_local_to(other), proc == other);
     }
+}
 
-    #[test]
-    fn offset_adds_words(proc in 0u8..32, local in 0u64..1_000_000, k in 0u64..256) {
+#[test]
+fn offset_adds_words() {
+    let mut r = SplitMix64::new(0x9973);
+    for _ in 0..CASES {
+        let proc = r.below(32) as u8;
+        let local = r.below(1_000_000);
+        let k = r.below(256);
         let p = GPtr::new(proc, local);
         let q = p.offset(k);
-        prop_assert_eq!(q.proc(), proc);
-        prop_assert_eq!(q.local(), local + k);
+        assert_eq!(q.proc(), proc);
+        assert_eq!(q.local(), local + k);
     }
+}
 
-    #[test]
-    fn page_line_decomposition(word in 0u64..100_000_000) {
+#[test]
+fn page_line_decomposition() {
+    let mut r = SplitMix64::new(0x9974);
+    for _ in 0..CASES {
+        let word = r.below(100_000_000);
         let page = geometry::page_of_word(word);
         let line = geometry::line_in_page_of_word(word);
         let base = geometry::line_base_word(page, line);
-        prop_assert!(base <= word);
-        prop_assert!(word < base + LINE_WORDS as u64);
-        prop_assert!(geometry::page_base_word(page) <= word);
-        prop_assert!(word < geometry::page_base_word(page) + PAGE_WORDS as u64);
-        prop_assert!((line as usize) < geometry::LINES_PER_PAGE);
+        assert!(base <= word);
+        assert!(word < base + LINE_WORDS as u64);
+        assert!(geometry::page_base_word(page) <= word);
+        assert!(word < geometry::page_base_word(page) + PAGE_WORDS as u64);
+        assert!((line as usize) < geometry::LINES_PER_PAGE);
     }
+}
 
-    #[test]
-    fn global_line_consistent(word in 0u64..100_000_000) {
+#[test]
+fn global_line_consistent() {
+    let mut r = SplitMix64::new(0x9975);
+    for _ in 0..CASES {
+        let word = r.below(100_000_000);
         let gl = geometry::global_line_of_word(word);
         let page = geometry::page_of_word(word);
         let line = geometry::line_in_page_of_word(word);
-        prop_assert_eq!(gl, page * geometry::LINES_PER_PAGE as u64 + line as u64);
+        assert_eq!(gl, page * geometry::LINES_PER_PAGE as u64 + line as u64);
     }
+}
 
-    #[test]
-    fn word_f64_bitcast_roundtrip(bits in any::<u64>()) {
+#[test]
+fn word_f64_bitcast_roundtrip() {
+    let mut r = SplitMix64::new(0x9976);
+    for _ in 0..CASES {
         // Any bit pattern survives the f64 interpretation round-trip.
+        let bits = r.next_u64();
         let w = Word(bits);
-        prop_assert_eq!(Word::from(w.as_f64()).as_u64(), bits);
+        assert_eq!(Word::from(w.as_f64()).as_u64(), bits);
     }
+}
 
-    #[test]
-    fn word_ptr_roundtrip(proc in 0u8..=255, local in 0u64..=LOCAL_MASK) {
-        let p = GPtr::new(proc, local);
-        prop_assert_eq!(Word::from(p).as_ptr(), p);
+#[test]
+fn word_ptr_roundtrip() {
+    let mut r = SplitMix64::new(0x9977);
+    for _ in 0..CASES {
+        let p = GPtr::new(r.below(256) as u8, r.below(LOCAL_MASK + 1));
+        assert_eq!(Word::from(p).as_ptr(), p);
     }
 }

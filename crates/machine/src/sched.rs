@@ -28,6 +28,23 @@ pub struct Schedule {
     pub makespan: u64,
 }
 
+impl Schedule {
+    /// Per-processor utilization: `busy[p] / makespan`, in `[0, 1]`.
+    /// All-zero when the makespan is zero (an empty trace).
+    pub fn utilization(&self) -> Vec<f64> {
+        self.busy
+            .iter()
+            .map(|&b| {
+                if self.makespan == 0 {
+                    0.0
+                } else {
+                    b as f64 / self.makespan as f64
+                }
+            })
+            .collect()
+    }
+}
+
 /// Replay failures.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ScheduleError {
@@ -46,7 +63,11 @@ impl std::fmt::Display for ScheduleError {
                 seg, proc, procs
             ),
             ScheduleError::Cycle { unscheduled } => {
-                write!(f, "dependency cycle: {} segments unschedulable", unscheduled)
+                write!(
+                    f,
+                    "dependency cycle: {} segments unschedulable",
+                    unscheduled
+                )
             }
         }
     }
@@ -88,8 +109,8 @@ pub fn schedule(trace: &Trace, procs: usize) -> Result<Schedule, ScheduleError> 
     // Global completion-event queue: (finish_time, seg id).
     let mut events: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
 
-    for i in 0..n {
-        if indeg[i] == 0 {
+    for (i, &deg) in indeg.iter().enumerate().take(n) {
+        if deg == 0 {
             let p = trace.segments()[i].proc as usize;
             ready[p].push(Reverse((0, i as u32)));
         }
@@ -240,6 +261,20 @@ mod tests {
         let s = schedule(&t, 1).unwrap();
         assert_eq!(s.makespan, 100);
         assert_eq!(s.busy, vec![100]);
+        assert_eq!(s.utilization(), vec![1.0]);
+    }
+
+    #[test]
+    fn utilization_reflects_idle_processors() {
+        let mut t = Trace::new();
+        seg(&mut t, 0, 100);
+        seg(&mut t, 1, 50);
+        let s = schedule(&t, 3).unwrap();
+        let u = s.utilization();
+        assert_eq!(u, vec![1.0, 0.5, 0.0]);
+        // Empty trace: no division by zero.
+        let e = schedule(&Trace::new(), 2).unwrap();
+        assert_eq!(e.utilization(), vec![0.0, 0.0]);
     }
 
     #[test]

@@ -57,11 +57,37 @@ pub struct Edge {
     pub kind: EdgeKind,
 }
 
+impl EdgeKind {
+    /// All kinds, indexed consistently with [`Trace::count_edges`]'s
+    /// internal counters.
+    pub const ALL: [EdgeKind; 5] = [
+        EdgeKind::Seq,
+        EdgeKind::Migrate,
+        EdgeKind::Return,
+        EdgeKind::Steal,
+        EdgeKind::Join,
+    ];
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            EdgeKind::Seq => 0,
+            EdgeKind::Migrate => 1,
+            EdgeKind::Return => 2,
+            EdgeKind::Steal => 3,
+            EdgeKind::Join => 4,
+        }
+    }
+}
+
 /// The recorded task DAG plus summary counters.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     segments: Vec<Segment>,
     edges: Vec<Edge>,
+    /// Edge counts by [`EdgeKind::index`], maintained by [`Trace::add_edge`]
+    /// so [`Trace::count_edges`] is O(1) instead of a full edge scan.
+    kind_counts: [usize; 5],
 }
 
 impl Trace {
@@ -71,9 +97,8 @@ impl Trace {
 
     /// Open a new segment bound to `proc` with zero accumulated cost.
     pub fn new_segment(&mut self, proc: ProcId) -> SegId {
-        let id = SegId(
-            u32::try_from(self.segments.len()).expect("trace exceeds u32 segment capacity"),
-        );
+        let id =
+            SegId(u32::try_from(self.segments.len()).expect("trace exceeds u32 segment capacity"));
         self.segments.push(Segment { proc, cost: 0 });
         id
     }
@@ -89,6 +114,7 @@ impl Trace {
         debug_assert!(from.index() < self.segments.len());
         debug_assert!(to.index() < self.segments.len());
         debug_assert_ne!(from, to, "self-edge");
+        self.kind_counts[kind.index()] += 1;
         self.edges.push(Edge {
             from,
             to,
@@ -123,9 +149,10 @@ impl Trace {
     }
 
     /// Count of edges of a given kind (e.g. migrations for Table 2's
-    /// discussion of MST's `O(N·P)` migrations).
+    /// discussion of MST's `O(N·P)` migrations). O(1): counters are
+    /// maintained incrementally by [`Trace::add_edge`].
     pub fn count_edges(&self, kind: EdgeKind) -> usize {
-        self.edges.iter().filter(|e| e.kind == kind).count()
+        self.kind_counts[kind.index()]
     }
 
     /// Highest processor id used by any segment (for validating against a
@@ -155,6 +182,22 @@ mod tests {
         assert_eq!(t.count_edges(EdgeKind::Migrate), 1);
         assert_eq!(t.count_edges(EdgeKind::Seq), 0);
         assert_eq!(t.max_proc(), Some(1));
+    }
+
+    #[test]
+    fn kind_counters_track_every_kind() {
+        let mut t = Trace::new();
+        let a = t.new_segment(0);
+        let b = t.new_segment(1);
+        let c = t.new_segment(2);
+        t.add_edge(a, b, 0, EdgeKind::Migrate);
+        t.add_edge(a, c, 0, EdgeKind::Steal);
+        t.add_edge(b, c, 0, EdgeKind::Join);
+        t.add_edge(a, c, 0, EdgeKind::Migrate);
+        for kind in EdgeKind::ALL {
+            let scanned = t.edges().iter().filter(|e| e.kind == kind).count();
+            assert_eq!(t.count_edges(kind), scanned, "{kind:?}");
+        }
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! A tiny deterministic RNG for workload generation.
+//! A tiny deterministic RNG shared by the whole workspace.
 //!
 //! Benchmarks must be bit-for-bit reproducible across the sequential
 //! baseline and every processor count (the paper's speedups divide the two
-//! runs), so each workload seeds its own SplitMix64 stream explicitly.
+//! runs), so each workload seeds its own SplitMix64 stream explicitly. The
+//! same generator drives the in-repo randomized property tests and the
+//! micro-bench harness, keeping the workspace free of external
+//! dependencies so tier-1 builds run with no network access.
 
 /// SplitMix64: fast, high-quality 64-bit generator.
 #[derive(Clone, Debug)]
@@ -30,6 +33,12 @@ impl SplitMix64 {
         // Multiply-shift rejection-free mapping (slight bias irrelevant
         // for workload generation).
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as usize
     }
 
     /// Uniform in `[0, 1)`.
@@ -75,6 +84,18 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.below(13) < 13);
         }
+    }
+
+    #[test]
+    fn range_covers_interval() {
+        let mut r = SplitMix64::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.range(2, 7);
+            assert!((2..7).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable");
     }
 
     #[test]

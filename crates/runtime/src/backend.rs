@@ -1,0 +1,236 @@
+//! The [`Backend`] trait: the Olden programming model, abstracted over
+//! *how* it executes.
+//!
+//! A benchmark is ordinary Rust code over some `B: Backend`. Two backends
+//! implement the trait:
+//!
+//! * [`OldenCtx`](crate::OldenCtx) — the **simulator**: runs the program
+//!   once, sequentially, computing exact values while recording the task
+//!   DAG that `olden-machine` replays into a cycle-accurate parallel
+//!   makespan;
+//! * `olden_exec::ExecCtx` — the **thread backend**: really executes the
+//!   program across one OS worker thread per simulated processor,
+//!   realizing migrations, cache fills, and future steals as typed
+//!   messages between mailboxes.
+//!
+//! The two must agree: identical values always, and (in the thread
+//! backend's lockstep mode) identical event counters — each backend is the
+//! other's correctness oracle.
+//!
+//! ### Why the future-body closures are `Send + 'static`
+//!
+//! The simulator runs future bodies inline on the caller's stack, but the
+//! thread backend may hand a body to another OS thread (that is the whole
+//! point). The trait therefore demands `Send + 'static` of bodies and
+//! their results; benchmark kernels pass small `move` closures capturing
+//! [`GPtr`]s and scalars, which satisfy the bounds for free.
+
+use crate::config::Mechanism;
+use crate::ctx::{FutureHandle, OldenCtx};
+use olden_gptr::{GPtr, ProcId, Word};
+
+/// The Olden execution interface: `ALLOC`, mechanism-annotated
+/// dereferences, procedure-call boundaries, and futures with lazy task
+/// creation. See the crate docs of `olden-runtime` for the model and §2–3
+/// of the paper for the source semantics.
+pub trait Backend: Sized {
+    /// A pending future's value, claimed by [`Backend::touch`].
+    type Handle<T: Send + 'static>;
+
+    /// Number of processors in this configuration (for placement math).
+    fn nprocs(&self) -> usize;
+
+    /// Processor the thread is currently executing on.
+    fn cur_proc(&self) -> ProcId;
+
+    /// Charge `cycles` of benchmark-specific local computation. The
+    /// simulator adds them to the current segment; the thread backend
+    /// spins a calibrated delay so wall-clock scaling reflects them.
+    fn work(&mut self, cycles: u64);
+
+    /// `ALLOC(proc, words)`: allocate on the named processor (§2).
+    fn alloc(&mut self, proc: ProcId, words: usize) -> GPtr;
+
+    /// Allocate on the processor that owns `near` (a common idiom).
+    fn alloc_near(&mut self, near: GPtr, words: usize) -> GPtr {
+        self.alloc(near.proc(), words)
+    }
+
+    /// Read field `field` of the object at `ptr`, resolving remote data
+    /// with `mech`.
+    fn read(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> Word;
+
+    /// Write field `field` of the object at `ptr` (monomorphic form; use
+    /// [`Backend::write`] from benchmark code).
+    fn write_word(&mut self, ptr: GPtr, field: usize, value: Word, mech: Mechanism);
+
+    /// Write field `field` of the object at `ptr`.
+    fn write(&mut self, ptr: GPtr, field: usize, value: impl Into<Word>, mech: Mechanism) {
+        self.write_word(ptr, field, value.into(), mech);
+    }
+
+    /// Read a pointer-valued field.
+    fn read_ptr(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> GPtr {
+        self.read(ptr, field, mech).as_ptr()
+    }
+
+    /// Read an integer field.
+    fn read_i64(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> i64 {
+        self.read(ptr, field, mech).as_i64()
+    }
+
+    /// Read a floating-point field.
+    fn read_f64(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> f64 {
+        self.read(ptr, field, mech).as_f64()
+    }
+
+    /// Execute `f` without charging costs or recording events: values are
+    /// still computed and allocations still placed. Used to exclude
+    /// data-structure-building phases from kernel-time runs (§5).
+    fn uncharged<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R;
+
+    /// A procedure-call boundary. If the body migrates, the return stub
+    /// migrates the thread back to the caller's processor (§3.1).
+    fn call<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R;
+
+    /// `futurecall f(...)`: lazy task creation (§2). The body forks into
+    /// a real parallel task only if it migrates off the spawning
+    /// processor.
+    fn future_call<T, F>(&mut self, f: F) -> Self::Handle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Self) -> T + Send + 'static;
+
+    /// `touch`: claim a future's value, joining with the body thread if
+    /// it forked.
+    fn touch<T: Send + 'static>(&mut self, h: Self::Handle<T>) -> T;
+
+    /// Spawn one future per element and touch them all: the `do in
+    /// parallel` idiom of Figure 5.
+    fn parallel_for<I, T, F>(&mut self, items: I, body: F) -> Vec<T>
+    where
+        I: IntoIterator,
+        I::Item: Send + 'static,
+        T: Send + 'static,
+        F: FnMut(&mut Self, I::Item) -> T + Clone + Send + 'static,
+    {
+        let handles: Vec<Self::Handle<T>> = items
+            .into_iter()
+            .map(|it| {
+                let mut body = body.clone();
+                self.future_call(move |ctx| body(ctx, it))
+            })
+            .collect();
+        handles.into_iter().map(|h| self.touch(h)).collect()
+    }
+}
+
+/// The simulator is a backend: every trait method delegates to the
+/// identically-named inherent method (inherent methods win name
+/// resolution, so existing `OldenCtx`-typed code is untouched).
+impl Backend for OldenCtx {
+    type Handle<T: Send + 'static> = FutureHandle<T>;
+
+    fn nprocs(&self) -> usize {
+        OldenCtx::nprocs(self)
+    }
+
+    fn cur_proc(&self) -> ProcId {
+        OldenCtx::cur_proc(self)
+    }
+
+    fn work(&mut self, cycles: u64) {
+        OldenCtx::work(self, cycles);
+    }
+
+    fn alloc(&mut self, proc: ProcId, words: usize) -> GPtr {
+        OldenCtx::alloc(self, proc, words)
+    }
+
+    fn read(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> Word {
+        OldenCtx::read(self, ptr, field, mech)
+    }
+
+    fn write_word(&mut self, ptr: GPtr, field: usize, value: Word, mech: Mechanism) {
+        OldenCtx::write(self, ptr, field, value, mech);
+    }
+
+    fn uncharged<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        OldenCtx::uncharged(self, f)
+    }
+
+    fn call<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        OldenCtx::call(self, f)
+    }
+
+    fn future_call<T, F>(&mut self, f: F) -> FutureHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Self) -> T + Send + 'static,
+    {
+        OldenCtx::future_call(self, f)
+    }
+
+    fn touch<T: Send + 'static>(&mut self, h: FutureHandle<T>) -> T {
+        OldenCtx::touch(self, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn sum_tree<B: Backend>(ctx: &mut B, node: GPtr) -> i64 {
+        let v = ctx.read_i64(node, 0, Mechanism::Migrate);
+        let l = ctx.read_ptr(node, 1, Mechanism::Migrate);
+        let r = ctx.read_ptr(node, 2, Mechanism::Migrate);
+        let mut total = v;
+        if !l.is_null() {
+            total += ctx.call(|c| sum_tree(c, l));
+        }
+        if !r.is_null() {
+            total += ctx.call(|c| sum_tree(c, r));
+        }
+        total
+    }
+
+    /// A kernel written against the trait behaves identically to the same
+    /// kernel written against `OldenCtx` directly.
+    #[test]
+    fn generic_kernel_runs_on_sim_backend() {
+        let mut c = OldenCtx::new(Config::olden(4));
+        let root = c.uncharged(|c| {
+            let root = c.alloc(0, 3);
+            let l = c.alloc(1, 3);
+            let r = c.alloc(2, 3);
+            c.write(root, 0, 1i64, Mechanism::Migrate);
+            c.write(root, 1, l, Mechanism::Migrate);
+            c.write(root, 2, r, Mechanism::Migrate);
+            for (n, v) in [(l, 10i64), (r, 100i64)] {
+                c.write(n, 0, v, Mechanism::Migrate);
+                c.write(n, 1, GPtr::NULL, Mechanism::Migrate);
+                c.write(n, 2, GPtr::NULL, Mechanism::Migrate);
+            }
+            root
+        });
+        assert_eq!(sum_tree(&mut c, root), 111);
+        assert!(c.stats().migrations > 0, "kernel really migrated");
+    }
+
+    #[test]
+    fn generic_future_call_forks_on_migration() {
+        let mut c = OldenCtx::new(Config::olden(4));
+        let a = c.uncharged(|c| {
+            let a = c.alloc(2, 1);
+            c.write(a, 0, 21i64, Mechanism::Migrate);
+            a
+        });
+        fn go<B: Backend>(ctx: &mut B, a: GPtr) -> i64 {
+            let h = ctx.future_call(move |c| c.call(move |c| c.read_i64(a, 0, Mechanism::Migrate)));
+            ctx.touch(h)
+        }
+        assert_eq!(go(&mut c, a), 21);
+        assert_eq!(c.stats().steals, 1, "body migrated, continuation stolen");
+    }
+}

@@ -159,7 +159,10 @@ impl OldenCtx {
 
     /// `ALLOC(proc, words)`: allocate on the named processor (§2).
     pub fn alloc(&mut self, proc: ProcId, words: usize) -> GPtr {
-        assert!((proc as usize) < self.cfg.procs, "ALLOC on unknown processor");
+        assert!(
+            (proc as usize) < self.cfg.procs,
+            "ALLOC on unknown processor"
+        );
         self.charge(self.cfg.cost.alloc);
         if self.free_depth == 0 {
             self.stats.allocs += 1;
@@ -376,7 +379,9 @@ impl OldenCtx {
             Some(steal_src) => {
                 self.stats.steals += 1;
                 // The body thread releases and sends its value home.
-                let inval = self.cache.depart(self.cur_proc, self.cfg.cost.write_through);
+                let inval = self
+                    .cache
+                    .depart(self.cur_proc, self.cfg.cost.write_through);
                 self.charge(inval);
                 self.charge(self.cfg.cost.ret_send);
                 let body_end = self.cur_seg;
@@ -587,8 +592,9 @@ mod tests {
                 a
             })
             .collect();
-        let vals =
-            c.parallel_for(ptrs, |c, p| c.call(|c| c.read_i64(p, 0, Mechanism::Migrate)));
+        let vals = c.parallel_for(ptrs, |c, p| {
+            c.call(|c| c.read_i64(p, 0, Mechanism::Migrate))
+        });
         assert_eq!(vals, vec![0, 10, 20, 30]);
         assert_eq!(c.stats().futures, 4);
         assert!(c.stats().steals >= 3, "remote bodies forked");

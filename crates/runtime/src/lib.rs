@@ -16,11 +16,13 @@
 //! replays to produce the parallel makespan. See DESIGN.md §5 for the full
 //! model.
 
+pub mod backend;
 pub mod config;
 pub mod ctx;
 pub mod heap;
 pub mod report;
 
+pub use backend::Backend;
 pub use config::{Config, Mechanism};
 pub use ctx::{FutureHandle, OldenCtx};
 pub use heap::DistributedHeap;

@@ -98,7 +98,11 @@ pub fn run<R>(cfg: Config, program: impl FnOnce(&mut OldenCtx) -> R) -> (R, RunR
 ///
 /// `make_cfg` maps a processor count to the Olden configuration (so
 /// callers can force mechanisms or switch protocols).
-pub fn speedup_curve<F>(program: F, procs: &[usize], make_cfg: impl Fn(usize) -> Config) -> Vec<(usize, f64)>
+pub fn speedup_curve<F>(
+    program: F,
+    procs: &[usize],
+    make_cfg: impl Fn(usize) -> Config,
+) -> Vec<(usize, f64)>
 where
     F: Fn(&mut OldenCtx),
 {
@@ -128,7 +132,7 @@ mod tests {
             }
             total
         });
-        assert_eq!(sum, 0 + 1 + 2 + 3);
+        assert_eq!(sum, 1 + 2 + 3);
         assert!(rep.makespan >= rep.critical_path);
         assert!(rep.makespan <= rep.total_work + 10_000);
         assert_eq!(rep.procs, 4);

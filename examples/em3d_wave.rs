@@ -12,7 +12,10 @@ fn main() {
     let size = SizeClass::Default;
     let (_, seq) = run(Config::sequential(), |ctx| em3d::run(ctx, size));
     println!("sequential makespan: {} cycles", seq.makespan);
-    println!("\n{:>6} {:>11} {:>13} {:>9}", "procs", "heuristic", "migrate-only", "misses");
+    println!(
+        "\n{:>6} {:>11} {:>13} {:>9}",
+        "procs", "heuristic", "migrate-only", "misses"
+    );
     for p in [1usize, 2, 4, 8, 16, 32] {
         let (_, h) = run(Config::olden(p), |ctx| em3d::run(ctx, size));
         let (_, m) = run(Config::olden(p).forced(Mechanism::Migrate), |ctx| {

@@ -22,8 +22,13 @@ fn main() {
     println!("=== Figure 3 ===");
     let lp = &sel.for_func("f")[0];
     let m = sel.matrix(lp.loop_id);
-    println!("update matrix: (s,s)={:?} (t,t)={:?} (u,s)={:?} (u,u)={:?}",
-        m.get("s", "s"), m.get("t", "t"), m.get("u", "s"), m.get("u", "u"));
+    println!(
+        "update matrix: (s,s)={:?} (t,t)={:?} (u,s)={:?} (u,u)={:?}",
+        m.get("s", "s"),
+        m.get("t", "t"),
+        m.get("u", "s"),
+        m.get("u", "u")
+    );
     println!("{}", sel.describe());
 
     // Figure 4: TreeAdd's recursion combines 90% and 70% into 97%.

@@ -63,7 +63,13 @@ fn main() {
 
     // Speedups against the no-overhead sequential baseline (paper §5).
     println!("\n{:>6} {:>9}", "procs", "speedup");
-    for (p, s) in speedup_curve(|ctx| { program(ctx); }, &[1, 2, 4, 8, 16, 32], Config::olden) {
+    for (p, s) in speedup_curve(
+        |ctx| {
+            program(ctx);
+        },
+        &[1, 2, 4, 8, 16, 32],
+        Config::olden,
+    ) {
         println!("{p:>6} {s:>9.2}");
     }
 }

@@ -1,9 +1,9 @@
-//! Property tests on the coherence protocols and the scheduler: random
+//! Randomized tests on the coherence protocols and the scheduler: random
 //! access/migration traces must preserve sequential-consistency
 //! observations under every protocol, and replay must respect bounds.
 
 use olden_core::prelude::*;
-use proptest::prelude::*;
+use olden_rng::SplitMix64;
 
 /// A tiny random program: a sequence of operations over a handful of
 /// heap cells spread across processors.
@@ -14,15 +14,32 @@ enum Op {
     Call { ops: Vec<Op> },
 }
 
-fn op_strategy(depth: u32) -> impl Strategy<Value = Op> {
-    let leaf = prop_oneof![
-        (0u8..8, any::<i64>(), any::<bool>())
-            .prop_map(|(cell, val, mech)| Op::Write { cell, val, mech }),
-        (0u8..8, any::<bool>()).prop_map(|(cell, mech)| Op::Read { cell, mech }),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop::collection::vec(inner, 1..4).prop_map(|ops| Op::Call { ops })
-    })
+/// One random op; `depth` bounds `Call` nesting like the original
+/// recursive proptest strategy did.
+fn random_op(r: &mut SplitMix64, depth: u32) -> Op {
+    let kind = if depth == 0 { r.below(2) } else { r.below(3) };
+    match kind {
+        0 => Op::Write {
+            cell: r.below(8) as u8,
+            val: r.next_u64() as i64,
+            mech: r.chance(0.5),
+        },
+        1 => Op::Read {
+            cell: r.below(8) as u8,
+            mech: r.chance(0.5),
+        },
+        _ => Op::Call {
+            ops: (0..r.range(1, 4))
+                .map(|_| random_op(r, depth - 1))
+                .collect(),
+        },
+    }
+}
+
+fn random_ops(r: &mut SplitMix64, depth: u32, max_len: usize) -> Vec<Op> {
+    (0..r.range(1, max_len))
+        .map(|_| random_op(r, depth))
+        .collect()
 }
 
 fn mech(b: bool) -> Mechanism {
@@ -47,32 +64,36 @@ fn exec(ctx: &mut OldenCtx, cells: &[GPtr], ops: &[Op], log: &mut Vec<i64>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn model_exec(model: &mut [i64; 8], ops: &[Op], out: &mut Vec<i64>) {
+    for op in ops {
+        match op {
+            Op::Write { cell, val, .. } => model[*cell as usize] = *val,
+            Op::Read { cell, .. } => out.push(model[*cell as usize]),
+            Op::Call { ops } => model_exec(model, ops, out),
+        }
+    }
+}
 
-    /// All three protocols (and both mechanisms) observe the same values
-    /// as a direct sequential interpretation: the release-consistency
-    /// argument of Appendix A, exercised mechanically.
-    #[test]
-    fn protocols_are_observationally_sequential(
-        ops in prop::collection::vec(op_strategy(2), 1..24),
-        procs in 1usize..6,
-    ) {
+/// All three protocols (and both mechanisms) observe the same values as a
+/// direct sequential interpretation: the release-consistency argument of
+/// Appendix A, exercised mechanically.
+#[test]
+fn protocols_are_observationally_sequential() {
+    let mut r = SplitMix64::new(0xC0DE5);
+    for _ in 0..64 {
+        let ops = random_ops(&mut r, 2, 24);
+        let procs = r.range(1, 6);
+
         // Direct model: last write wins.
         let mut model = [0i64; 8];
         let mut expect = Vec::new();
-        fn model_exec(model: &mut [i64; 8], ops: &[Op], out: &mut Vec<i64>) {
-            for op in ops {
-                match op {
-                    Op::Write { cell, val, .. } => model[*cell as usize] = *val,
-                    Op::Read { cell, .. } => out.push(model[*cell as usize]),
-                    Op::Call { ops } => model_exec(model, ops, out),
-                }
-            }
-        }
         model_exec(&mut model, &ops, &mut expect);
 
-        for proto in [Protocol::LocalKnowledge, Protocol::GlobalKnowledge, Protocol::Bilateral] {
+        for proto in [
+            Protocol::LocalKnowledge,
+            Protocol::GlobalKnowledge,
+            Protocol::Bilateral,
+        ] {
             let (log, rep) = run(Config::olden(procs).with_protocol(proto), |ctx| {
                 let cells: Vec<GPtr> = (0..8)
                     .map(|i| ctx.alloc((i % procs) as ProcId, 1))
@@ -81,18 +102,22 @@ proptest! {
                 exec(ctx, &cells, &ops, &mut log);
                 log
             });
-            prop_assert_eq!(&log, &expect, "protocol {}", proto.name());
-            prop_assert!(rep.makespan >= rep.critical_path);
-            prop_assert!(rep.makespan <= rep.total_work + 64 * 5000,
-                "makespan cannot exceed serialized work plus latencies");
+            assert_eq!(log, expect, "protocol {}", proto.name());
+            assert!(rep.makespan >= rep.critical_path);
+            assert!(
+                rep.makespan <= rep.total_work + 64 * 5000,
+                "makespan cannot exceed serialized work plus latencies"
+            );
         }
     }
+}
 
-    /// Wrong path-affinity hints never change values (§4.1), only time.
-    #[test]
-    fn hints_affect_time_never_values(
-        ops in prop::collection::vec(op_strategy(1), 1..16),
-    ) {
+/// Wrong path-affinity hints never change values (§4.1), only time.
+#[test]
+fn hints_affect_time_never_values() {
+    let mut r = SplitMix64::new(0xC0DE6);
+    for _ in 0..64 {
+        let ops = random_ops(&mut r, 1, 16);
         let run_with = |force: Option<Mechanism>| {
             let mut cfg = Config::olden(4);
             cfg.force = force;
@@ -105,7 +130,7 @@ proptest! {
             .0
         };
         let base = run_with(None);
-        prop_assert_eq!(run_with(Some(Mechanism::Migrate)), base.clone());
-        prop_assert_eq!(run_with(Some(Mechanism::Cache)), base);
+        assert_eq!(run_with(Some(Mechanism::Migrate)), base);
+        assert_eq!(run_with(Some(Mechanism::Cache)), base);
     }
 }

@@ -37,7 +37,10 @@ fn em3d_and_voronoi_migrate_only_collapse() {
             seq.makespan,
         );
         assert!(m < h / 2.0, "{name}: migrate-only {m} vs heuristic {h}");
-        assert!(m < 1.0, "{name}: migrate-only must lose to sequential ({m})");
+        assert!(
+            m < 1.0,
+            "{name}: migrate-only must lose to sequential ({m})"
+        );
     }
 }
 
@@ -51,7 +54,9 @@ fn treeadd_scales_and_mst_saturates() {
     assert!(s8 > 4.0, "TreeAdd at 8 procs: {s8}");
 
     let mst = benchmarks::by_name("MST").unwrap();
-    let (_, seq) = run(Config::sequential(), |ctx| (mst.run)(ctx, SizeClass::Default));
+    let (_, seq) = run(Config::sequential(), |ctx| {
+        (mst.run)(ctx, SizeClass::Default)
+    });
     let s8 = speedup(&mst, Config::olden(8), SizeClass::Default, seq.makespan);
     let s32 = speedup(&mst, Config::olden(32), SizeClass::Default, seq.makespan);
     assert!(

@@ -15,4 +15,8 @@ cargo build --workspace --release
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> oldenc lint (benchmark DSL race surface vs golden)"
+cargo run --release -q -p olden-bench --bin oldenc -- \
+    lint --golden tests/golden/oldenc-benchmarks.txt
+
 echo "CI green."

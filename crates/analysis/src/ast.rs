@@ -8,6 +8,7 @@
 //! points into the heap — which is what makes the per-dereference
 //! mechanism choice well-defined.
 
+use crate::diag::Span;
 use std::collections::HashMap;
 
 /// A structure field.
@@ -37,12 +38,17 @@ pub enum Expr {
     /// A variable use.
     Var(String),
     /// Pointer navigation: `base->f1->f2…` (at least one field).
-    Path { base: String, fields: Vec<String> },
+    Path {
+        base: String,
+        fields: Vec<String>,
+        span: Span,
+    },
     /// A (possibly recursive) call; `future` marks `futurecall`.
     Call {
         func: String,
         args: Vec<Expr>,
         future: bool,
+        span: Span,
     },
     /// A binary operation (arithmetic/comparison; the analysis only cares
     /// that it is not a pointer path).
@@ -61,7 +67,7 @@ impl Expr {
     pub fn as_path(&self) -> Option<(&str, &[String])> {
         match self {
             Expr::Var(v) => Some((v, &[])),
-            Expr::Path { base, fields } => Some((base, fields)),
+            Expr::Path { base, fields, .. } => Some((base, fields)),
             _ => None,
         }
     }
@@ -90,12 +96,13 @@ impl Expr {
 pub enum Stmt {
     /// `x = expr;` (also covers declarations; the subset is untyped at
     /// the analysis level, pointer-ness is inferred from use).
-    Assign { dst: String, src: Expr },
+    Assign { dst: String, src: Expr, span: Span },
     /// `lhs->f… = expr;` — a store through a pointer path.
     Store {
         base: String,
         fields: Vec<String>,
         src: Expr,
+        span: Span,
     },
     /// `if (cond) { then } else { els }`.
     If {
@@ -108,7 +115,7 @@ pub enum Stmt {
     /// An expression evaluated for effect (typically a call).
     ExprStmt(Expr),
     /// `touch x;` — claim a future's value.
-    Touch(String),
+    Touch { var: String, span: Span },
     /// `return expr?;`
     Return(Option<Expr>),
 }
@@ -124,7 +131,7 @@ impl Stmt {
             Stmt::While { cond, .. } => cond.walk(f),
             Stmt::ExprStmt(e) => e.walk(f),
             Stmt::Return(Some(e)) => e.walk(f),
-            Stmt::Touch(_) | Stmt::Return(None) => {}
+            Stmt::Touch { .. } | Stmt::Return(None) => {}
         }
     }
 
@@ -282,6 +289,7 @@ mod tests {
         let p = Expr::Path {
             base: "s".into(),
             fields: vec!["left".into()],
+            span: Span::DUMMY,
         };
         let (b, f) = p.as_path().unwrap();
         assert_eq!(b, "s");
@@ -297,6 +305,7 @@ mod tests {
                 func: "Traverse".into(),
                 args: vec![Expr::Var("t".into())],
                 future: true,
+                span: Span::DUMMY,
             })],
         }];
         assert!(contains_future(&body));
@@ -312,11 +321,13 @@ mod tests {
                 func: "f".into(),
                 args: vec![],
                 future: false,
+                span: Span::DUMMY,
             }),
             rhs: Box::new(Expr::Call {
                 func: "g".into(),
                 args: vec![],
                 future: false,
+                span: Span::DUMMY,
             }),
         }))];
         assert_eq!(collect_calls(&body).len(), 2);

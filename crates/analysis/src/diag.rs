@@ -1,0 +1,183 @@
+//! Diagnostics: source spans, lint codes, severities.
+//!
+//! The racecheck pass ([`crate::racecheck`]) reports its findings through
+//! this framework so that tools (the `oldenc` binary, CI golden files,
+//! tests) see one stable, line-oriented format:
+//!
+//! ```text
+//! warning[RC001]: continuation may race with in-flight future `Work` …
+//!   --> 7:5
+//!   note: future spawned at 5:13
+//! ```
+//!
+//! Spans are `(line, column)` pairs, both 1-based, attached to tokens by
+//! the lexer and threaded through the AST nodes the analyses report on.
+//! `0:0` ([`Span::DUMMY`]) marks synthesized nodes (e.g. the implicit
+//! `= null` of an uninitialized declaration, or hand-built test ASTs).
+
+use std::fmt;
+
+/// A source position: 1-based line and column. `0:0` means "synthesized,
+/// no source location".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    /// The span of synthesized nodes (no source location).
+    pub const DUMMY: Span = Span { line: 0, col: 0 };
+
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// True for real source positions (anything the lexer produced).
+    pub fn is_real(self) -> bool {
+        self != Span::DUMMY
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth knowing, not necessarily wrong.
+    Note,
+    /// Likely bug: the release-consistency contract may be violated.
+    Warning,
+    /// Definite contract violation.
+    Error,
+}
+
+impl Severity {
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable lint codes for the racecheck pass.
+pub mod codes {
+    /// A continuation access conflicts with an in-flight (un-touched)
+    /// future's body: if the continuation is stolen, the two run
+    /// concurrently with no ordering `touch`.
+    pub const FUTURE_VS_CONTINUATION: &str = "RC001";
+    /// Two in-flight sibling futures (or a loop-carried future and the
+    /// next iteration) have conflicting accesses with no join between.
+    pub const SIBLING_FUTURES: &str = "RC002";
+    /// A future is still in flight when its function returns — its body
+    /// is ordered only by the caller's implicit join.
+    pub const UNTOUCHED_FUTURE: &str = "RC003";
+}
+
+/// One finding, with enough structure for golden-file comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable lint code (see [`codes`]).
+    pub code: &'static str,
+    pub severity: Severity,
+    /// Primary location (the later of the two conflicting accesses, or
+    /// the construct at fault).
+    pub span: Span,
+    /// Human-readable, deterministic message.
+    pub message: String,
+    /// Secondary locations / context, e.g. where the future was spawned.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The single-line form used by `oldenc` and the CI golden file:
+    /// `severity[CODE] line:col: message`.
+    pub fn one_line(&self) -> String {
+        format!(
+            "{}[{}] {}: {}",
+            self.severity.name(),
+            self.code,
+            self.span,
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}\n  --> {}",
+            self.severity.name(),
+            self.code,
+            self.message,
+            self.span
+        )?;
+        for n in &self.notes {
+            write!(f, "\n  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display_and_dummy() {
+        assert_eq!(Span::new(7, 12).to_string(), "7:12");
+        assert!(!Span::DUMMY.is_real());
+        assert!(Span::new(1, 1).is_real());
+    }
+
+    #[test]
+    fn diagnostic_formats() {
+        let d = Diagnostic::new(
+            codes::FUTURE_VS_CONTINUATION,
+            Severity::Warning,
+            Span::new(7, 5),
+            "continuation may race with in-flight future `Work`",
+        )
+        .with_note("future spawned at 5:13");
+        assert_eq!(
+            d.one_line(),
+            "warning[RC001] 7:5: continuation may race with in-flight future `Work`"
+        );
+        let long = d.to_string();
+        assert!(long.contains("--> 7:5"));
+        assert!(long.contains("note: future spawned at 5:13"));
+    }
+
+    #[test]
+    fn severity_order() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

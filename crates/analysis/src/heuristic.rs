@@ -231,7 +231,7 @@ pub fn select(prog: &Program) -> Selection {
                 // Look for `var = expr` in the parent body; the seed base
                 // being fresh is enough.
                 crate::ast::walk_stmts(&parent.body, &mut |s| {
-                    if let Stmt::Assign { dst, src } = s {
+                    if let Stmt::Assign { dst, src, .. } = s {
                         if dst == &var {
                             if let Some((base, _)) = src.as_path() {
                                 if base != var && seed_is_fresh(base) {

@@ -32,15 +32,19 @@
 //! variable to a [`Mech`], which the benchmark crate feeds to the runtime.
 
 pub mod ast;
+pub mod diag;
 pub mod heuristic;
 pub mod loops;
 pub mod parser;
+pub mod racecheck;
 pub mod update;
 
 pub use ast::{Expr, FieldDef, FuncDef, Program, Stmt, StructDef};
+pub use diag::{Diagnostic, Severity, Span};
 pub use heuristic::{select, LoopChoice, Selection};
 pub use loops::{find_control_loops, ControlLoop, LoopId, LoopKind};
 pub use parser::{parse, ParseError};
+pub use racecheck::racecheck;
 pub use update::{update_matrix, UpdateMatrix};
 
 /// Default path-affinity for unannotated pointer fields (§4.3: 70 %).

@@ -46,7 +46,7 @@ pub struct ControlLoop {
 fn cond_string(e: &Expr) -> String {
     match e {
         Expr::Var(v) => v.clone(),
-        Expr::Path { base, fields } => {
+        Expr::Path { base, fields, .. } => {
             let mut s = base.clone();
             for f in fields {
                 s.push_str("->");

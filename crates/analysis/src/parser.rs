@@ -19,18 +19,25 @@
 //! from use.
 
 use crate::ast::{Expr, FieldDef, FuncDef, Program, Stmt, StructDef};
+use crate::diag::Span;
 
-/// A parse failure, with a human-readable message and the offending
-/// position (token index — the DSL snippets are small).
+/// A parse failure, with a human-readable message, the offending token
+/// text, and its source position.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParseError {
     pub message: String,
     pub near: String,
+    /// 1-based line/column of the offending token.
+    pub span: Span,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error: {} (near `{}`)", self.message, self.near)
+        write!(
+            f,
+            "parse error at {}: {} (near `{}`)",
+            self.span, self.message, self.near
+        )
     }
 }
 
@@ -55,67 +62,132 @@ impl Tok {
     }
 }
 
-fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
+/// A token plus the source position of its first character.
+#[derive(Clone, Debug, PartialEq)]
+struct STok {
+    tok: Tok,
+    span: Span,
+}
+
+/// Character cursor that tracks 1-based line/column as it advances.
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Cursor {
+        Cursor {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn advance(&mut self) {
+        if let Some(c) = self.peek() {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.i += 1;
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<STok>, ParseError> {
     let mut toks = Vec::new();
-    let b: Vec<char> = src.chars().collect();
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
+    let mut cur = Cursor::new(src);
+    while let Some(c) = cur.peek() {
         if c.is_whitespace() {
-            i += 1;
+            cur.advance();
             continue;
         }
         // Comments: // to end of line and /* ... */.
-        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
-            while i < b.len() && b[i] != '\n' {
-                i += 1;
+        if c == '/' && cur.peek2() == Some('/') {
+            while cur.peek().is_some_and(|c| c != '\n') {
+                cur.advance();
             }
             continue;
         }
-        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
-            i += 2;
-            while i + 1 < b.len() && !(b[i] == '*' && b[i + 1] == '/') {
-                i += 1;
+        if c == '/' && cur.peek2() == Some('*') {
+            cur.advance();
+            cur.advance();
+            while cur.peek().is_some() && !(cur.peek() == Some('*') && cur.peek2() == Some('/')) {
+                cur.advance();
             }
-            i += 2;
+            cur.advance();
+            cur.advance();
             continue;
         }
+        let span = cur.span();
         if c.is_ascii_alphabetic() || c == '_' {
-            let start = i;
-            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
-                i += 1;
+            let mut text = String::new();
+            while cur
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                text.push(cur.peek().unwrap());
+                cur.advance();
             }
-            toks.push(Tok::Ident(b[start..i].iter().collect()));
+            toks.push(STok {
+                tok: Tok::Ident(text),
+                span,
+            });
             continue;
         }
         if c.is_ascii_digit() {
-            let start = i;
-            while i < b.len() && b[i].is_ascii_digit() {
-                i += 1;
+            let mut text = String::new();
+            while cur.peek().is_some_and(|c| c.is_ascii_digit()) {
+                text.push(cur.peek().unwrap());
+                cur.advance();
             }
-            let text: String = b[start..i].iter().collect();
             let n = text.parse::<i64>().map_err(|_| ParseError {
                 message: "integer literal out of range".into(),
                 near: text.clone(),
+                span,
             })?;
-            toks.push(Tok::Num(n));
+            toks.push(STok {
+                tok: Tok::Num(n),
+                span,
+            });
             continue;
         }
         // Multi-character symbols first.
-        let two: String = b[i..(i + 2).min(b.len())].iter().collect();
-        let sym2 = match two.as_str() {
-            "->" => Some("->"),
-            "==" => Some("=="),
-            "!=" => Some("!="),
-            "<=" => Some("<="),
-            ">=" => Some(">="),
-            "&&" => Some("&&"),
-            "||" => Some("||"),
+        let sym2 = match (c, cur.peek2()) {
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('=')) => Some("=="),
+            ('!', Some('=')) => Some("!="),
+            ('<', Some('=')) => Some("<="),
+            ('>', Some('=')) => Some(">="),
+            ('&', Some('&')) => Some("&&"),
+            ('|', Some('|')) => Some("||"),
             _ => None,
         };
         if let Some(s) = sym2 {
-            toks.push(Tok::Sym(s));
-            i += 2;
+            toks.push(STok {
+                tok: Tok::Sym(s),
+                span,
+            });
+            cur.advance();
+            cur.advance();
             continue;
         }
         let sym1 = match c {
@@ -139,36 +211,48 @@ fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
                 return Err(ParseError {
                     message: format!("unexpected character `{c}`"),
                     near: c.to_string(),
+                    span,
                 })
             }
         };
-        toks.push(Tok::Sym(sym1));
-        i += 1;
+        toks.push(STok {
+            tok: Tok::Sym(sym1),
+            span,
+        });
+        cur.advance();
     }
-    toks.push(Tok::Eof);
+    toks.push(STok {
+        tok: Tok::Eof,
+        span: cur.span(),
+    });
     Ok(toks)
 }
 
 struct Parser {
-    toks: Vec<Tok>,
+    toks: Vec<STok>,
     pos: usize,
 }
 
 impl Parser {
     fn peek(&self) -> &Tok {
-        &self.toks[self.pos]
+        &self.toks[self.pos].tok
     }
 
     fn peek2(&self) -> &Tok {
-        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
     }
 
     fn peek3(&self) -> &Tok {
-        &self.toks[(self.pos + 2).min(self.toks.len() - 1)]
+        &self.toks[(self.pos + 2).min(self.toks.len() - 1)].tok
+    }
+
+    /// Source position of the current token.
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.toks[self.pos].clone();
+        let t = self.toks[self.pos].tok.clone();
         if self.pos < self.toks.len() - 1 {
             self.pos += 1;
         }
@@ -179,6 +263,7 @@ impl Parser {
         Err(ParseError {
             message: msg.into(),
             near: self.peek().show(),
+            span: self.span(),
         })
     }
 
@@ -200,11 +285,13 @@ impl Parser {
     }
 
     fn eat_ident(&mut self) -> Result<String, ParseError> {
+        let span = self.span();
         match self.bump() {
             Tok::Ident(s) => Ok(s),
             t => Err(ParseError {
                 message: "expected identifier".into(),
                 near: t.show(),
+                span,
             }),
         }
     }
@@ -241,6 +328,7 @@ impl Parser {
             let mut affinity = None;
             if self.at_sym("@") {
                 self.bump();
+                let span = self.span();
                 match self.bump() {
                     Tok::Num(n) if (0..=100).contains(&n) => {
                         affinity = Some(n as f64 / 100.0);
@@ -249,6 +337,7 @@ impl Parser {
                         return Err(ParseError {
                             message: "affinity must be an integer percentage 0..=100".into(),
                             near: t.show(),
+                            span,
                         })
                     }
                 }
@@ -347,10 +436,11 @@ impl Parser {
             return Ok(Stmt::Return(e));
         }
         if self.at_kw("touch") {
+            let span = self.span();
             self.bump();
             let v = self.eat_ident()?;
             self.eat_sym(";")?;
-            return Ok(Stmt::Touch(v));
+            return Ok(Stmt::Touch { var: v, span });
         }
         // Declaration: IDENT '*'+ IDENT ... or IDENT IDENT ...
         if let (Tok::Ident(first), Tok::Sym("*"), Tok::Ident(_)) =
@@ -368,6 +458,7 @@ impl Parser {
         // Assignment / store: lookahead for `=` after a path.
         if matches!(self.peek(), Tok::Ident(_)) {
             let save = self.pos;
+            let span = self.span();
             let base = self.eat_ident()?;
             let mut fields = Vec::new();
             while self.at_sym("->") {
@@ -379,9 +470,18 @@ impl Parser {
                 let src = self.expr()?;
                 self.eat_sym(";")?;
                 return if fields.is_empty() {
-                    Ok(Stmt::Assign { dst: base, src })
+                    Ok(Stmt::Assign {
+                        dst: base,
+                        src,
+                        span,
+                    })
                 } else {
-                    Ok(Stmt::Store { base, fields, src })
+                    Ok(Stmt::Store {
+                        base,
+                        fields,
+                        src,
+                        span,
+                    })
                 };
             }
             self.pos = save; // not an assignment: an expression statement
@@ -392,6 +492,7 @@ impl Parser {
     }
 
     fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.span();
         let _ty = self.eat_ident()?;
         while self.at_sym("*") {
             self.bump();
@@ -401,13 +502,18 @@ impl Parser {
             self.bump();
             let src = self.expr()?;
             self.eat_sym(";")?;
-            Ok(Stmt::Assign { dst: name, src })
+            Ok(Stmt::Assign {
+                dst: name,
+                src,
+                span,
+            })
         } else {
             self.eat_sym(";")?;
             // Uninitialized declaration: model as assignment from null.
             Ok(Stmt::Assign {
                 dst: name,
                 src: Expr::Null,
+                span,
             })
         }
     }
@@ -460,6 +566,7 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
         match self.peek().clone() {
             Tok::Num(n) => {
                 self.bump();
@@ -483,6 +590,7 @@ impl Parser {
                     func,
                     args,
                     future: true,
+                    span,
                 })
             }
             Tok::Ident(id) => {
@@ -493,6 +601,7 @@ impl Parser {
                         func: id,
                         args,
                         future: false,
+                        span,
                     });
                 }
                 let mut fields = Vec::new();
@@ -503,12 +612,17 @@ impl Parser {
                 if fields.is_empty() {
                     Ok(Expr::Var(id))
                 } else {
-                    Ok(Expr::Path { base: id, fields })
+                    Ok(Expr::Path {
+                        base: id,
+                        fields,
+                        span,
+                    })
                 }
             }
             t => Err(ParseError {
                 message: "expected expression".into(),
                 near: t.show(),
+                span,
             }),
         }
     }
@@ -574,7 +688,7 @@ mod tests {
             Stmt::While { body, .. } => {
                 assert_eq!(body.len(), 3);
                 assert!(
-                    matches!(&body[1], Stmt::Assign { dst, src: Expr::Path { base, fields } }
+                    matches!(&body[1], Stmt::Assign { dst, src: Expr::Path { base, fields, .. }, .. }
                     if dst == "t" && base == "t" && fields == &vec!["right".to_string(), "left".to_string()])
                 );
             }
@@ -621,7 +735,7 @@ mod tests {
         let f = p.func("WalkAndTraverse").unwrap();
         assert!(crate::ast::contains_future(&f.body));
         let g = p.func("g").unwrap();
-        assert!(matches!(&g.body[1], Stmt::Touch(v) if v == "h"));
+        assert!(matches!(&g.body[1], Stmt::Touch { var, .. } if var == "h"));
     }
 
     #[test]
@@ -677,7 +791,51 @@ mod tests {
         let p = parse("void f() { tree *t; }").unwrap();
         assert!(matches!(
             &p.func("f").unwrap().body[0],
-            Stmt::Assign { dst, src: Expr::Null } if dst == "t"
+            Stmt::Assign { dst, src: Expr::Null, .. } if dst == "t"
         ));
+    }
+
+    #[test]
+    fn spans_point_at_source() {
+        // Line 1 is empty (leading newline), so everything is on lines 2-4.
+        let p = parse("\nstruct s { s *n; };\nvoid f(s *x) {\n  x = x->n;\n}").unwrap();
+        match &p.func("f").unwrap().body[0] {
+            Stmt::Assign { src, span, .. } => {
+                assert_eq!(*span, crate::diag::Span::new(4, 3));
+                match src {
+                    Expr::Path { span, .. } => assert_eq!(*span, crate::diag::Span::new(4, 7)),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_carries_line_and_col() {
+        let err = parse("void f() {\n  return $;\n}").unwrap_err();
+        assert_eq!(err.span, crate::diag::Span::new(2, 10));
+        assert!(err.to_string().contains("2:10"), "{err}");
+    }
+
+    #[test]
+    fn futurecall_and_touch_spans() {
+        let src = "void g(tree *t) {\n  int h = futurecall Work(t);\n  touch h;\n}";
+        let p = parse(src).unwrap();
+        let g = p.func("g").unwrap();
+        match &g.body[0] {
+            Stmt::Assign {
+                src: Expr::Call { future, span, .. },
+                ..
+            } => {
+                assert!(future);
+                assert_eq!(*span, crate::diag::Span::new(2, 11));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &g.body[1] {
+            Stmt::Touch { span, .. } => assert_eq!(*span, crate::diag::Span::new(3, 3)),
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -1,0 +1,988 @@
+//! Static release-consistency race analysis (the compile half of
+//! `olden-racecheck`).
+//!
+//! The paper's coherence story (Appendix A) rests on an implicit
+//! contract: a migration send is a *release*, a migration receipt is an
+//! *acquire*, and a stolen future body must not share written heap lines
+//! with its continuation except through `touch`. Within one thread a
+//! migration preserves program order (the send releases, the receipt
+//! acquires), so the only constructs that create concurrency in the DSL
+//! are `futurecall` (the spawn is a release: the body is ordered after
+//! everything before it) and `touch` (an acquire: the continuation is
+//! ordered after the body). Between a spawn and its touch the future body
+//! and the continuation — and any sibling in-flight futures — may run
+//! concurrently.
+//!
+//! This pass walks each function linearly, carrying the set of *in-flight*
+//! futures, and reports every pair of concurrent accesses to overlapping
+//! `(variable-path, field)` heap locations where at least one side writes:
+//!
+//! * [`crate::diag::codes::FUTURE_VS_CONTINUATION`] (RC001): a
+//!   continuation access conflicts with an in-flight future's body;
+//! * [`crate::diag::codes::SIBLING_FUTURES`] (RC002): two in-flight
+//!   sibling futures conflict, or a loop-spawned future conflicts with
+//!   the next iteration (itself included);
+//! * [`crate::diag::codes::UNTOUCHED_FUTURE`] (RC003, a note): a future
+//!   is still in flight when its function returns.
+//!
+//! **Location abstraction.** A heap access is `(root, field)`: the
+//! syntactic root variable of the pointer path and the field read or
+//! written. Every field on a multi-field path is attributed to the path's
+//! root, which matches the update-matrix view of paths as navigations
+//! from an iteration-entry value (§4.2): `t->left->val` reads
+//! `(t, left)` and `(t, val)`. The abstraction cannot prove that two
+//! subtrees of the same root are disjoint, so futures that *write*
+//! disjoint halves of one structure are reported (a documented false
+//! positive — kept because the pass must never miss a real race; the
+//! dynamic sanitizer's detections are asserted to be a subset of this
+//! pass's reports). Calls are resolved interprocedurally through
+//! bounded-fixpoint *summaries* in terms of callee parameters; calls to
+//! unknown (extern) functions are assumed to read their pointer
+//! arguments (any field) and write nothing.
+
+use crate::ast::{Expr, FuncDef, Program, Stmt};
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use std::collections::{BTreeSet, HashMap};
+
+/// Root of an abstract heap location.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+enum Base {
+    /// Rooted at a function entry variable (or an opaque per-site root
+    /// for call results, spelled `<f@line:col>` so it cannot collide
+    /// with an identifier).
+    Var(String),
+    /// Unknown — may alias anything.
+    Any,
+}
+
+impl Base {
+    fn overlaps(&self, other: &Base) -> bool {
+        matches!(self, Base::Any) || matches!(other, Base::Any) || self == other
+    }
+
+    fn show(&self) -> String {
+        match self {
+            Base::Var(v) => v.clone(),
+            Base::Any => "?".into(),
+        }
+    }
+}
+
+/// The wildcard field (extern calls, whole-object effects).
+const ANY_FIELD: &str = "*";
+
+fn fields_overlap(a: &str, b: &str) -> bool {
+    a == ANY_FIELD || b == ANY_FIELD || a == b
+}
+
+/// One may-access, with the source span it is reported at.
+#[derive(Clone, Debug)]
+struct Access {
+    base: Base,
+    field: String,
+    write: bool,
+    span: Span,
+}
+
+impl Access {
+    fn loc(&self) -> String {
+        if self.field == ANY_FIELD {
+            format!("{}->…", self.base.show())
+        } else {
+            format!("{}->{}", self.base.show(), self.field)
+        }
+    }
+
+    fn conflicts(&self, other: &Access) -> bool {
+        (self.write || other.write)
+            && self.base.overlaps(&other.base)
+            && fields_overlap(&self.field, &other.field)
+    }
+
+    fn rw(&self) -> &'static str {
+        if self.write {
+            "write"
+        } else {
+            "read"
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Function summaries
+// ---------------------------------------------------------------------
+
+/// Base of a summary location: a parameter of the summarised function,
+/// or unknown.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+enum AbsBase {
+    Param(usize),
+    Any,
+}
+
+/// May-read / may-write sets of a function body in terms of its
+/// parameters, reusing the symbolic-path discipline of the update-matrix
+/// pass (§4.2): a local assigned `p->f…` stays rooted at `p`.
+#[derive(Clone, Default, PartialEq, Debug)]
+struct Summary {
+    reads: BTreeSet<(AbsBase, String)>,
+    writes: BTreeSet<(AbsBase, String)>,
+}
+
+type Env = HashMap<String, Base>;
+
+fn resolve(env: &Env, var: &str) -> Base {
+    env.get(var)
+        .cloned()
+        .unwrap_or_else(|| Base::Var(var.to_string()))
+}
+
+/// Opaque root for a call result: distinct from every identifier and
+/// every other call site.
+fn ret_root(func: &str, span: Span) -> Base {
+    Base::Var(format!("<{func}@{span}>"))
+}
+
+/// Collect the heap accesses of evaluating `e` on the current thread into
+/// `out`, and the bodies of futures it spawns into `spawned`. Callee
+/// effects are instantiated from `summaries`.
+fn expr_accesses(
+    prog: &Program,
+    summaries: &HashMap<String, Summary>,
+    env: &Env,
+    e: &Expr,
+    out: &mut Vec<Access>,
+    spawned: &mut Vec<InFlight>,
+) {
+    e.walk(&mut |sub| match sub {
+        Expr::Path { base, fields, span } => {
+            let root = resolve(env, base);
+            for f in fields {
+                out.push(Access {
+                    base: root.clone(),
+                    field: f.clone(),
+                    write: false,
+                    span: *span,
+                });
+            }
+        }
+        Expr::Call {
+            func,
+            args,
+            future,
+            span,
+        } => {
+            let acc = instantiate(prog, summaries, env, func, args, *span);
+            if *future {
+                spawned.push(InFlight {
+                    func: func.clone(),
+                    var: None,
+                    span: *span,
+                    acc,
+                });
+            } else {
+                out.extend(acc);
+            }
+        }
+        _ => {}
+    });
+}
+
+/// The accesses `func(args)` may perform, in the caller's roots.
+fn instantiate(
+    prog: &Program,
+    summaries: &HashMap<String, Summary>,
+    env: &Env,
+    func: &str,
+    args: &[Expr],
+    span: Span,
+) -> Vec<Access> {
+    let arg_base = |i: usize| -> Option<Base> {
+        args.get(i)
+            .and_then(|a| a.as_path())
+            .map(|(b, _)| resolve(env, b))
+    };
+    let mut acc = Vec::new();
+    match summaries.get(func) {
+        Some(sm) => {
+            for (write, set) in [(false, &sm.reads), (true, &sm.writes)] {
+                for (ab, field) in set {
+                    let base = match ab {
+                        AbsBase::Param(i) => match arg_base(*i) {
+                            Some(b) => b,
+                            None => continue, // non-pointer argument
+                        },
+                        AbsBase::Any => Base::Any,
+                    };
+                    acc.push(Access {
+                        base,
+                        field: field.clone(),
+                        write,
+                        span,
+                    });
+                }
+            }
+        }
+        None => {
+            // Extern function: assume it reads (any field of) its pointer
+            // arguments and writes nothing.
+            let _ = prog;
+            for i in 0..args.len() {
+                if let Some(base) = arg_base(i) {
+                    acc.push(Access {
+                        base,
+                        field: ANY_FIELD.into(),
+                        write: false,
+                        span,
+                    });
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Apply an assignment's effect on the root environment.
+fn assign_env(env: &mut Env, dst: &str, src: &Expr) {
+    let base = match src {
+        Expr::Call { func, span, .. } => ret_root(func, *span),
+        _ => match src.as_path() {
+            Some((b, _)) => resolve(env, b),
+            // Scalar / null: accesses through it would be meaningless;
+            // give it a site-local root that aliases nothing.
+            None => Base::Var(format!("<scalar:{dst}>")),
+        },
+    };
+    env.insert(dst.to_string(), base);
+}
+
+/// Walk a statement list collecting current-thread accesses (ignoring
+/// future spawns and touches) — used for summary computation.
+fn summary_walk(
+    prog: &Program,
+    summaries: &HashMap<String, Summary>,
+    env: &mut Env,
+    stmts: &[Stmt],
+    out: &mut Vec<Access>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { dst, src, .. } => {
+                let mut sp = Vec::new();
+                expr_accesses(prog, summaries, env, src, out, &mut sp);
+                // A future's body is part of the function's may-effects
+                // seen by callers (it runs within the call's dynamic
+                // extent or concurrently with the caller's continuation —
+                // either way callers must account for it).
+                for f in sp {
+                    out.extend(f.acc);
+                }
+                assign_env(env, dst, src);
+            }
+            Stmt::Store {
+                base,
+                fields,
+                src,
+                span,
+            } => {
+                let mut sp = Vec::new();
+                expr_accesses(prog, summaries, env, src, out, &mut sp);
+                for f in sp {
+                    out.extend(f.acc);
+                }
+                let root = resolve(env, base);
+                for f in &fields[..fields.len() - 1] {
+                    out.push(Access {
+                        base: root.clone(),
+                        field: f.clone(),
+                        write: false,
+                        span: *span,
+                    });
+                }
+                out.push(Access {
+                    base: root,
+                    field: fields.last().unwrap().clone(),
+                    write: true,
+                    span: *span,
+                });
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let mut sp = Vec::new();
+                expr_accesses(prog, summaries, env, cond, out, &mut sp);
+                for f in sp {
+                    out.extend(f.acc);
+                }
+                let mut et = env.clone();
+                let mut ee = env.clone();
+                summary_walk(prog, summaries, &mut et, then_, out);
+                summary_walk(prog, summaries, &mut ee, else_, out);
+                merge_env(env, &et, &ee);
+            }
+            Stmt::While { cond, body } => {
+                let mut sp = Vec::new();
+                expr_accesses(prog, summaries, env, cond, out, &mut sp);
+                for f in sp {
+                    out.extend(f.acc);
+                }
+                summary_walk(prog, summaries, env, body, out);
+            }
+            Stmt::ExprStmt(e) | Stmt::Return(Some(e)) => {
+                let mut sp = Vec::new();
+                expr_accesses(prog, summaries, env, e, out, &mut sp);
+                for f in sp {
+                    out.extend(f.acc);
+                }
+            }
+            Stmt::Touch { .. } | Stmt::Return(None) => {}
+        }
+    }
+}
+
+/// Merge branch environments at a join: agreement keeps the base,
+/// disagreement goes to [`Base::Any`].
+fn merge_env(env: &mut Env, then_: &Env, else_: &Env) {
+    let keys: BTreeSet<&String> = then_.keys().chain(else_.keys()).collect();
+    for k in keys {
+        let a = then_
+            .get(k)
+            .cloned()
+            .unwrap_or_else(|| Base::Var(k.clone()));
+        let b = else_
+            .get(k)
+            .cloned()
+            .unwrap_or_else(|| Base::Var(k.clone()));
+        env.insert(k.clone(), if a == b { a } else { Base::Any });
+    }
+}
+
+/// Compute one function's summary given the current summary map.
+fn summarize_func(prog: &Program, summaries: &HashMap<String, Summary>, f: &FuncDef) -> Summary {
+    let mut env: Env = f
+        .params
+        .iter()
+        .map(|p| (p.clone(), Base::Var(p.clone())))
+        .collect();
+    let mut acc = Vec::new();
+    summary_walk(prog, summaries, &mut env, &f.body, &mut acc);
+    let mut sm = Summary::default();
+    for a in acc {
+        let ab = match &a.base {
+            Base::Any => AbsBase::Any,
+            Base::Var(v) => match f.params.iter().position(|p| p == v) {
+                Some(i) => AbsBase::Param(i),
+                // Function-local root (call result / scalar): invisible
+                // to callers.
+                None => continue,
+            },
+        };
+        let set = if a.write {
+            &mut sm.writes
+        } else {
+            &mut sm.reads
+        };
+        set.insert((ab, a.field));
+    }
+    sm
+}
+
+/// Bounded fixpoint over the call graph (direct and mutual recursion
+/// both converge: summaries only grow and the lattice is finite).
+fn summarize(prog: &Program) -> HashMap<String, Summary> {
+    let mut summaries: HashMap<String, Summary> = prog
+        .funcs
+        .iter()
+        .map(|f| (f.name.clone(), Summary::default()))
+        .collect();
+    for _round in 0..8 {
+        let mut changed = false;
+        for f in &prog.funcs {
+            let sm = summarize_func(prog, &summaries, f);
+            if summaries.get(&f.name) != Some(&sm) {
+                summaries.insert(f.name.clone(), sm);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+// ---------------------------------------------------------------------
+// The race walk
+// ---------------------------------------------------------------------
+
+/// A spawned, not-yet-touched future.
+#[derive(Clone, Debug)]
+struct InFlight {
+    func: String,
+    /// Variable holding the future's value (None for bare
+    /// `futurecall f(…);` statements — those can never be touched).
+    var: Option<String>,
+    /// Spawn site.
+    span: Span,
+    /// The body's may-accesses, in the spawner's roots.
+    acc: Vec<Access>,
+}
+
+struct Checker<'a> {
+    prog: &'a Program,
+    summaries: &'a HashMap<String, Summary>,
+    func: &'a str,
+    diags: Vec<Diagnostic>,
+    /// Dedup: (code, primary span, other span, location) already reported.
+    seen: BTreeSet<(String, Span, Span, String)>,
+}
+
+impl<'a> Checker<'a> {
+    fn report_rc001(&mut self, cur: &Access, fut: &InFlight, body: &Access) {
+        let key = (
+            codes::FUTURE_VS_CONTINUATION.to_string(),
+            cur.span,
+            fut.span,
+            cur.loc(),
+        );
+        if !self.seen.insert(key) {
+            return;
+        }
+        let mut d = Diagnostic::new(
+            codes::FUTURE_VS_CONTINUATION,
+            Severity::Warning,
+            cur.span,
+            format!(
+                "{} of `{}` may race with in-flight future `{}` ({} in its body)",
+                cur.rw(),
+                cur.loc(),
+                fut.func,
+                body.rw(),
+            ),
+        )
+        .with_note(format!("future spawned at {}", fut.span));
+        if let Some(v) = &fut.var {
+            d = d.with_note(format!("order the accesses with `touch {v};`"));
+        }
+        self.diags.push(d);
+    }
+
+    fn report_rc002(&mut self, a: &InFlight, b: &InFlight, loc: &Access, loop_carried: bool) {
+        let key = (
+            codes::SIBLING_FUTURES.to_string(),
+            b.span,
+            a.span,
+            loc.loc(),
+        );
+        if !self.seen.insert(key) {
+            return;
+        }
+        let msg = if loop_carried && a.span == b.span {
+            format!(
+                "future `{}` spawned in a loop may race with its next-iteration sibling on `{}`",
+                a.func,
+                loc.loc()
+            )
+        } else {
+            format!(
+                "sibling futures `{}` and `{}` may race on `{}`",
+                a.func,
+                b.func,
+                loc.loc()
+            )
+        };
+        let d = Diagnostic::new(codes::SIBLING_FUTURES, Severity::Warning, b.span, msg)
+            .with_note(format!("other future spawned at {}", a.span));
+        self.diags.push(d);
+    }
+
+    /// Check one batch of current-thread accesses against every in-flight
+    /// future.
+    fn check_current(&mut self, cur: &[Access], inflight: &[InFlight]) {
+        for c in cur {
+            for fut in inflight {
+                for b in &fut.acc {
+                    if c.conflicts(b) {
+                        self.report_rc001(c, fut, b);
+                        break; // one report per (access, future)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Check a newly spawned future against the already-in-flight set.
+    fn check_sibling(&mut self, new: &InFlight, inflight: &[InFlight], loop_carried: bool) {
+        for old in inflight {
+            'pairs: for a in &old.acc {
+                for b in &new.acc {
+                    if a.conflicts(b) {
+                        self.report_rc002(old, new, b, loop_carried);
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walk statements, carrying the root environment and in-flight set.
+    /// Appends every current-thread access to `collected` (used by loop
+    /// bodies for the loop-carried check).
+    fn walk(
+        &mut self,
+        env: &mut Env,
+        inflight: &mut Vec<InFlight>,
+        stmts: &[Stmt],
+        collected: &mut Vec<Access>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Touch { var, .. } => {
+                    inflight.retain(|f| f.var.as_deref() != Some(var));
+                }
+                Stmt::If { cond, then_, else_ } => {
+                    self.step_expr(env, inflight, cond, collected);
+                    let mut env_t = env.clone();
+                    let mut env_e = env.clone();
+                    let mut inf_t = inflight.clone();
+                    let mut inf_e = inflight.clone();
+                    self.walk(&mut env_t, &mut inf_t, then_, collected);
+                    self.walk(&mut env_e, &mut inf_e, else_, collected);
+                    merge_env(env, &env_t, &env_e);
+                    // A future is still in flight if either branch left it
+                    // in flight (the other may not have executed).
+                    let mut merged = inf_t;
+                    for f in inf_e {
+                        if !merged
+                            .iter()
+                            .any(|g| g.span == f.span && g.var == f.var && g.func == f.func)
+                        {
+                            merged.push(f);
+                        }
+                    }
+                    *inflight = merged;
+                }
+                Stmt::While { cond, body } => {
+                    self.step_expr(env, inflight, cond, collected);
+                    let pre_spans: BTreeSet<Span> = inflight.iter().map(|f| f.span).collect();
+                    let mut body_acc = Vec::new();
+                    self.walk(env, inflight, body, &mut body_acc);
+                    // Loop-carried concurrency: a future spawned in the
+                    // body and still in flight at its end overlaps the
+                    // next iteration — both its sibling spawned there and
+                    // every current-thread access of the body.
+                    let carried: Vec<InFlight> = inflight
+                        .iter()
+                        .filter(|f| !pre_spans.contains(&f.span))
+                        .cloned()
+                        .collect();
+                    for f in &carried {
+                        self.check_current(&body_acc, std::slice::from_ref(f));
+                        self.check_sibling(f, std::slice::from_ref(f), true);
+                    }
+                    collected.extend(body_acc);
+                }
+                Stmt::Assign { dst, src, .. } => {
+                    let spawned = self.step_expr(env, inflight, src, collected);
+                    assign_env(env, dst, src);
+                    for mut f in spawned {
+                        f.var = Some(dst.clone());
+                        self.check_sibling(&f, inflight, false);
+                        inflight.push(f);
+                    }
+                }
+                Stmt::Store {
+                    base,
+                    fields,
+                    src,
+                    span,
+                } => {
+                    let spawned = self.step_expr(env, inflight, src, collected);
+                    let root = resolve(env, base);
+                    let mut cur = Vec::new();
+                    for f in &fields[..fields.len() - 1] {
+                        cur.push(Access {
+                            base: root.clone(),
+                            field: f.clone(),
+                            write: false,
+                            span: *span,
+                        });
+                    }
+                    cur.push(Access {
+                        base: root,
+                        field: fields.last().unwrap().clone(),
+                        write: true,
+                        span: *span,
+                    });
+                    self.check_current(&cur, inflight);
+                    collected.extend(cur);
+                    for f in spawned {
+                        self.check_sibling(&f, inflight, false);
+                        inflight.push(f);
+                    }
+                }
+                Stmt::ExprStmt(e) | Stmt::Return(Some(e)) => {
+                    let spawned = self.step_expr(env, inflight, e, collected);
+                    for f in spawned {
+                        self.check_sibling(&f, inflight, false);
+                        inflight.push(f);
+                    }
+                }
+                Stmt::Return(None) => {}
+            }
+        }
+    }
+
+    /// Evaluate one expression: check its current-thread accesses against
+    /// the in-flight set and return the futures it spawns (not yet added
+    /// to the set — argument evaluation precedes the spawn, so the
+    /// expression's own reads are ordered before the new bodies).
+    fn step_expr(
+        &mut self,
+        env: &Env,
+        inflight: &[InFlight],
+        e: &Expr,
+        collected: &mut Vec<Access>,
+    ) -> Vec<InFlight> {
+        let mut cur = Vec::new();
+        let mut spawned = Vec::new();
+        expr_accesses(self.prog, self.summaries, env, e, &mut cur, &mut spawned);
+        self.check_current(&cur, inflight);
+        collected.extend(cur);
+        spawned
+    }
+
+    fn finish(&mut self, inflight: &[InFlight]) {
+        for f in inflight {
+            let key = (
+                codes::UNTOUCHED_FUTURE.to_string(),
+                f.span,
+                f.span,
+                String::new(),
+            );
+            if !self.seen.insert(key) {
+                continue;
+            }
+            self.diags.push(Diagnostic::new(
+                codes::UNTOUCHED_FUTURE,
+                Severity::Note,
+                f.span,
+                format!(
+                    "future `{}` is never touched before `{}` returns",
+                    f.func, self.func
+                ),
+            ));
+        }
+    }
+}
+
+/// Run the static race analysis over a whole program.
+///
+/// Diagnostics are deterministic: sorted by source position, then lint
+/// code, then message.
+pub fn racecheck(prog: &Program) -> Vec<Diagnostic> {
+    let summaries = summarize(prog);
+    let mut diags = Vec::new();
+    for f in &prog.funcs {
+        let mut ck = Checker {
+            prog,
+            summaries: &summaries,
+            func: &f.name,
+            diags: Vec::new(),
+            seen: BTreeSet::new(),
+        };
+        let mut env: Env = f
+            .params
+            .iter()
+            .map(|p| (p.clone(), Base::Var(p.clone())))
+            .collect();
+        let mut inflight = Vec::new();
+        let mut collected = Vec::new();
+        ck.walk(&mut env, &mut inflight, &f.body, &mut collected);
+        ck.finish(&inflight);
+        diags.extend(ck.diags);
+    }
+    diags.sort_by(|a, b| {
+        (a.span, a.code, &a.message)
+            .partial_cmp(&(b.span, b.code, &b.message))
+            .unwrap()
+    });
+    diags
+}
+
+/// Parse and check in one step (what `oldenc` does per file).
+pub fn racecheck_src(src: &str) -> Result<Vec<Diagnostic>, crate::parser::ParseError> {
+    Ok(racecheck(&crate::parser::parse(src)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        racecheck(&parse(src).unwrap())
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_when_touch_orders_write() {
+        let d = check(
+            r#"
+            struct tree { tree *left; tree *right; int val; };
+            int Work(tree *t) { t->val = 1; return 0; }
+            int g(tree *t) {
+                int h = futurecall Work(t);
+                touch h;
+                t->val = 2;
+                return t->val;
+            }
+            "#,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn rc001_write_write_future_vs_continuation() {
+        let d = check(
+            r#"
+            struct tree { tree *left; tree *right; int val; };
+            int Work(tree *t) { t->val = 1; return 0; }
+            int g(tree *t) {
+                int h = futurecall Work(t);
+                t->val = 2;
+                touch h;
+                return t->val;
+            }
+            "#,
+        );
+        assert_eq!(codes_of(&d), vec![codes::FUTURE_VS_CONTINUATION], "{d:?}");
+        assert!(d[0].message.contains("t->val"), "{}", d[0].message);
+        assert!(d[0].notes.iter().any(|n| n.contains("touch h")), "{d:?}");
+    }
+
+    #[test]
+    fn rc001_read_write_conflict() {
+        let d = check(
+            r#"
+            struct node { node *next; int v; };
+            int Bump(node *n) { n->v = n->v + 1; return 0; }
+            int g(node *n) {
+                int h = futurecall Bump(n);
+                int x = n->v;
+                touch h;
+                return x;
+            }
+            "#,
+        );
+        assert_eq!(codes_of(&d), vec![codes::FUTURE_VS_CONTINUATION], "{d:?}");
+    }
+
+    #[test]
+    fn read_only_futures_are_clean() {
+        // TreeAdd's shape: sibling futures that only read.
+        let d = check(
+            r#"
+            struct tree { tree *left @ 90; tree *right @ 70; int val; };
+            int TreeAdd(tree *t) {
+                if (t == null) { return 0; }
+                int l = futurecall TreeAdd(t->left);
+                int r = TreeAdd(t->right);
+                touch l;
+                return l + r + t->val;
+            }
+            "#,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn rc002_sibling_futures_conflict() {
+        let d = check(
+            r#"
+            struct tree { tree *left; tree *right; int val; };
+            int Mark(tree *t) { t->val = 1; return 0; }
+            int g(tree *t) {
+                int a = futurecall Mark(t->left);
+                int b = futurecall Mark(t->left);
+                touch a;
+                touch b;
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(codes_of(&d), vec![codes::SIBLING_FUTURES], "{d:?}");
+    }
+
+    #[test]
+    fn rc002_loop_carried_future() {
+        let d = check(
+            r#"
+            struct list { list *next; };
+            struct tree { tree *left; int val; };
+            int Mark(tree *t) { t->val = 1; return 0; }
+            void WalkAndMark(list *l, tree *t) {
+                while (l != null) {
+                    futurecall Mark(t);
+                    l = l->next;
+                }
+            }
+            "#,
+        );
+        // The bare futurecall is never touched (RC003) and races with its
+        // next-iteration sibling (RC002).
+        assert!(codes_of(&d).contains(&codes::SIBLING_FUTURES), "{d:?}");
+        assert!(codes_of(&d).contains(&codes::UNTOUCHED_FUTURE), "{d:?}");
+    }
+
+    #[test]
+    fn rc003_untouched_future_notes() {
+        let d = check(
+            r#"
+            struct tree { tree *left; int val; };
+            int Sum(tree *t) { if (t == null) { return 0; } return Sum(t->left) + t->val; }
+            int g(tree *t) {
+                int h = futurecall Sum(t);
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(codes_of(&d), vec![codes::UNTOUCHED_FUTURE], "{d:?}");
+        assert_eq!(d[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn touch_in_both_branches_clears() {
+        let d = check(
+            r#"
+            struct tree { tree *left; int val; };
+            int Work(tree *t) { t->val = 1; return 0; }
+            int g(tree *t, int c) {
+                int h = futurecall Work(t);
+                if (c) { touch h; } else { touch h; }
+                t->val = 2;
+                return 0;
+            }
+            "#,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn touch_in_one_branch_keeps_inflight() {
+        let d = check(
+            r#"
+            struct tree { tree *left; int val; };
+            int Work(tree *t) { t->val = 1; return 0; }
+            int g(tree *t, int c) {
+                int h = futurecall Work(t);
+                if (c) { touch h; }
+                t->val = 2;
+                touch h;
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(codes_of(&d), vec![codes::FUTURE_VS_CONTINUATION], "{d:?}");
+    }
+
+    #[test]
+    fn interprocedural_write_through_callee() {
+        // The continuation's conflicting write happens inside a helper.
+        let d = check(
+            r#"
+            struct tree { tree *left; int val; };
+            int Work(tree *t) { t->val = 1; return 0; }
+            void Helper(tree *u) { u->val = 3; }
+            int g(tree *t) {
+                int h = futurecall Work(t);
+                Helper(t);
+                touch h;
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(codes_of(&d), vec![codes::FUTURE_VS_CONTINUATION], "{d:?}");
+    }
+
+    #[test]
+    fn recursive_summary_converges() {
+        // Mark recurses; its write must still be seen through the fixpoint.
+        let d = check(
+            r#"
+            struct tree { tree *left; tree *right; int val; };
+            void Mark(tree *t) {
+                if (t == null) { return; }
+                t->val = 1;
+                Mark(t->left);
+                Mark(t->right);
+            }
+            int g(tree *t) {
+                int h = futurecall Mark(t);
+                int x = t->val;
+                touch h;
+                return x;
+            }
+            "#,
+        );
+        assert_eq!(codes_of(&d), vec![codes::FUTURE_VS_CONTINUATION], "{d:?}");
+    }
+
+    #[test]
+    fn distinct_roots_do_not_conflict() {
+        let d = check(
+            r#"
+            struct tree { tree *left; int val; };
+            int Work(tree *t) { t->val = 1; return 0; }
+            int g(tree *t, tree *u) {
+                int h = futurecall Work(t);
+                u->val = 2;
+                touch h;
+                return 0;
+            }
+            "#,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn extern_calls_assumed_read_only() {
+        let d = check(
+            r#"
+            struct tree { tree *left; int val; };
+            int Sum(tree *t) { if (t == null) { return 0; } return Sum(t->left) + t->val; }
+            int g(tree *t) {
+                int h = futurecall Sum(t);
+                Print(t);
+                touch h;
+                return 0;
+            }
+            "#,
+        );
+        // Print reads t->… ; Sum's body only reads — no conflict.
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_deterministic() {
+        let src = r#"
+            struct tree { tree *left; int val; };
+            int W(tree *t) { t->val = 1; return 0; }
+            int g(tree *t) {
+                int a = futurecall W(t);
+                t->val = 2;
+                int x = t->val;
+                return x;
+            }
+        "#;
+        let d1 = check(src);
+        let d2 = check(src);
+        assert_eq!(d1, d2);
+        assert!(d1.len() >= 2);
+        let spans: Vec<_> = d1.iter().map(|d| d.span).collect();
+        let mut sorted = spans.clone();
+        sorted.sort();
+        assert_eq!(spans, sorted);
+    }
+}

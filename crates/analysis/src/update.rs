@@ -133,11 +133,11 @@ fn eval_stmt(prog: &Program, state: &mut State, s: &Stmt, rec: &mut Option<RecCo
         });
     }
     match s {
-        Stmt::Assign { dst, src } => {
+        Stmt::Assign { dst, src, .. } => {
             let v = eval_expr(prog, state, src);
             state.insert(dst.clone(), v);
         }
-        Stmt::Store { .. } | Stmt::ExprStmt(_) | Stmt::Touch(_) | Stmt::Return(_) => {
+        Stmt::Store { .. } | Stmt::ExprStmt(_) | Stmt::Touch { .. } | Stmt::Return(_) => {
             // Stores mutate the heap, not variable bindings; returns end
             // the iteration on paths the merge rule already discounts.
         }
@@ -510,6 +510,65 @@ mod tests {
         );
         assert!((m.get("a", "a").unwrap() - 0.95).abs() < 1e-12);
         assert!(m.get("b", "a").is_none(), "b is loop-dependent: unknown");
+    }
+
+    #[test]
+    fn three_field_path_multiplies_all_affinities() {
+        // §4.2 case 3 past two fields: `n->a->b->c` is the product of all
+        // three per-field affinities, 0.9 × 0.8 × 0.5.
+        let (_, m) = matrix_of(
+            r#"
+            struct node { node *a @ 90; node *b @ 80; node *c @ 50; };
+            void f(node *n) {
+                while (n) {
+                    n = n->a->b->c;
+                }
+            }
+            "#,
+            0,
+        );
+        assert!((m.get("n", "n").unwrap() - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_recursive_sites_combine_at_least_one_local() {
+        // §4.2 case 2 past Figure 4's pair: a ternary recursion combines
+        // as 1 − (1−.9)(1−.7)(1−.5) = 0.985 — still "the probability at
+        // least one child is local", not a sum or an average.
+        let (_, m) = matrix_of(
+            r#"
+            struct tree { tree *c0 @ 90; tree *c1 @ 70; tree *c2 @ 50; };
+            void walk(tree *t) {
+                if (t == null) { return; }
+                walk(t->c0);
+                walk(t->c1);
+                walk(t->c2);
+            }
+            "#,
+            0,
+        );
+        assert!((m.get("t", "t").unwrap() - 0.985).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_omits_when_branches_update_along_different_bases() {
+        // Both branches assign `t`, but from different entry values; the
+        // update has no single (row, column) home, so it is omitted — the
+        // other half of §4.2 case 1 next to the one-branch-only rule.
+        let (_, m) = matrix_of(
+            r#"
+            struct tree { tree *left @ 90; tree *right @ 70; int val; };
+            void f(tree *t, tree *u, int x) {
+                while (t) {
+                    if (x < t->val) { t = t->left; }
+                    else { t = u->right; }
+                }
+            }
+            "#,
+            0,
+        );
+        assert!(m.get("t", "t").is_none(), "no single base");
+        assert!(m.get("t", "u").is_none(), "no single base");
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! `oldenc` — the static race linter over the Olden DSL.
+//!
+//! Two subcommands:
+//!
+//! * `oldenc lint [--golden PATH]` runs the release-consistency race
+//!   analysis over the DSL renditions of all ten Table-1 benchmarks and
+//!   prints one line per finding (or `name: clean`). With `--golden` the
+//!   output must match the recorded file exactly; any drift — a new
+//!   warning or a silently vanished one — fails the run. CI pins the
+//!   benchmark lint surface this way.
+//! * `oldenc check FILE...` lints DSL source files, printing full
+//!   multi-line diagnostics. Exit 1 when anything is reported, 2 on
+//!   parse errors.
+
+use olden_analysis::racecheck::racecheck_src;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: oldenc lint [--golden PATH]");
+    eprintln!("       oldenc check FILE...");
+    ExitCode::from(2)
+}
+
+/// The `lint` report: one `name: ...` line per benchmark finding, in
+/// registry (paper Table 1) order. Diagnostics come out of the checker
+/// already sorted, so the report is deterministic.
+fn lint_report() -> String {
+    let mut out = String::new();
+    for d in olden_benchmarks::all() {
+        let diags = match racecheck_src(d.dsl) {
+            Ok(diags) => diags,
+            Err(e) => {
+                // A benchmark DSL that stops parsing is a bug in the
+                // repo, not in the user's input; surface it in the
+                // report so the golden comparison catches it.
+                let _ = writeln!(out, "{}: parse error: {e}", d.name);
+                continue;
+            }
+        };
+        if diags.is_empty() {
+            let _ = writeln!(out, "{}: clean", d.name);
+        } else {
+            for diag in diags {
+                let _ = writeln!(out, "{}: {}", d.name, diag.one_line());
+            }
+        }
+    }
+    out
+}
+
+fn lint(golden: Option<&str>) -> ExitCode {
+    let report = lint_report();
+    print!("{report}");
+    let Some(path) = golden else {
+        return ExitCode::SUCCESS;
+    };
+    let want = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("oldenc: cannot read golden file {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report == want {
+        eprintln!("oldenc: lint output matches {path}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("oldenc: lint output diverges from {path}:");
+        for diff in diff_lines(&want, &report) {
+            eprintln!("  {diff}");
+        }
+        eprintln!("(re-record with: oldenc lint > {path})");
+        ExitCode::FAILURE
+    }
+}
+
+/// Minimal line diff: every golden line not in the output (`-`) and
+/// every output line not in the golden (`+`), in file order.
+fn diff_lines(want: &str, got: &str) -> Vec<String> {
+    let want: Vec<&str> = want.lines().collect();
+    let got: Vec<&str> = got.lines().collect();
+    let mut out = Vec::new();
+    for w in &want {
+        if !got.contains(w) {
+            out.push(format!("- {w}"));
+        }
+    }
+    for g in &got {
+        if !want.contains(g) {
+            out.push(format!("+ {g}"));
+        }
+    }
+    out
+}
+
+fn check(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        return usage();
+    }
+    let mut findings = 0usize;
+    for path in files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("oldenc: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match racecheck_src(&src) {
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{path}: {d}");
+                }
+                findings += diags.len();
+            }
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if findings == 0 {
+        eprintln!("oldenc: {} file(s) clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("oldenc: {findings} finding(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match args.get(1).map(String::as_str) {
+            None => lint(None),
+            Some("--golden") if args.len() == 3 => lint(Some(&args[2])),
+            _ => usage(),
+        },
+        Some("check") => check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The checked-in golden file is exactly what `oldenc lint` prints
+    /// today. `ci.sh` re-asserts this through the real binary; this test
+    /// keeps `cargo test` self-contained.
+    #[test]
+    fn golden_file_is_current() {
+        let want = include_str!("../../../../tests/golden/oldenc-benchmarks.txt");
+        assert_eq!(
+            lint_report(),
+            want,
+            "benchmark lint surface drifted; re-record tests/golden/oldenc-benchmarks.txt"
+        );
+    }
+
+    #[test]
+    fn every_benchmark_dsl_parses() {
+        for d in olden_benchmarks::all() {
+            racecheck_src(d.dsl).unwrap_or_else(|e| panic!("{} DSL: {e}", d.name));
+        }
+    }
+}

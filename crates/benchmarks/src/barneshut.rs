@@ -544,6 +544,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "8K bodies",
     choice: "M+C",
     whole_program: true,
+    dsl: DSL,
     run,
     reference,
 };

@@ -377,6 +377,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "128K integers",
     choice: "M+C",
     whole_program: false,
+    dsl: DSL,
     run,
     reference,
 };

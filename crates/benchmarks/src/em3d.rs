@@ -267,6 +267,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "2K nodes",
     choice: "M+C",
     whole_program: false,
+    dsl: DSL,
     run,
     reference,
 };

@@ -351,6 +351,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "1365 villages",
     choice: "M+C",
     whole_program: true,
+    dsl: DSL,
     run,
     reference,
 };

@@ -27,6 +27,7 @@ pub mod listdist;
 pub mod mst;
 pub mod perimeter;
 pub mod power;
+pub mod racy;
 pub mod treeadd;
 pub mod tsp;
 pub mod voronoi;
@@ -84,6 +85,9 @@ pub struct Descriptor {
     /// times (Power, Barnes-Hut, Health); the rest report kernel times
     /// with the build phase uncharged.
     pub whole_program: bool,
+    /// The kernel's DSL rendition (each module's `DSL` constant): input
+    /// to the selection heuristic and to `oldenc`'s static race pass.
+    pub dsl: &'static str,
     /// Run the benchmark under the simulator context; returns a checksum
     /// that must equal `reference` for the same size. (The kernels are
     /// generic over [`Backend`]; this field is their `OldenCtx`

@@ -122,6 +122,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "32K elements",
     choice: "-",
     whole_program: false,
+    dsl: DSL_DEFAULT,
     run,
     reference,
 };

@@ -210,6 +210,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "1K nodes",
     choice: "M",
     whole_program: false,
+    dsl: DSL,
     run,
     reference,
 };

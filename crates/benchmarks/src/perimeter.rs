@@ -309,6 +309,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "4K x 4K image",
     choice: "M+C",
     whole_program: false,
+    dsl: DSL,
     run,
     reference,
 };

@@ -273,6 +273,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "10,000 customers",
     choice: "M",
     whole_program: true,
+    dsl: DSL,
     run,
     reference,
 };

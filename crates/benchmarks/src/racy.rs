@@ -1,0 +1,269 @@
+//! The race-seed corpus: miniature programs, racy and clean, each in two
+//! renditions that must tell the same story.
+//!
+//! Every [`Seed`] pairs a DSL source (input to the static
+//! `olden_analysis::racecheck` pass) with a [`Backend`]-generic kernel
+//! ([`run_seed`]) exercising the same access pattern dynamically under
+//! the happens-before sanitizer. The cross-validation suite
+//! (`crates/exec/tests/racecheck_xval.rs`) holds the two sides to the
+//! soundness contract:
+//!
+//! * **superset** — any seed the dynamic oracle flags must carry at
+//!   least one static warning (the static pass over-approximates, never
+//!   under-reports on this corpus);
+//! * **clean means clean** — seeds with `racy: false` are silent under
+//!   both the static pass and the sanitizer on every backend.
+//!
+//! The kernels force the conflicting accesses onto distinct processors
+//! (a `Mechanism::Migrate` dereference moves the body away before it
+//! touches the shared cell) because the sanitizer's per-processor tick
+//! counters deliberately alias same-processor segments toward
+//! happens-before; see `olden_runtime::sanitize`.
+
+use olden_gptr::GPtr;
+use olden_runtime::{Backend, Mechanism};
+
+/// One corpus entry.
+#[derive(Clone, Copy)]
+pub struct Seed {
+    /// Corpus name (also the [`run_seed`] dispatch key).
+    pub name: &'static str,
+    /// DSL rendition for the static race pass.
+    pub dsl: &'static str,
+    /// True when the kernel really races: the sanitizer must flag it on
+    /// every backend, and the static pass must warn on the DSL.
+    pub racy: bool,
+}
+
+/// The whole corpus.
+pub fn seeds() -> Vec<Seed> {
+    vec![
+        Seed {
+            name: "ww-future-vs-continuation",
+            dsl: r#"
+                struct cell { cell *next; int val; };
+                int Work(cell *c) { c->val = 1; return 0; }
+                int Main(cell *c) {
+                    int h = futurecall Work(c);
+                    c->val = 2;
+                    touch h;
+                    return c->val;
+                }
+            "#,
+            racy: true,
+        },
+        Seed {
+            name: "rw-future-vs-continuation",
+            dsl: r#"
+                struct cell { cell *next; int val; };
+                int Bump(cell *c) { c->val = c->val + 1; return 0; }
+                int Main(cell *c) {
+                    int h = futurecall Bump(c);
+                    int x = c->val;
+                    touch h;
+                    return x;
+                }
+            "#,
+            racy: true,
+        },
+        Seed {
+            name: "ww-sibling-futures",
+            dsl: r#"
+                struct tree { tree *left; tree *right; int val; };
+                int Mark(tree *t) { t->val = 1; return 0; }
+                int Main(tree *t) {
+                    int a = futurecall Mark(t->left);
+                    int b = futurecall Mark(t->left);
+                    touch a;
+                    touch b;
+                    return 0;
+                }
+            "#,
+            racy: true,
+        },
+        Seed {
+            name: "loop-carried-future",
+            dsl: r#"
+                struct list { list *next; };
+                struct tree { tree *left; int val; };
+                int Mark(tree *t) { t->val = 1; return 0; }
+                void Walk(list *l, tree *t) {
+                    while (l != null) {
+                        futurecall Mark(t);
+                        l = l->next;
+                    }
+                }
+            "#,
+            racy: true,
+        },
+        Seed {
+            name: "clean-touch-ordered",
+            dsl: r#"
+                struct tree { tree *left; tree *right; int val; };
+                int Work(tree *t) { t->val = 1; return 0; }
+                int Main(tree *t) {
+                    int h = futurecall Work(t);
+                    touch h;
+                    t->val = 2;
+                    return t->val;
+                }
+            "#,
+            racy: false,
+        },
+        Seed {
+            name: "clean-read-only-siblings",
+            dsl: r#"
+                struct tree { tree *left @ 90; tree *right @ 70; int val; };
+                int TreeAdd(tree *t) {
+                    if (t == null) { return 0; }
+                    int l = futurecall TreeAdd(t->left);
+                    int r = TreeAdd(t->right);
+                    touch l;
+                    return l + r + t->val;
+                }
+            "#,
+            racy: false,
+        },
+    ]
+}
+
+/// A future body that migrates to `probe`'s processor (vacating the
+/// spawner, making the continuation stealable) and then acts on the
+/// shared cell through its cache — the canonical way the corpus puts the
+/// conflicting endpoints on different processors.
+fn migrate_then<B: Backend, R: Send + 'static>(
+    ctx: &mut B,
+    probe: GPtr,
+    act: impl FnOnce(&mut B) -> R + Send + 'static,
+) -> B::Handle<R> {
+    ctx.future_call(move |c| {
+        c.call(move |c| {
+            c.read(probe, 0, Mechanism::Migrate);
+            act(c)
+        })
+    })
+}
+
+/// The continuation writes the cell while the body's write is in flight.
+fn ww_future_vs_continuation<B: Backend>(ctx: &mut B) {
+    let cell = ctx.alloc(1, 1);
+    let probe = ctx.alloc(2, 1);
+    let h = migrate_then(ctx, probe, move |c| {
+        c.write(cell, 0, 1i64, Mechanism::Cache)
+    });
+    ctx.write(cell, 0, 2i64, Mechanism::Cache);
+    ctx.touch(h);
+}
+
+/// The continuation reads the cell while the body's write is in flight.
+fn rw_future_vs_continuation<B: Backend>(ctx: &mut B) {
+    let cell = ctx.alloc(1, 1);
+    let probe = ctx.alloc(2, 1);
+    let h = migrate_then(ctx, probe, move |c| {
+        c.write(cell, 0, 1i64, Mechanism::Cache)
+    });
+    ctx.read(cell, 0, Mechanism::Cache);
+    ctx.touch(h);
+}
+
+/// Two sibling futures write one cell; neither is ordered before the
+/// other, whatever order they are touched in.
+fn ww_sibling_futures<B: Backend>(ctx: &mut B) {
+    let cell = ctx.alloc(1, 1);
+    let p1 = ctx.alloc(2, 1);
+    let p2 = ctx.alloc(3, 1);
+    let h1 = migrate_then(ctx, p1, move |c| c.write(cell, 0, 1i64, Mechanism::Cache));
+    let h2 = migrate_then(ctx, p2, move |c| c.write(cell, 0, 2i64, Mechanism::Cache));
+    ctx.touch(h1);
+    ctx.touch(h2);
+}
+
+/// The loop-carried shape: futures spawned across iterations all write
+/// the same cell. (The DSL leaves them untouched — RC003 — while the
+/// kernel joins them after the loop so every backend terminates cleanly;
+/// the iteration-vs-iteration conflict is the same.)
+fn loop_carried_future<B: Backend>(ctx: &mut B) {
+    let cell = ctx.alloc(1, 1);
+    let mut handles = Vec::new();
+    for p in 2..4u8 {
+        let probe = ctx.alloc(p, 1);
+        handles.push(migrate_then(ctx, probe, move |c| {
+            c.write(cell, 0, i64::from(p), Mechanism::Cache)
+        }));
+    }
+    for h in handles {
+        ctx.touch(h);
+    }
+}
+
+/// Touch joins the body before the continuation's conflicting write.
+fn clean_touch_ordered<B: Backend>(ctx: &mut B) {
+    let cell = ctx.alloc(1, 1);
+    let probe = ctx.alloc(2, 1);
+    let h = migrate_then(ctx, probe, move |c| {
+        c.write(cell, 0, 1i64, Mechanism::Cache)
+    });
+    ctx.touch(h);
+    ctx.write(cell, 0, 2i64, Mechanism::Cache);
+}
+
+/// Unordered accessors that only read never race.
+fn clean_read_only_siblings<B: Backend>(ctx: &mut B) {
+    let cell = ctx.alloc(1, 1);
+    ctx.write(cell, 0, 7i64, Mechanism::Cache); // initial value, pre-fork
+    let p1 = ctx.alloc(2, 1);
+    let p2 = ctx.alloc(3, 1);
+    let h1 = migrate_then(ctx, p1, move |c| c.read(cell, 0, Mechanism::Cache));
+    let h2 = migrate_then(ctx, p2, move |c| c.read(cell, 0, Mechanism::Cache));
+    ctx.read(cell, 0, Mechanism::Cache);
+    ctx.touch(h1);
+    ctx.touch(h2);
+}
+
+/// Run a corpus kernel by name on any backend (the corpus counterpart of
+/// [`crate::generic_run`]). The backend needs ≥ 4 processors. Returns
+/// `None` for an unknown name.
+pub fn run_seed<B: Backend>(name: &str, ctx: &mut B) -> Option<()> {
+    match name {
+        "ww-future-vs-continuation" => ww_future_vs_continuation(ctx),
+        "rw-future-vs-continuation" => rw_future_vs_continuation(ctx),
+        "ww-sibling-futures" => ww_sibling_futures(ctx),
+        "loop-carried-future" => loop_carried_future(ctx),
+        "clean-touch-ordered" => clean_touch_ordered(ctx),
+        "clean-read-only-siblings" => clean_read_only_siblings(ctx),
+        _ => return None,
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olden_analysis::racecheck::racecheck_src;
+    use olden_analysis::Severity;
+    use olden_runtime::{Config, OldenCtx};
+
+    /// Every seed has both renditions, and the simulator's oracle agrees
+    /// with the `racy` flag. (Static/dynamic cross-validation across the
+    /// thread backend lives in the exec crate's integration tests.)
+    #[test]
+    fn corpus_is_wired_and_sim_oracle_matches() {
+        for seed in seeds() {
+            let diags = racecheck_src(seed.dsl).unwrap_or_else(|e| panic!("{}: {e}", seed.name));
+            let warns = diags
+                .iter()
+                .filter(|d| d.severity >= Severity::Warning)
+                .count();
+            let mut ctx = OldenCtx::new(Config::olden(4).sanitized());
+            run_seed(seed.name, &mut ctx).expect("dispatch knows every seed");
+            let races = ctx.race_violations();
+            if seed.racy {
+                assert!(!races.is_empty(), "{}: sanitizer silent", seed.name);
+                assert!(warns > 0, "{}: static pass silent", seed.name);
+            } else {
+                assert!(races.is_empty(), "{}: {races:?}", seed.name);
+                assert!(diags.is_empty(), "{}: {diags:?}", seed.name);
+            }
+        }
+    }
+}

@@ -123,6 +123,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "1024K nodes",
     choice: "M",
     whole_program: false,
+    dsl: DSL,
     run,
     reference,
 };

@@ -304,6 +304,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "32K cities",
     choice: "M",
     whole_program: false,
+    dsl: DSL,
     run,
     reference,
 };

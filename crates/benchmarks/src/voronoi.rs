@@ -723,6 +723,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     problem_size: "64K points",
     choice: "M+C",
     whole_program: false,
+    dsl: DSL,
     run,
     reference,
 };

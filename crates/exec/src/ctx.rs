@@ -30,7 +30,7 @@ use crate::frame::{CompleteOnDrop, FrameHandle};
 use crate::msg::{ArrivalKind, LookupReply, Msg};
 use crate::{ClientSlot, Mode, Shared, C_DONE, C_JOINING, C_RUNNING, C_WAITING_BODY};
 use olden_gptr::{GPtr, ProcId, Word, LINE_WORDS};
-use olden_runtime::{Backend, Mechanism, RunStats};
+use olden_runtime::{Backend, Mechanism, RaceViolation, RunStats, VClock};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
@@ -43,6 +43,9 @@ pub(crate) struct BodyOutcome<T> {
     stats: RunStats,
     cacheable_reads: u64,
     cacheable_writes: u64,
+    /// Sanitizer: the body's final vector clock, joined into the
+    /// toucher's clock (the simulator's `Join` edge).
+    clock: VClock,
 }
 
 enum HandleInner<T: Send + 'static> {
@@ -54,6 +57,9 @@ enum HandleInner<T: Send + 'static> {
         value: T,
         written: Vec<ProcId>,
         parallel: bool,
+        /// Sanitizer, stolen lockstep futures only: the body's final
+        /// clock, joined at the touch.
+        clock: Option<VClock>,
     },
     /// Parallel mode, continuation stolen: the body is (or was) running on
     /// its own OS thread; the touch joins it.
@@ -102,6 +108,11 @@ pub struct ExecCtx {
     /// the workers).
     cacheable_reads: u64,
     cacheable_writes: u64,
+    /// Sanitizer: this logical thread's vector clock, mirroring the
+    /// simulator's per-segment clocks — advanced (with a fresh shared
+    /// tick) on every migration, steal resume, and touch join. Untouched
+    /// when the sanitizer is off.
+    clock: VClock,
     slot: Arc<ClientSlot>,
 }
 
@@ -112,7 +123,7 @@ impl ExecCtx {
 
     fn fresh(shared: Arc<Shared>, proc: ProcId) -> ExecCtx {
         let slot = shared.register_client(proc);
-        ExecCtx {
+        let mut ctx = ExecCtx {
             shared,
             cur_proc: proc,
             free_depth: 0,
@@ -121,7 +132,31 @@ impl ExecCtx {
             stats: RunStats::default(),
             cacheable_reads: 0,
             cacheable_writes: 0,
+            clock: VClock::new(),
             slot,
+        };
+        // The root segment's tick, matching the simulator's segment 0.
+        ctx.clock_bump(proc);
+        ctx
+    }
+
+    fn sanitizing(&self) -> bool {
+        self.shared.sanitize
+    }
+
+    /// Clock to piggyback on a heap-access message: the current one when
+    /// sanitizing and charged, `None` otherwise (uncharged accesses are
+    /// invisible to the sanitizer, exactly as in the simulator).
+    fn clock_for_msg(&self) -> Option<VClock> {
+        (self.sanitizing() && self.free_depth == 0).then(|| self.clock.clone())
+    }
+
+    /// Start a new segment on `p`: draw a fresh shared tick for `p` and
+    /// advance the clock's `p` component to it.
+    fn clock_bump(&mut self, p: ProcId) {
+        if self.sanitizing() {
+            let tick = self.shared.ticks[p as usize].fetch_add(1, Ordering::Relaxed) + 1;
+            self.clock.advance(p, tick);
         }
     }
 
@@ -158,16 +193,20 @@ impl ExecCtx {
     }
 
     fn read_home(&self, p: GPtr) -> Word {
+        let clock = self.clock_for_msg();
         self.req(p.proc(), |reply| Msg::ReadHome {
             local: p.local(),
+            clock,
             reply,
         })
     }
 
     fn write_home(&self, p: GPtr, value: Word) {
+        let clock = self.clock_for_msg();
         self.req(p.proc(), |reply| Msg::WriteHome {
             local: p.local(),
             value,
+            clock,
             reply,
         })
     }
@@ -190,9 +229,35 @@ impl ExecCtx {
             reply,
         });
         match reply {
-            LookupReply::Hit(w) => w,
+            LookupReply::Hit(w) => {
+                if !write {
+                    // A cached read hit never generates home traffic, but
+                    // the line's happens-before state lives at the home:
+                    // notify it. (Write hits are covered by the
+                    // write-through that follows.)
+                    if let Some(clock) = self.clock_for_msg() {
+                        self.req(home, |reply| Msg::SanitizeHit {
+                            page,
+                            line,
+                            clock,
+                            reply,
+                        })
+                    }
+                }
+                w
+            }
             LookupReply::Miss => {
-                let data = self.req(home, |reply| Msg::LineFetchReq { page, line, reply });
+                // The fetch doubles as the sanitized read access; a write
+                // miss instead carries its clock on the write-through, so
+                // each simulator-side logged access maps to exactly one
+                // clocked message.
+                let clock = if write { None } else { self.clock_for_msg() };
+                let data = self.req(home, |reply| Msg::LineFetchReq {
+                    page,
+                    line,
+                    clock,
+                    reply,
+                });
                 self.req(cur, |reply| Msg::CacheInstall {
                     home,
                     page,
@@ -227,9 +292,13 @@ impl ExecCtx {
         let from = self.cur_proc;
         debug_assert_ne!(from, target);
         self.stats.migrations += 1;
+        // Steals are marked with the *departing* segment's clock, before
+        // the bump: the resumed continuation is ordered after everything
+        // up to the migration, not after the body's later work.
         self.mark_steals(from);
         self.cur_proc = target;
         self.slot.proc.store(target, Ordering::Relaxed);
+        self.clock_bump(target);
         self.req(target, |reply| Msg::MigrateThread {
             arrival: ArrivalKind::Call,
             reply,
@@ -240,9 +309,10 @@ impl ExecCtx {
     /// there becomes stolen (in parallel mode this wakes the spawner
     /// blocked in `future_call` — the StealNotify of the protocol).
     fn mark_steals(&mut self, proc: ProcId) {
+        let clock = self.sanitizing().then(|| self.clock.clone());
         for f in self.frames.iter().rev() {
             if f.anchor == proc {
-                f.steal();
+                f.steal(clock.as_ref());
             }
         }
     }
@@ -349,6 +419,7 @@ impl ExecCtx {
             self.mark_steals(from);
             self.cur_proc = entry;
             self.slot.proc.store(entry, Ordering::Relaxed);
+            self.clock_bump(entry);
             self.arrive_return(written);
         }
         r
@@ -365,6 +436,7 @@ impl ExecCtx {
                 value,
                 written: Vec::new(),
                 parallel: false,
+                clock: None,
             });
         }
         self.bump();
@@ -385,13 +457,21 @@ impl ExecCtx {
                     self.stats.steals += 1;
                     // The idle spawn processor grabbed the continuation;
                     // resume there (no acquire — the continuation never
-                    // left).
+                    // left). Clock-wise this rewinds to the steal point:
+                    // the continuation saw nothing the body did after its
+                    // migration; the touch joins the body's final clock.
+                    let body_clock = self.sanitizing().then(|| self.clock.clone());
+                    if let Some(sc) = frame.steal_clock() {
+                        self.clock = sc;
+                    }
                     self.cur_proc = spawn_proc;
                     self.slot.proc.store(spawn_proc, Ordering::Relaxed);
+                    self.clock_bump(spawn_proc);
                     ExecHandle(HandleInner::Ready {
                         value,
                         written,
                         parallel: true,
+                        clock: body_clock,
                     })
                 } else {
                     debug_assert_eq!(self.cur_proc, spawn_proc, "unstolen body cannot move");
@@ -399,6 +479,7 @@ impl ExecCtx {
                         value,
                         written,
                         parallel: false,
+                        clock: None,
                     })
                 }
             }
@@ -413,6 +494,9 @@ impl ExecCtx {
                     stats: RunStats::default(),
                     cacheable_reads: 0,
                     cacheable_writes: 0,
+                    // The body continues the spawner's segment (no bump
+                    // until it migrates), exactly as in the simulator.
+                    clock: self.clock.clone(),
                     slot: self.shared.register_client(spawn_proc),
                 };
                 let body_frame = Arc::clone(&frame);
@@ -429,6 +513,7 @@ impl ExecCtx {
                             stats: child.stats,
                             cacheable_reads: child.cacheable_reads,
                             cacheable_writes: child.cacheable_writes,
+                            clock: child.clock,
                         }
                     })
                     .expect("spawn future body thread");
@@ -443,12 +528,19 @@ impl ExecCtx {
                 self.frames.pop().expect("frame underflow");
                 if st.stolen {
                     self.stats.steals += 1;
+                    // Resume from the steal point's clock (see the
+                    // lockstep arm for the reasoning).
+                    if let Some(sc) = st.steal_clock {
+                        self.clock = sc;
+                    }
                     self.cur_proc = spawn_proc;
                     self.slot.proc.store(spawn_proc, Ordering::Relaxed);
+                    self.clock_bump(spawn_proc);
                     ExecHandle(HandleInner::Pending { join })
                 } else {
                     // Completed without migrating: join immediately; the
-                    // future never forked.
+                    // future never forked. The body never migrated, so
+                    // its clock equals ours — nothing to join.
                     let out = join_body(join);
                     self.absorb(&out.stats, out.cacheable_reads, out.cacheable_writes);
                     self.merge_written(&out.written);
@@ -456,6 +548,7 @@ impl ExecCtx {
                         value: out.value,
                         written: out.written,
                         parallel: false,
+                        clock: None,
                     })
                 }
             }
@@ -472,8 +565,15 @@ impl ExecCtx {
                 value,
                 written,
                 parallel,
+                clock,
             } => {
                 if parallel && self.free_depth == 0 {
+                    // The touch is a join: order this thread after the
+                    // body's final segment, in a fresh segment.
+                    if let Some(bc) = &clock {
+                        self.clock.join(bc);
+                        self.clock_bump(self.cur_proc);
+                    }
                     // Receiving the future's value is a migration receipt:
                     // acquire with the body's write set.
                     self.arrive_return(written);
@@ -488,6 +588,10 @@ impl ExecCtx {
                 self.absorb(&out.stats, out.cacheable_reads, out.cacheable_writes);
                 self.merge_written(&out.written);
                 if self.free_depth == 0 {
+                    if self.sanitizing() {
+                        self.clock.join(&out.clock);
+                        self.clock_bump(self.cur_proc);
+                    }
                     self.arrive_return(out.written);
                 }
                 out.value
@@ -561,5 +665,15 @@ impl Backend for ExecCtx {
 
     fn touch<T: Send + 'static>(&mut self, h: ExecHandle<T>) -> T {
         self.touch_impl(h)
+    }
+
+    /// Collect the per-line findings from every worker (round trips, so
+    /// all of this thread's earlier accesses are already accounted).
+    fn race_violations(&mut self) -> Vec<RaceViolation> {
+        let mut out = Vec::new();
+        for p in 0..self.shared.procs {
+            out.extend(self.req(p as ProcId, |reply| Msg::RaceQuery { reply }));
+        }
+        out
     }
 }

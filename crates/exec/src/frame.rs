@@ -9,6 +9,7 @@
 //! delivers *TouchResult* the same way.
 
 use olden_gptr::ProcId;
+use olden_runtime::VClock;
 use std::sync::{Condvar, Mutex};
 
 #[derive(Debug, Default)]
@@ -18,6 +19,10 @@ pub struct FrameState {
     pub stolen: bool,
     /// The body finished (normally or by panic).
     pub done: bool,
+    /// Sanitizer only: the stealing thread's vector clock at the moment
+    /// of the steal — the departing segment, which the resumed
+    /// continuation is ordered after (the simulator's `Steal` edge).
+    pub steal_clock: Option<VClock>,
 }
 
 /// Shared bookkeeping for one spawned future.
@@ -39,14 +44,22 @@ impl FrameHandle {
         }
     }
 
-    /// Mark the continuation stolen (idempotent). Returns whether this
-    /// call changed the state.
-    pub fn steal(&self) -> bool {
+    /// Mark the continuation stolen (idempotent; only the first steal
+    /// records `clock`). Returns whether this call changed the state.
+    pub fn steal(&self, clock: Option<&VClock>) -> bool {
         let mut st = self.state.lock().unwrap();
         let fresh = !st.stolen;
         st.stolen = true;
+        if fresh {
+            st.steal_clock = clock.cloned();
+        }
         self.cv.notify_all();
         fresh
+    }
+
+    /// The clock recorded by the first steal, if any.
+    pub fn steal_clock(&self) -> Option<VClock> {
+        self.state.lock().unwrap().steal_clock.clone()
     }
 
     /// Mark the body complete and wake the spawner.
@@ -70,6 +83,7 @@ impl FrameHandle {
         FrameState {
             stolen: st.stolen,
             done: st.done,
+            steal_clock: st.steal_clock.clone(),
         }
     }
 }

@@ -36,7 +36,7 @@ pub use ctx::{ExecCtx, ExecHandle};
 use crate::msg::Msg;
 use crate::worker::{Worker, WorkerSlot, W_EXITED, W_SERVING, W_WAITING};
 use olden_gptr::{ProcId, MAX_PROCS};
-use olden_runtime::{CacheStats, Mechanism, RunStats};
+use olden_runtime::{CacheStats, Mechanism, RaceViolation, RunStats};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, Sender};
@@ -70,6 +70,11 @@ pub struct ExecConfig {
     /// The watchdog fails the run if the global progress counter stops
     /// moving for this long.
     pub stall_timeout: Duration,
+    /// Run the happens-before race sanitizer: logical threads maintain
+    /// vector clocks (advanced on migration, steal, and touch edges) and
+    /// piggyback them on their heap traffic; each line's home worker
+    /// checks every access against the line's clock state.
+    pub sanitize: bool,
 }
 
 impl ExecConfig {
@@ -79,6 +84,7 @@ impl ExecConfig {
             mode: Mode::Lockstep,
             force: None,
             stall_timeout: Duration::from_secs(10),
+            sanitize: false,
         }
     }
 
@@ -97,6 +103,12 @@ impl ExecConfig {
 
     pub fn with_stall_timeout(mut self, d: Duration) -> ExecConfig {
         self.stall_timeout = d;
+        self
+    }
+
+    /// Same configuration with the happens-before sanitizer on.
+    pub fn sanitized(mut self) -> ExecConfig {
+        self.sanitize = true;
         self
     }
 }
@@ -121,11 +133,16 @@ pub(crate) struct Shared {
     pub procs: usize,
     pub mode: Mode,
     pub force: Option<Mechanism>,
+    pub sanitize: bool,
     pub mailboxes: Vec<Sender<Msg>>,
     /// Bumped by every worker message and every client operation; the
     /// watchdog's only signal.
     pub progress: Arc<AtomicU64>,
     pub clients: Mutex<Vec<Arc<ClientSlot>>>,
+    /// Sanitizer vector-clock tick source, one counter per processor:
+    /// every clock bump on processor `p` draws a fresh tick, so distinct
+    /// segments on one processor stay distinguishable across threads.
+    pub ticks: Vec<AtomicU64>,
     next_client: AtomicU64,
 }
 
@@ -164,6 +181,9 @@ pub struct ExecReport {
     pub messages: u64,
     /// Logical threads that existed over the run (1 in lockstep mode).
     pub clients: u64,
+    /// Happens-before violations found by the sanitizer, over all
+    /// workers (empty unless `ExecConfig::sanitize` was set).
+    pub races: Vec<RaceViolation>,
 }
 
 fn dump_state(worker_slots: &[Arc<WorkerSlot>], shared: &Shared) -> String {
@@ -234,9 +254,11 @@ where
         procs: cfg.procs,
         mode: cfg.mode,
         force: cfg.force,
+        sanitize: cfg.sanitize,
         mailboxes,
         progress: Arc::clone(&progress),
         clients: Mutex::new(Vec::new()),
+        ticks: (0..cfg.procs).map(|_| AtomicU64::new(0)).collect(),
         next_client: AtomicU64::new(0),
     });
 
@@ -307,6 +329,7 @@ where
         ..CacheStats::default()
     };
     let (mut pages_cached, mut section_words, mut messages) = (0, 0, 0);
+    let mut races = Vec::new();
     for r in &reports {
         cache.remote_reads += r.cache.remote_reads;
         cache.remote_writes += r.cache.remote_writes;
@@ -315,6 +338,7 @@ where
         pages_cached += r.pages_ever;
         section_words += r.words_allocated;
         messages += r.served;
+        races.extend(r.races.iter().copied());
     }
     let clients = shared.clients.lock().unwrap().len() as u64;
     let report = ExecReport {
@@ -325,6 +349,7 @@ where
         section_words,
         messages,
         clients,
+        races,
     };
     (value, report)
 }
@@ -483,6 +508,123 @@ mod tests {
         });
         assert_eq!(rep.stats.migrations, 1);
         assert_eq!(rep.cache.remote_writes, 0);
+    }
+
+    /// The happens-before sanitizer: a stolen continuation racing with
+    /// its body is detected, and the detection agrees byte-for-byte with
+    /// the simulator's on both exec modes.
+    #[test]
+    fn sanitizer_detects_future_vs_continuation_race() {
+        fn kernel<B: Backend>(ctx: &mut B) -> i64 {
+            let a = ctx.alloc(1, 1);
+            let h = ctx.future_call(move |c| {
+                c.call(move |c| {
+                    c.write(a, 0, 1i64, Mechanism::Migrate);
+                    0i64
+                })
+            });
+            ctx.write(a, 0, 2i64, Mechanism::Cache); // races with the body
+            ctx.touch(h)
+        }
+        let mut sim = OldenCtx::new(Config::olden(4).sanitized());
+        kernel(&mut sim);
+        let mut sim_races = Backend::race_violations(&mut sim);
+        sim_races.sort();
+        assert_eq!(sim_races.len(), 1, "{sim_races:?}");
+        assert_eq!(sim_races[0].kind(), "write-write");
+        for cfg in [
+            ExecConfig::lockstep(4).sanitized(),
+            ExecConfig::parallel(4).sanitized(),
+        ] {
+            let mode = cfg.mode;
+            let (_, rep) = run_exec(cfg, kernel);
+            let mut races = rep.races.clone();
+            races.sort();
+            assert_eq!(races, sim_races, "{mode:?}");
+        }
+    }
+
+    /// Ordering the same accesses with a touch silences the sanitizer on
+    /// every backend, and the mid-run `Backend::race_violations` hook
+    /// agrees with the shutdown report.
+    #[test]
+    fn sanitizer_is_quiet_when_touch_orders_the_writes() {
+        fn kernel<B: Backend>(ctx: &mut B) -> usize {
+            let a = ctx.alloc(1, 1);
+            let h = ctx.future_call(move |c| {
+                c.call(move |c| {
+                    c.write(a, 0, 1i64, Mechanism::Migrate);
+                    0i64
+                })
+            });
+            ctx.touch(h); // join first …
+            ctx.write(a, 0, 2i64, Mechanism::Cache); // … then write: ordered
+            ctx.race_violations().len()
+        }
+        let mut sim = OldenCtx::new(Config::olden(4).sanitized());
+        assert_eq!(kernel(&mut sim), 0);
+        for cfg in [
+            ExecConfig::lockstep(4).sanitized(),
+            ExecConfig::parallel(4).sanitized(),
+        ] {
+            let mode = cfg.mode;
+            let (mid_run, rep) = run_exec(cfg, kernel);
+            assert_eq!(mid_run, 0, "{mode:?}");
+            assert!(rep.races.is_empty(), "{mode:?}: {:?}", rep.races);
+        }
+    }
+
+    /// Sibling futures whose bodies write one shared line race; the
+    /// violation lands on the shared line's home worker.
+    #[test]
+    fn sanitizer_detects_sibling_future_race() {
+        fn kernel<B: Backend>(ctx: &mut B) {
+            let shared = ctx.alloc(2, 1);
+            let b1 = ctx.alloc(1, 1);
+            let b3 = ctx.alloc(3, 1);
+            let mk = |probe: GPtr| {
+                move |c: &mut B| {
+                    c.call(move |c| {
+                        c.read(probe, 0, Mechanism::Migrate); // migrate away
+                        c.write(shared, 0, 1i64, Mechanism::Cache);
+                    })
+                }
+            };
+            let h1 = ctx.future_call(mk(b1));
+            let h2 = ctx.future_call(mk(b3));
+            ctx.touch(h1);
+            ctx.touch(h2);
+        }
+        for cfg in [
+            ExecConfig::lockstep(4).sanitized(),
+            ExecConfig::parallel(4).sanitized(),
+        ] {
+            let mode = cfg.mode;
+            let (_, rep) = run_exec(cfg, kernel);
+            assert_eq!(rep.races.len(), 1, "{mode:?}: {:?}", rep.races);
+            assert_eq!(rep.races[0].kind(), "write-write", "{mode:?}");
+            assert_eq!(rep.races[0].line.0, 2, "{mode:?}: shared cell's home");
+        }
+    }
+
+    /// With the sanitizer off, clocks stay home: no races reported, no
+    /// extra messages beyond the unsanitized baseline.
+    #[test]
+    fn sanitizer_off_is_free() {
+        fn kernel<B: Backend>(ctx: &mut B) {
+            let a = ctx.alloc(1, 1);
+            ctx.write(a, 0, 1i64, Mechanism::Cache);
+            ctx.read(a, 0, Mechanism::Cache);
+            ctx.read(a, 0, Mechanism::Cache); // hit: would SanitizeHit
+        }
+        let (_, plain) = run_exec(ExecConfig::lockstep(4), kernel);
+        let (_, sane) = run_exec(ExecConfig::lockstep(4).sanitized(), kernel);
+        assert!(plain.races.is_empty());
+        assert!(sane.races.is_empty());
+        assert!(
+            sane.messages > plain.messages,
+            "sanitized cache hits notify the home"
+        );
     }
 
     /// A stalled run fails loudly with the state dump, not by hanging.

@@ -17,6 +17,7 @@
 
 use olden_cache::CacheStats;
 use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS};
+use olden_runtime::{RaceViolation, VClock};
 use std::sync::mpsc::Sender;
 
 /// One 64-byte line's payload, as moved by a fetch reply.
@@ -51,21 +52,43 @@ pub enum LookupReply {
 pub enum Msg {
     /// `ALLOC(words)` in this worker's heap section.
     Alloc { words: usize, reply: Sender<GPtr> },
-    /// Read the home copy of one word.
-    ReadHome { local: u64, reply: Sender<Word> },
+    /// Read the home copy of one word. `clock` (sanitizer runs only) is
+    /// the accessing segment's vector clock, fed to this line's
+    /// happens-before state.
+    ReadHome {
+        local: u64,
+        clock: Option<VClock>,
+        reply: Sender<Word>,
+    },
     /// Write the home copy of one word (the write-through of every heap
     /// write, however its address was resolved).
     WriteHome {
         local: u64,
         value: Word,
+        clock: Option<VClock>,
         reply: Sender<()>,
     },
     /// Home side of a cache miss: ship one line of this worker's section.
+    /// `clock` is set for sanitized cache-read misses; cached writes
+    /// leave it `None` (their write-through carries the clock).
     LineFetchReq {
         page: PageNum,
         line: LineInPage,
+        clock: Option<VClock>,
         reply: Sender<LineData>,
     },
+    /// Sanitizer only: a cache **read hit** on a line homed here — the
+    /// one access kind that otherwise never reaches the home worker,
+    /// where the line's happens-before state lives. A round trip, so
+    /// mailbox arrival order stays a happens-before linearization.
+    SanitizeHit {
+        page: PageNum,
+        line: LineInPage,
+        clock: VClock,
+        reply: Sender<()>,
+    },
+    /// Mid-run query of this worker's sanitizer findings.
+    RaceQuery { reply: Sender<Vec<RaceViolation>> },
     /// Consult this worker's software cache for a remotely homed word.
     CacheLookup {
         home: ProcId,
@@ -115,4 +138,6 @@ pub struct WorkerReport {
     pub words_allocated: u64,
     /// Messages serviced over the worker's lifetime.
     pub served: u64,
+    /// Happens-before violations on lines homed here (sanitizer runs).
+    pub races: Vec<RaceViolation>,
 }

@@ -12,6 +12,7 @@
 use crate::msg::{ArrivalKind, LineData, LookupReply, Msg, WorkerReport};
 use olden_cache::{CacheStats, ProcCache};
 use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS, PAGE_WORDS};
+use olden_runtime::{LineKey, LineSanitizer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::Receiver;
@@ -44,6 +45,12 @@ pub struct Worker {
     /// as in the protocol.
     lines: HashMap<(ProcId, PageNum, LineInPage), LineData>,
     stats: CacheStats,
+    /// Happens-before state of every line homed here. All accesses to a
+    /// line reach its home worker (sanitized runs route cache read hits
+    /// here via [`Msg::SanitizeHit`]), and clients only send a request
+    /// after every happens-before predecessor's round trip completed, so
+    /// this worker's mailbox order is a valid feeding order.
+    san: LineSanitizer,
     slot: Arc<WorkerSlot>,
     progress: Arc<AtomicU64>,
 }
@@ -56,9 +63,17 @@ impl Worker {
             cache: ProcCache::new(),
             lines: HashMap::new(),
             stats: CacheStats::default(),
+            san: LineSanitizer::new(),
             slot,
             progress,
         }
+    }
+
+    /// The line (homed here) that a section-local word address falls in.
+    fn line_of(&self, local: u64) -> LineKey {
+        let page = local / PAGE_WORDS as u64;
+        let line = ((local % PAGE_WORDS as u64) / LINE_WORDS as u64) as LineInPage;
+        (self.proc, page, line)
     }
 
     /// Service messages until shutdown.
@@ -89,19 +104,50 @@ impl Worker {
                 self.section.resize(self.section.len() + words, Word::ZERO);
                 let _ = reply.send(GPtr::new(self.proc, base));
             }
-            Msg::ReadHome { local, reply } => {
+            Msg::ReadHome {
+                local,
+                clock,
+                reply,
+            } => {
+                if let Some(c) = clock {
+                    self.san.access(self.line_of(local), false, &c);
+                }
                 let _ = reply.send(self.section[local as usize]);
             }
             Msg::WriteHome {
                 local,
                 value,
+                clock,
                 reply,
             } => {
+                if let Some(c) = clock {
+                    self.san.access(self.line_of(local), true, &c);
+                }
                 self.section[local as usize] = value;
                 let _ = reply.send(());
             }
-            Msg::LineFetchReq { page, line, reply } => {
+            Msg::LineFetchReq {
+                page,
+                line,
+                clock,
+                reply,
+            } => {
+                if let Some(c) = clock {
+                    self.san.access((self.proc, page, line), false, &c);
+                }
                 let _ = reply.send(self.read_line(page, line));
+            }
+            Msg::SanitizeHit {
+                page,
+                line,
+                clock,
+                reply,
+            } => {
+                self.san.access((self.proc, page, line), false, &clock);
+                let _ = reply.send(());
+            }
+            Msg::RaceQuery { reply } => {
+                let _ = reply.send(self.san.violations().to_vec());
             }
             Msg::CacheLookup {
                 home,
@@ -174,6 +220,7 @@ impl Worker {
                     pages_ever: self.cache.pages_ever(),
                     words_allocated: (self.section.len() - LINE_WORDS) as u64,
                     served: self.slot.served.load(Ordering::Relaxed),
+                    races: self.san.violations().to_vec(),
                 };
                 let _ = reply.send(report);
                 return false;

@@ -1,0 +1,203 @@
+//! Vector clocks over execution traces: the happens-before half of
+//! `olden-racecheck`.
+//!
+//! The release-consistency contract of Appendix A induces a
+//! happens-before order on trace segments: every [`crate::trace::Edge`]
+//! (program order, migration send→receipt, return stub, steal, touch
+//! join) orders its endpoints, and happens-before is the transitive
+//! closure. A [`VClock`] has one component per processor; the clock of a
+//! segment is the component-wise join of its predecessors' clocks,
+//! bumped on the segment's own processor:
+//!
+//! ```text
+//! clock(seg) = join(clock(pred) for every edge pred → seg) ⊔ bump(seg.proc)
+//! ```
+//!
+//! Two segments `a`, `b` are **HB-ordered** iff `clock(a) ≤ clock(b)` or
+//! vice versa. The implication holds in one direction only: a path of
+//! edges forces `≤`, but two unordered segments that happen to run on the
+//! same processor can receive comparable clocks (each processor has a
+//! single counter). The approximation is therefore conservative *toward*
+//! happens-before: the dynamic sanitizer built on it never reports a
+//! spurious race, which is exactly the direction the static-superset
+//! cross-validation needs.
+
+use crate::trace::{SegId, Trace};
+use olden_gptr::ProcId;
+
+/// A vector clock: one monotone counter per processor. Missing
+/// components are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    comps: Vec<u64>,
+}
+
+impl VClock {
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// Component for processor `p`.
+    #[inline]
+    pub fn get(&self, p: ProcId) -> u64 {
+        self.comps.get(p as usize).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, p: ProcId, v: u64) {
+        let i = p as usize;
+        if self.comps.len() <= i {
+            self.comps.resize(i + 1, 0);
+        }
+        self.comps[i] = v;
+    }
+
+    /// Advance processor `p`'s component past `counter`'s current value
+    /// and return the new per-processor tick. Callers thread one counter
+    /// per processor (see [`segment_clocks`]).
+    pub fn bump(&mut self, p: ProcId, counter: &mut u64) {
+        *counter += 1;
+        self.set(p, *counter);
+    }
+
+    /// Set processor `p`'s component to `tick`, which must not move it
+    /// backwards. Online clock implementations (the thread backend) draw
+    /// ticks from shared per-processor counters instead of threading a
+    /// `&mut u64` through [`VClock::bump`].
+    pub fn advance(&mut self, p: ProcId, tick: u64) {
+        debug_assert!(tick >= self.get(p), "clocks are monotone");
+        self.set(p, tick);
+    }
+
+    /// Component-wise maximum (the join of two histories).
+    pub fn join(&mut self, other: &VClock) {
+        if other.comps.len() > self.comps.len() {
+            self.comps.resize(other.comps.len(), 0);
+        }
+        for (i, &v) in other.comps.iter().enumerate() {
+            if v > self.comps[i] {
+                self.comps[i] = v;
+            }
+        }
+    }
+
+    /// True if every component of `self` is ≤ the matching component of
+    /// `other`: all events `self` has seen, `other` has seen too.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.comps
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.comps.get(i).copied().unwrap_or(0))
+    }
+}
+
+/// Replay a recorded trace into one clock per segment.
+///
+/// Valid because segment ids are created in execution order and every
+/// edge goes from a lower to a higher id, so ascending id order is a
+/// topological order of the DAG.
+pub fn segment_clocks(trace: &Trace) -> Vec<VClock> {
+    let mut clocks: Vec<VClock> = vec![VClock::new(); trace.len()];
+    // One tick counter per processor; each segment gets a fresh tick on
+    // its own processor so distinct segments are distinguishable.
+    let mut counters: Vec<u64> = Vec::new();
+    for e in trace.edges() {
+        debug_assert!(e.from < e.to, "trace edges must go forward");
+    }
+    for (i, seg) in trace.segments().iter().enumerate() {
+        let id = SegId(i as u32);
+        let mut c = VClock::new();
+        for e in trace.edges().iter().filter(|e| e.to == id) {
+            c.join(&clocks[e.from.index()]);
+        }
+        let p = seg.proc as usize;
+        if counters.len() <= p {
+            counters.resize(p + 1, 0);
+        }
+        c.bump(seg.proc, &mut counters[p]);
+        clocks[i] = c;
+    }
+    clocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EdgeKind;
+
+    #[test]
+    fn clock_basics() {
+        let mut a = VClock::new();
+        let mut n0 = 0u64;
+        let mut n1 = 0u64;
+        a.bump(0, &mut n0);
+        assert_eq!(a.get(0), 1);
+        assert_eq!(a.get(7), 0);
+        let mut b = VClock::new();
+        b.bump(1, &mut n1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        b.join(&a);
+        assert!(a.leq(&b));
+        assert_eq!(b.get(0), 1);
+        assert_eq!(b.get(1), 1);
+    }
+
+    #[test]
+    fn edges_order_segments() {
+        // a --Migrate--> b --Return--> c ; a and d unordered.
+        let mut t = Trace::new();
+        let a = t.new_segment(0);
+        let b = t.new_segment(1);
+        let c = t.new_segment(0);
+        let d = t.new_segment(2);
+        t.add_edge(a, b, 0, EdgeKind::Migrate);
+        t.add_edge(b, c, 0, EdgeKind::Return);
+        let clocks = segment_clocks(&t);
+        assert!(clocks[a.index()].leq(&clocks[b.index()]));
+        assert!(clocks[a.index()].leq(&clocks[c.index()]));
+        assert!(clocks[b.index()].leq(&clocks[c.index()]));
+        assert!(!clocks[c.index()].leq(&clocks[a.index()]));
+        assert!(!clocks[a.index()].leq(&clocks[d.index()]));
+        assert!(!clocks[d.index()].leq(&clocks[a.index()]));
+    }
+
+    #[test]
+    fn steal_and_join_diamond() {
+        // spawn --Seq--> body --Join--> post
+        //   \----Steal--> cont --Seq---^
+        // body and cont are concurrent; post sees both.
+        let mut t = Trace::new();
+        let spawn = t.new_segment(0);
+        let body = t.new_segment(1);
+        let cont = t.new_segment(0);
+        let post = t.new_segment(0);
+        t.add_edge(spawn, body, 0, EdgeKind::Migrate);
+        t.add_edge(spawn, cont, 0, EdgeKind::Steal);
+        t.add_edge(cont, post, 0, EdgeKind::Seq);
+        t.add_edge(body, post, 0, EdgeKind::Join);
+        let clocks = segment_clocks(&t);
+        let (b, c, p) = (
+            &clocks[body.index()],
+            &clocks[cont.index()],
+            &clocks[post.index()],
+        );
+        assert!(!b.leq(c) && !c.leq(b), "body and continuation race");
+        assert!(b.leq(p) && c.leq(p), "join orders both before post");
+    }
+
+    #[test]
+    fn same_proc_unordered_segments_alias_conservatively() {
+        // Two segments on proc 1 with no path between them: per-processor
+        // counters make the earlier one's clock ≤ the later one's. This
+        // is the documented approximation: missed races are possible,
+        // spurious races are not.
+        let mut t = Trace::new();
+        let a = t.new_segment(0);
+        let b = t.new_segment(1);
+        let c = t.new_segment(1);
+        t.add_edge(a, b, 0, EdgeKind::Migrate);
+        t.add_edge(a, c, 0, EdgeKind::Steal);
+        let clocks = segment_clocks(&t);
+        assert!(clocks[b.index()].leq(&clocks[c.index()]));
+    }
+}

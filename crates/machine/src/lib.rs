@@ -23,10 +23,12 @@
 //! Costs are expressed in abstract cycles; [`cost::CostModel`] holds the
 //! CM-5-flavoured defaults and the sequential baseline variant.
 
+pub mod clocks;
 pub mod cost;
 pub mod sched;
 pub mod trace;
 
+pub use clocks::{segment_clocks, VClock};
 pub use cost::CostModel;
 pub use sched::{Schedule, ScheduleError};
 pub use trace::{EdgeKind, SegId, Segment, Trace};

@@ -27,6 +27,7 @@
 
 use crate::config::Mechanism;
 use crate::ctx::{FutureHandle, OldenCtx};
+use crate::sanitize::RaceViolation;
 use olden_gptr::{GPtr, ProcId, Word};
 
 /// The Olden execution interface: `ALLOC`, mechanism-annotated
@@ -105,6 +106,13 @@ pub trait Backend: Sized {
     /// it forked.
     fn touch<T: Send + 'static>(&mut self, h: Self::Handle<T>) -> T;
 
+    /// Happens-before violations the backend's dynamic race sanitizer has
+    /// detected so far (the `olden-racecheck` oracle). The default is for
+    /// backends without a sanitizer — and sanitizer-off runs report none.
+    fn race_violations(&mut self) -> Vec<RaceViolation> {
+        Vec::new()
+    }
+
     /// Spawn one future per element and touch them all: the `do in
     /// parallel` idiom of Figure 5.
     fn parallel_for<I, T, F>(&mut self, items: I, body: F) -> Vec<T>
@@ -173,6 +181,10 @@ impl Backend for OldenCtx {
 
     fn touch<T: Send + 'static>(&mut self, h: FutureHandle<T>) -> T {
         OldenCtx::touch(self, h)
+    }
+
+    fn race_violations(&mut self) -> Vec<RaceViolation> {
+        OldenCtx::race_violations(self)
     }
 }
 

@@ -37,6 +37,10 @@ pub struct Config {
     /// the benchmark requested — reproduces Table 2's "Migrate-only"
     /// column (and allows cache-only experiments).
     pub force: Option<Mechanism>,
+    /// Record every heap access for the happens-before race sanitizer
+    /// (the dynamic half of `olden-racecheck`). Off by default: the log
+    /// costs memory proportional to the access count.
+    pub sanitize: bool,
 }
 
 impl Config {
@@ -48,6 +52,7 @@ impl Config {
             cost: CostModel::cm5(),
             protocol: Protocol::LocalKnowledge,
             force: None,
+            sanitize: false,
         }
     }
 
@@ -58,12 +63,19 @@ impl Config {
             cost: CostModel::sequential(),
             protocol: Protocol::LocalKnowledge,
             force: None,
+            sanitize: false,
         }
     }
 
     /// Same configuration with a forced mechanism.
     pub fn forced(mut self, m: Mechanism) -> Config {
         self.force = Some(m);
+        self
+    }
+
+    /// Same configuration with the happens-before sanitizer recording.
+    pub fn sanitized(mut self) -> Config {
+        self.sanitize = true;
         self
     }
 

@@ -29,6 +29,7 @@
 use crate::config::{Config, Mechanism};
 use crate::heap::DistributedHeap;
 use crate::report::RunStats;
+use crate::sanitize::{check_trace, LineKey, RaceViolation};
 use olden_cache::{Access, Arrival, CacheSystem};
 use olden_gptr::{GPtr, ProcId, Word};
 use olden_machine::trace::{EdgeKind, SegId, Trace};
@@ -77,6 +78,9 @@ pub struct OldenCtx {
     /// but no costs, traffic, or statistics are recorded (used to exclude
     /// structure-building phases from kernel-time benchmarks, §5).
     free_depth: u32,
+    /// Sanitizer access log: (segment, line, is-write) per charged heap
+    /// access. Empty unless `Config::sanitize` is set.
+    access_log: Vec<(SegId, LineKey, bool)>,
 }
 
 impl OldenCtx {
@@ -94,6 +98,7 @@ impl OldenCtx {
             write_scopes: vec![Vec::new()],
             stats: RunStats::default(),
             free_depth: 0,
+            access_log: Vec::new(),
             cfg,
         }
     }
@@ -121,6 +126,14 @@ impl OldenCtx {
     /// Cache system (stats, protocol state) so far.
     pub fn cache(&self) -> &CacheSystem {
         &self.cache
+    }
+
+    /// Happens-before violations among the heap accesses recorded so far
+    /// (always empty unless the run was configured with
+    /// [`Config::sanitized`]). Replays the access log against the
+    /// trace-derived segment clocks, so it can be called mid-run.
+    pub fn race_violations(&self) -> Vec<RaceViolation> {
+        check_trace(&self.trace, &self.access_log)
     }
 
     /// The recorded trace (consumed by the report layer).
@@ -263,6 +276,15 @@ impl OldenCtx {
                     .note_write(self.cur_proc, ptr.proc(), ptr.page(), ptr.line_in_page());
             self.charge(track);
             self.note_written(ptr.proc());
+        }
+        if self.cfg.sanitize {
+            // After any migration, so the segment is the one that really
+            // performs the access.
+            self.access_log.push((
+                self.cur_seg,
+                (ptr.proc(), ptr.page(), ptr.line_in_page()),
+                write,
+            ));
         }
     }
 

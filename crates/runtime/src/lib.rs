@@ -21,6 +21,7 @@ pub mod config;
 pub mod ctx;
 pub mod heap;
 pub mod report;
+pub mod sanitize;
 
 pub use backend::Backend;
 pub use config::{Config, Mechanism};
@@ -28,5 +29,6 @@ pub use ctx::{FutureHandle, OldenCtx};
 pub use heap::DistributedHeap;
 pub use olden_cache::{Access, CacheStats, Protocol};
 pub use olden_gptr::{GPtr, ProcId, Word};
-pub use olden_machine::{CostModel, EdgeKind};
+pub use olden_machine::{segment_clocks, CostModel, EdgeKind, VClock};
 pub use report::{run, speedup_curve, RunReport, RunStats};
+pub use sanitize::{check_trace, LineKey, LineSanitizer, RaceViolation};

@@ -2,6 +2,7 @@
 
 use crate::config::Config;
 use crate::ctx::OldenCtx;
+use crate::sanitize::RaceViolation;
 use olden_cache::CacheStats;
 use olden_machine::{sched, trace::EdgeKind};
 
@@ -51,6 +52,9 @@ pub struct RunReport {
     pub pages_cached: u64,
     /// Mean translation-table chain length (§3.2: ≈ 1).
     pub mean_chain_length: f64,
+    /// Happens-before violations found by the dynamic race sanitizer
+    /// (empty unless the run was configured with `Config::sanitized`).
+    pub races: Vec<RaceViolation>,
 }
 
 impl RunReport {
@@ -68,6 +72,11 @@ pub fn run<R>(cfg: Config, program: impl FnOnce(&mut OldenCtx) -> R) -> (R, RunR
     let mut ctx = OldenCtx::new(cfg);
     let result = program(&mut ctx);
     let stats = *ctx.stats();
+    let races = if cfg.sanitize {
+        ctx.race_violations()
+    } else {
+        Vec::new()
+    };
     let (trace, _, cache_sys) = {
         let (t, s, c) = ctx.into_parts();
         debug_assert_eq!(s, stats);
@@ -84,6 +93,7 @@ pub fn run<R>(cfg: Config, program: impl FnOnce(&mut OldenCtx) -> R) -> (R, RunR
         cache: *cache_sys.stats(),
         pages_cached: cache_sys.pages_cached(),
         mean_chain_length: cache_sys.mean_chain_length(),
+        races,
     };
     debug_assert_eq!(
         trace.count_edges(EdgeKind::Migrate) as u64,

@@ -19,4 +19,11 @@ echo "==> oldenc lint (benchmark DSL race surface vs golden)"
 cargo run --release -q -p olden-bench --bin oldenc -- \
     lint --golden tests/golden/oldenc-benchmarks.txt
 
+echo "==> oldenc opt (optimizer verdict surface vs golden)"
+cargo run --release -q -p olden-bench --bin oldenc -- \
+    opt --golden tests/golden/oldenc-opt.txt
+
+echo "==> oldenc elide (annotated benchmarks must elide checks at runtime)"
+cargo run --release -q -p olden-bench --bin oldenc -- elide
+
 echo "CI green."

@@ -1,0 +1,617 @@
+//! Basic-block control-flow graphs lowered from the DSL AST.
+//!
+//! The optimizer's passes ([`crate::opt`]) need a flow-sensitive view of
+//! a function: where checks happen, in what order, and which program
+//! points can reach which. The AST's structured statements lower to a
+//! small CFG whose blocks carry a linear **event** stream — one event per
+//! variable use, pointer-check site, assignment, store, call, touch, or
+//! return, in evaluation order. Spans survive lowering so every verdict
+//! the optimizer emits points back at source.
+//!
+//! A pointer path `base->f1->…->fk` is `k` check sites: site `j` checks
+//! the object reached by `base->f1->…->fj-1` before loading (or, for the
+//! final step of a store, writing) field `fj`. This mirrors the runtime,
+//! where each arrow is one `read_ptr`/`write` with its own mechanism
+//! test.
+
+use crate::ast::{Expr, FuncDef, Program, Stmt};
+use crate::diag::Span;
+
+/// One pointer-check site: the test the compiler inserts before a
+/// dereference (paper §3, "inserts the lookup before each cached deref" —
+/// or the residence test before a migrated one).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Site {
+    /// The pointer variable the path starts from.
+    pub base: String,
+    /// Fields navigated before the accessed one (empty for `base->f`).
+    pub path: Vec<String>,
+    /// The field this site accesses.
+    pub field: String,
+    /// Source location of the dereference.
+    pub span: Span,
+    /// True when the access is the final step of a store.
+    pub is_store: bool,
+}
+
+impl Site {
+    /// Render as `base->f1->…->field`.
+    pub fn render(&self) -> String {
+        let mut s = self.base.clone();
+        for f in &self.path {
+            s.push_str("->");
+            s.push_str(f);
+        }
+        s.push_str("->");
+        s.push_str(&self.field);
+        s
+    }
+}
+
+/// One step of a block's event stream, in evaluation order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A check site fires (index into [`Cfg::sites`]).
+    Check(usize),
+    /// A variable's value is read.
+    Use { var: String },
+    /// A variable is (re)assigned. `future_of` names the callee when the
+    /// right-hand side is a `futurecall`.
+    Assign {
+        var: String,
+        span: Span,
+        future_of: Option<String>,
+    },
+    /// A store through a pointer path writes `field` (the address
+    /// computation's checks precede this event).
+    Store { field: String, span: Span },
+    /// A call (plain or `futurecall`) to `func`.
+    Call {
+        func: String,
+        future: bool,
+        span: Span,
+    },
+    /// `touch var;` — join with the future bound to `var`.
+    Touch { var: String, span: Span },
+    /// `return;` — terminates the block.
+    Return,
+}
+
+/// A basic block.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    pub id: usize,
+    pub events: Vec<Event>,
+    pub succs: Vec<usize>,
+    pub preds: Vec<usize>,
+    /// True for `while` condition blocks — the only legal backedge
+    /// targets.
+    pub loop_head: bool,
+    /// Pre-order indices of the AST statements whose events start in this
+    /// block (used by the well-formedness checks).
+    pub stmts: Vec<usize>,
+}
+
+/// A function's control-flow graph. Block 0 is the entry.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub func: String,
+    pub blocks: Vec<Block>,
+    pub sites: Vec<Site>,
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    sites: Vec<Site>,
+    cur: usize,
+    next_stmt: usize,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        let id = self.blocks.len();
+        self.blocks.push(Block {
+            id,
+            ..Block::default()
+        });
+        id
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.blocks[from].succs.push(to);
+        self.blocks[to].preds.push(from);
+    }
+
+    fn emit(&mut self, ev: Event) {
+        let cur = self.cur;
+        self.blocks[cur].events.push(ev);
+    }
+
+    /// Lower an expression into events in evaluation order (left to
+    /// right, arguments before the call itself).
+    fn lower_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(_) | Expr::Null => {}
+            Expr::Var(v) => self.emit(Event::Use { var: v.clone() }),
+            Expr::Path { base, fields, span } => {
+                self.emit(Event::Use { var: base.clone() });
+                for j in 0..fields.len() {
+                    let sid = self.sites.len();
+                    self.sites.push(Site {
+                        base: base.clone(),
+                        path: fields[..j].to_vec(),
+                        field: fields[j].clone(),
+                        span: *span,
+                        is_store: false,
+                    });
+                    self.emit(Event::Check(sid));
+                }
+            }
+            Expr::Call {
+                func,
+                args,
+                future,
+                span,
+            } => {
+                for a in args {
+                    self.lower_expr(a);
+                }
+                self.emit(Event::Call {
+                    func: func.clone(),
+                    future: *future,
+                    span: *span,
+                });
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.lower_expr(lhs);
+                self.lower_expr(rhs);
+            }
+            Expr::Unary { arg, .. } => self.lower_expr(arg),
+        }
+    }
+
+    /// Lower a statement list into the current block, creating successor
+    /// blocks as control flow demands. Returns whether control can fall
+    /// through past the list's end.
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> bool {
+        let mut falls = true;
+        for s in stmts {
+            if !falls {
+                // Dead code after a return: give it its own (unreachable)
+                // block so the exactly-one-block invariant holds.
+                self.cur = self.new_block();
+                falls = true;
+            }
+            let idx = self.next_stmt;
+            self.next_stmt += 1;
+            let cur = self.cur;
+            self.blocks[cur].stmts.push(idx);
+            match s {
+                Stmt::Assign { dst, src, span } => {
+                    self.lower_expr(src);
+                    let future_of = match src {
+                        Expr::Call {
+                            func, future: true, ..
+                        } => Some(func.clone()),
+                        _ => None,
+                    };
+                    self.emit(Event::Assign {
+                        var: dst.clone(),
+                        span: *span,
+                        future_of,
+                    });
+                }
+                Stmt::Store {
+                    base,
+                    fields,
+                    src,
+                    span,
+                } => {
+                    self.lower_expr(src);
+                    self.emit(Event::Use { var: base.clone() });
+                    for j in 0..fields.len() {
+                        let sid = self.sites.len();
+                        self.sites.push(Site {
+                            base: base.clone(),
+                            path: fields[..j].to_vec(),
+                            field: fields[j].clone(),
+                            span: *span,
+                            is_store: j == fields.len() - 1,
+                        });
+                        self.emit(Event::Check(sid));
+                    }
+                    self.emit(Event::Store {
+                        field: fields.last().expect("store has a field").clone(),
+                        span: *span,
+                    });
+                }
+                Stmt::If { cond, then_, else_ } => {
+                    self.lower_expr(cond);
+                    let cond_end = self.cur;
+                    let then_b = self.new_block();
+                    let else_b = self.new_block();
+                    self.edge(cond_end, then_b);
+                    self.edge(cond_end, else_b);
+                    self.cur = then_b;
+                    let ft_then = self.lower_stmts(then_);
+                    let then_end = self.cur;
+                    self.cur = else_b;
+                    let ft_else = self.lower_stmts(else_);
+                    let else_end = self.cur;
+                    if ft_then || ft_else {
+                        let merge = self.new_block();
+                        if ft_then {
+                            self.edge(then_end, merge);
+                        }
+                        if ft_else {
+                            self.edge(else_end, merge);
+                        }
+                        self.cur = merge;
+                    } else {
+                        falls = false;
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    let head = self.new_block();
+                    self.blocks[head].loop_head = true;
+                    let prev = self.cur;
+                    self.edge(prev, head);
+                    self.cur = head;
+                    self.lower_expr(cond);
+                    let body_b = self.new_block();
+                    let exit_b = self.new_block();
+                    self.edge(head, body_b);
+                    self.edge(head, exit_b);
+                    self.cur = body_b;
+                    let ft_body = self.lower_stmts(body);
+                    if ft_body {
+                        let body_end = self.cur;
+                        self.edge(body_end, head);
+                    }
+                    self.cur = exit_b;
+                }
+                Stmt::ExprStmt(e) => self.lower_expr(e),
+                Stmt::Touch { var, span } => self.emit(Event::Touch {
+                    var: var.clone(),
+                    span: *span,
+                }),
+                Stmt::Return(e) => {
+                    if let Some(e) = e {
+                        self.lower_expr(e);
+                    }
+                    self.emit(Event::Return);
+                    falls = false;
+                }
+            }
+        }
+        falls
+    }
+}
+
+/// Lower one function to its CFG.
+pub fn lower(func: &FuncDef) -> Cfg {
+    let mut b = Builder {
+        blocks: Vec::new(),
+        sites: Vec::new(),
+        cur: 0,
+        next_stmt: 0,
+    };
+    b.new_block();
+    let falls = b.lower_stmts(&func.body);
+    if falls {
+        let cur = b.cur;
+        b.blocks[cur].events.push(Event::Return);
+    }
+    let mut cfg = Cfg {
+        func: func.name.clone(),
+        blocks: b.blocks,
+        sites: b.sites,
+    };
+    cfg.prune();
+    cfg
+}
+
+/// Lower every function of a program.
+pub fn lower_program(prog: &Program) -> Vec<Cfg> {
+    prog.funcs.iter().map(lower).collect()
+}
+
+impl Cfg {
+    /// Reachability from the entry block.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// DFS back edges `(from, to)`: edges whose target is on the current
+    /// DFS stack. In a reducible CFG these are exactly the loop backedges.
+    pub fn back_edges(&self) -> Vec<(usize, usize)> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color = vec![Color::White; self.blocks.len()];
+        let mut out = Vec::new();
+        // Iterative DFS: (block, next-successor-index).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        color[0] = Color::Grey;
+        while let Some(&(b, i)) = stack.last() {
+            if i < self.blocks[b].succs.len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let s = self.blocks[b].succs[i];
+                match color[s] {
+                    Color::Grey => out.push((b, s)),
+                    Color::White => {
+                        color[s] = Color::Grey;
+                        stack.push((s, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[b] = Color::Black;
+                stack.pop();
+            }
+        }
+        out
+    }
+
+    /// Drop unreachable blocks that carry no events and no statements
+    /// (structural leftovers of lowering), renumbering the rest.
+    fn prune(&mut self) {
+        let reach = self.reachable();
+        let keep: Vec<bool> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| reach[i] || !b.events.is_empty() || !b.stmts.is_empty())
+            .collect();
+        if keep.iter().all(|&k| k) {
+            return;
+        }
+        let mut remap = vec![usize::MAX; self.blocks.len()];
+        let mut next = 0;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let old = std::mem::take(&mut self.blocks);
+        for (i, mut b) in old.into_iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            b.id = remap[i];
+            b.succs = b
+                .succs
+                .iter()
+                .filter(|&&s| keep[s])
+                .map(|&s| remap[s])
+                .collect();
+            b.preds = b
+                .preds
+                .iter()
+                .filter(|&&p| keep[p])
+                .map(|&p| remap[p])
+                .collect();
+            self.blocks.push(b);
+        }
+    }
+
+    /// Structural invariants, checked against the source function:
+    /// 1. every AST statement lands in exactly one block;
+    /// 2. all blocks are reachable from the entry;
+    /// 3. DFS back edges target only loop-head blocks.
+    pub fn check_well_formed(&self, func: &FuncDef) -> Result<(), String> {
+        let mut count = 0usize;
+        crate::ast::walk_stmts(&func.body, &mut |_| count += 1);
+        let mut placed: Vec<usize> = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.stmts.iter().copied())
+            .collect();
+        placed.sort_unstable();
+        let expect: Vec<usize> = (0..count).collect();
+        if placed != expect {
+            return Err(format!(
+                "{}: {} statements, but blocks hold indices {:?}",
+                self.func, count, placed
+            ));
+        }
+        let reach = self.reachable();
+        if let Some(b) = reach.iter().position(|&r| !r) {
+            return Err(format!("{}: block {} unreachable", self.func, b));
+        }
+        for (from, to) in self.back_edges() {
+            if !self.blocks[to].loop_head {
+                return Err(format!(
+                    "{}: back edge {} -> {} targets a non-loop-head",
+                    self.func, from, to
+                ));
+            }
+        }
+        for b in &self.blocks {
+            for &s in &b.succs {
+                if !self.blocks[s].preds.contains(&b.id) {
+                    return Err(format!("{}: edge {} -> {s} not mirrored", self.func, b.id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn cfgs(src: &str) -> Vec<(FuncDef, Cfg)> {
+        let prog = parse(src).unwrap();
+        prog.funcs.iter().map(|f| (f.clone(), lower(f))).collect()
+    }
+
+    const TORTURE_SRC: &str = r#"
+        struct tree { tree *left; tree *right; int val; };
+        int Mixed(tree *t, int n) {
+            int acc = 0;
+            while (t != null) {
+                if (t->val < n) {
+                    acc = acc + t->val;
+                    t = t->left;
+                } else {
+                    while (n > 0) {
+                        n = n - 1;
+                    }
+                    t = t->right;
+                }
+            }
+            if (acc > 100) { return acc; } else { return 0; }
+        }
+        int Early(tree *t) {
+            if (t == null) { return 0; }
+            int v = futurecall Early(t->left);
+            touch v;
+            return v + t->val;
+        }
+    "#;
+
+    #[test]
+    fn every_statement_in_exactly_one_block() {
+        for (f, cfg) in cfgs(TORTURE_SRC) {
+            cfg.check_well_formed(&f).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_blocks_reachable_and_backedges_at_loop_heads() {
+        for (f, cfg) in cfgs(TORTURE_SRC) {
+            cfg.check_well_formed(&f).unwrap();
+            // Mixed has two loops: exactly two back edges, both to heads.
+            if f.name == "Mixed" {
+                let be = cfg.back_edges();
+                assert_eq!(be.len(), 2, "two while loops");
+                for (_, to) in be {
+                    assert!(cfg.blocks[to].loop_head);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_branches_returning_leaves_no_dangling_merge() {
+        let (f, cfg) = cfgs(
+            r#"
+            struct t { t *n; };
+            int f(t *p) {
+                if (p == null) { return 0; } else { return 1; }
+            }
+        "#,
+        )
+        .pop()
+        .unwrap();
+        cfg.check_well_formed(&f).unwrap();
+        // No block falls through past the if: every reachable leaf block
+        // ends in Return.
+        for b in &cfg.blocks {
+            if b.succs.is_empty() {
+                assert_eq!(b.events.last(), Some(&Event::Return));
+            }
+        }
+    }
+
+    #[test]
+    fn path_lowering_emits_one_site_per_arrow() {
+        let (_, cfg) = cfgs(
+            r#"
+            struct t { t *n; int v; };
+            int f(t *p) { return p->n->n->v; }
+        "#,
+        )
+        .pop()
+        .unwrap();
+        assert_eq!(cfg.sites.len(), 3);
+        assert_eq!(cfg.sites[0].path.len(), 0);
+        assert_eq!(cfg.sites[1].path, vec!["n".to_string()]);
+        assert_eq!(cfg.sites[2].path, vec!["n".to_string(), "n".to_string()]);
+        assert_eq!(cfg.sites[2].field, "v");
+        assert_eq!(cfg.sites[0].render(), "p->n");
+        assert_eq!(cfg.sites[2].render(), "p->n->n->v");
+        assert!(cfg.sites.iter().all(|s| s.span.is_real()));
+    }
+
+    #[test]
+    fn store_marks_only_final_step() {
+        let (_, cfg) = cfgs(
+            r#"
+            struct t { t *n; int v; };
+            void f(t *p) { p->n->v = 3; }
+        "#,
+        )
+        .pop()
+        .unwrap();
+        assert_eq!(cfg.sites.len(), 2);
+        assert!(!cfg.sites[0].is_store);
+        assert!(cfg.sites[1].is_store);
+        // The Store event follows the final check.
+        let evs = &cfg.blocks[0].events;
+        let check_pos = evs.iter().position(|e| e == &Event::Check(1)).unwrap();
+        assert!(matches!(evs[check_pos + 1], Event::Store { .. }));
+    }
+
+    #[test]
+    fn futurecall_assign_records_callee() {
+        let (_, cfg) = cfgs(
+            r#"
+            struct t { t *n; };
+            int f(t *p) {
+                int h = futurecall f(p->n);
+                touch h;
+                return h;
+            }
+        "#,
+        )
+        .pop()
+        .unwrap();
+        let assigns: Vec<_> = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.events)
+            .filter_map(|e| match e {
+                Event::Assign { var, future_of, .. } => Some((var.clone(), future_of.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(assigns, vec![("h".to_string(), Some("f".to_string()))]);
+    }
+
+    #[test]
+    fn dead_code_after_return_keeps_statement_invariant() {
+        let (f, cfg) = cfgs(
+            r#"
+            struct t { t *n; };
+            int f(t *p) { return 0; int x = 1; return x; }
+        "#,
+        )
+        .pop()
+        .unwrap();
+        // Statement coverage still holds; reachability is allowed to fail
+        // (dead code), so check the first invariant directly.
+        let mut count = 0usize;
+        crate::ast::walk_stmts(&f.body, &mut |_| count += 1);
+        let placed: usize = cfg.blocks.iter().map(|b| b.stmts.len()).sum();
+        assert_eq!(placed, count);
+    }
+}

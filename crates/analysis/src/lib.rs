@@ -32,17 +32,23 @@
 //! variable to a [`Mech`], which the benchmark crate feeds to the runtime.
 
 pub mod ast;
+pub mod cfg;
+pub mod dataflow;
 pub mod diag;
 pub mod heuristic;
 pub mod loops;
+pub mod opt;
 pub mod parser;
 pub mod racecheck;
 pub mod update;
 
 pub use ast::{Expr, FieldDef, FuncDef, Program, Stmt, StructDef};
+pub use cfg::{lower, lower_program, Cfg};
+pub use dataflow::{solve, Analysis, Direction, Solution};
 pub use diag::{Diagnostic, Severity, Span};
 pub use heuristic::{select, LoopChoice, Selection};
 pub use loops::{find_control_loops, ControlLoop, LoopId, LoopKind};
+pub use opt::{optimize, optimize_src, OptReport, SiteReport, TouchKind, TouchReport, Verdict};
 pub use parser::{parse, ParseError};
 pub use racecheck::racecheck;
 pub use update::{update_matrix, UpdateMatrix};

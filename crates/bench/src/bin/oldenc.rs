@@ -8,16 +8,28 @@
 //!   output must match the recorded file exactly; any drift — a new
 //!   warning or a silently vanished one — fails the run. CI pins the
 //!   benchmark lint surface this way.
+//! * `oldenc opt [--golden PATH]` runs the check-elision and touch-
+//!   placement optimizer over the same DSL renditions and prints each
+//!   benchmark's per-site verdicts (site, span, mechanism, verdict,
+//!   reason) plus touch findings. `--golden` pins the surface exactly
+//!   like `lint` does.
+//! * `oldenc elide` runs every optimizer-annotated benchmark on the
+//!   simulator with elision enabled and prints the runtime check
+//!   counters. Exit 1 if any annotated benchmark elides zero checks —
+//!   the CI gate against the hints silently going dead.
 //! * `oldenc check FILE...` lints DSL source files, printing full
 //!   multi-line diagnostics. Exit 1 when anything is reported, 2 on
 //!   parse errors.
 
+use olden_analysis::optimize_src;
 use olden_analysis::racecheck::racecheck_src;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: oldenc lint [--golden PATH]");
+    eprintln!("       oldenc opt [--golden PATH]");
+    eprintln!("       oldenc elide");
     eprintln!("       oldenc check FILE...");
     ExitCode::from(2)
 }
@@ -49,8 +61,24 @@ fn lint_report() -> String {
     out
 }
 
-fn lint(golden: Option<&str>) -> ExitCode {
-    let report = lint_report();
+/// The `opt` report: each benchmark's full elision report under a
+/// `== name ==` header, in registry order. [`OptReport::render`] is
+/// deterministic, so the whole surface pins bit-for-bit.
+fn opt_report() -> String {
+    let mut out = String::new();
+    for d in olden_benchmarks::all() {
+        let _ = writeln!(out, "== {} ==", d.name);
+        match optimize_src(d.dsl) {
+            Ok(r) => out.push_str(&r.render()),
+            Err(e) => {
+                let _ = writeln!(out, "parse error: {e}");
+            }
+        }
+    }
+    out
+}
+
+fn golden_check(what: &str, report: &str, golden: Option<&str>) -> ExitCode {
     print!("{report}");
     let Some(path) = golden else {
         return ExitCode::SUCCESS;
@@ -63,14 +91,59 @@ fn lint(golden: Option<&str>) -> ExitCode {
         }
     };
     if report == want {
-        eprintln!("oldenc: lint output matches {path}");
+        eprintln!("oldenc: {what} output matches {path}");
         ExitCode::SUCCESS
     } else {
-        eprintln!("oldenc: lint output diverges from {path}:");
-        for diff in diff_lines(&want, &report) {
+        eprintln!("oldenc: {what} output diverges from {path}:");
+        for diff in diff_lines(&want, report) {
             eprintln!("  {diff}");
         }
-        eprintln!("(re-record with: oldenc lint > {path})");
+        eprintln!("(re-record with: oldenc {what} > {path})");
+        ExitCode::FAILURE
+    }
+}
+
+fn lint(golden: Option<&str>) -> ExitCode {
+    golden_check("lint", &lint_report(), golden)
+}
+
+fn opt(golden: Option<&str>) -> ExitCode {
+    golden_check("opt", &opt_report(), golden)
+}
+
+/// Run every annotated benchmark with elision on and report the runtime
+/// check counters. A benchmark whose descriptor carries elision sites
+/// but whose run elides nothing means the `Check::Elide` hints in its
+/// kernel went dead — fail so CI catches the regression.
+fn elide() -> ExitCode {
+    use olden_benchmarks::{generic_run, SizeClass};
+    use olden_runtime::{Config, OldenCtx};
+    let mut dead = 0usize;
+    for d in olden_benchmarks::all() {
+        if d.elided_sites.is_empty() {
+            continue;
+        }
+        let mut ctx = OldenCtx::new(Config::olden(8).optimized());
+        generic_run(d.name, &mut ctx, SizeClass::Tiny).expect("registry benchmark");
+        let s = ctx.stats();
+        let total = s.checks_performed + s.checks_elided;
+        println!(
+            "{}: {} static sites, {} of {} runtime checks elided ({:.1}%)",
+            d.name,
+            d.elided_sites.len(),
+            s.checks_elided,
+            total,
+            100.0 * s.checks_elided as f64 / total.max(1) as f64
+        );
+        if s.checks_elided == 0 {
+            eprintln!("oldenc: {} is annotated but elided no checks", d.name);
+            dead += 1;
+        }
+    }
+    if dead == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("oldenc: {dead} benchmark(s) with dead elision hints");
         ExitCode::FAILURE
     }
 }
@@ -137,6 +210,12 @@ fn main() -> ExitCode {
             Some("--golden") if args.len() == 3 => lint(Some(&args[2])),
             _ => usage(),
         },
+        Some("opt") => match args.get(1).map(String::as_str) {
+            None => opt(None),
+            Some("--golden") if args.len() == 3 => opt(Some(&args[2])),
+            _ => usage(),
+        },
+        Some("elide") if args.len() == 1 => elide(),
         Some("check") => check(&args[1..]),
         _ => usage(),
     }
@@ -157,6 +236,35 @@ mod tests {
             want,
             "benchmark lint surface drifted; re-record tests/golden/oldenc-benchmarks.txt"
         );
+    }
+
+    /// Same pinning for the optimizer surface: `tests/golden/oldenc-opt.txt`
+    /// is exactly what `oldenc opt` prints today.
+    #[test]
+    fn opt_golden_file_is_current() {
+        let want = include_str!("../../../../tests/golden/oldenc-opt.txt");
+        assert_eq!(
+            opt_report(),
+            want,
+            "benchmark opt surface drifted; re-record tests/golden/oldenc-opt.txt"
+        );
+    }
+
+    /// Every descriptor's recorded `elided_sites` list is byte-equal to
+    /// what the live optimizer proves on its DSL — the runtime trusts
+    /// these keys, so they must never go stale.
+    #[test]
+    fn descriptor_elided_sites_match_optimizer() {
+        for d in olden_benchmarks::all() {
+            let rep = optimize_src(d.dsl).unwrap_or_else(|e| panic!("{} DSL: {e}", d.name));
+            let live = rep.elided_keys();
+            let recorded: Vec<String> = d.elided_sites.iter().map(|s| s.to_string()).collect();
+            assert_eq!(
+                recorded, live,
+                "{}: descriptor elided_sites diverge from the optimizer",
+                d.name
+            );
+        }
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub struct Descriptor {
     /// The kernel's DSL rendition (each module's `DSL` constant): input
     /// to the selection heuristic and to `oldenc`'s static race pass.
     pub dsl: &'static str,
+    /// Check sites of `dsl` the optimizer proves redundant, as stable
+    /// `"{func} {span} {site}"` keys (`SiteReport::key`). Recorded from
+    /// `oldenc opt` output and cross-checked against the live optimizer
+    /// by a test, so a heuristic or optimizer change that shifts a
+    /// verdict shows up as a diff here, not as silent drift.
+    pub elided_sites: &'static [&'static str],
     /// Run the benchmark under the simulator context; returns a checksum
     /// that must equal `reference` for the same size. (The kernels are
     /// generic over [`Backend`]; this field is their `OldenCtx`
@@ -187,5 +193,23 @@ mod tests {
         assert!(by_name("treeadd").is_some());
         assert!(by_name("BARNES-HUT").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    /// Every function of every benchmark DSL lowers to a well-formed CFG:
+    /// single entry, reachable blocks, terminators only at block ends,
+    /// and edges that agree in both directions. The optimizer's verdicts
+    /// are only as trustworthy as the graphs it solves over.
+    #[test]
+    fn every_benchmark_dsl_lowers_to_well_formed_cfgs() {
+        use olden_analysis::{lower, parse};
+        for d in all() {
+            let prog = parse(d.dsl).unwrap_or_else(|e| panic!("{} DSL: {e}", d.name));
+            assert!(!prog.funcs.is_empty(), "{} DSL has no functions", d.name);
+            for f in &prog.funcs {
+                let cfg = lower(f);
+                cfg.check_well_formed(f)
+                    .unwrap_or_else(|e| panic!("{} fn {}: {e}", d.name, f.name));
+            }
+        }
     }
 }

@@ -116,6 +116,9 @@ pub fn reference(size: SizeClass) -> u64 {
     n * (n + 1) / 2
 }
 
+/// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
+pub const ELIDED_SITES: &[&str] = &[];
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "ListDist",
     description: "Figure 2 list-distribution micro-workload",
@@ -123,6 +126,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     choice: "-",
     whole_program: false,
     dsl: DSL_DEFAULT,
+    elided_sites: ELIDED_SITES,
     run,
     reference,
 };

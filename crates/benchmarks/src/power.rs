@@ -267,6 +267,9 @@ pub fn reference(size: SizeClass) -> u64 {
     price.to_bits() ^ iters as u64
 }
 
+/// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
+pub const ELIDED_SITES: &[&str] = &[];
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "Power",
     description: "Solves the Power System Optimization problem",
@@ -274,6 +277,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     choice: "M",
     whole_program: true,
     dsl: DSL,
+    elided_sites: ELIDED_SITES,
     run,
     reference,
 };

@@ -11,7 +11,7 @@
 use crate::rng::mix2;
 use crate::{Descriptor, SizeClass};
 use olden_gptr::{GPtr, ProcId};
-use olden_runtime::{Backend, Mechanism};
+use olden_runtime::{Backend, Check, Mechanism};
 
 /// Field offsets of a tree node (3 words).
 pub const F_LEFT: usize = 0;
@@ -83,7 +83,10 @@ fn build<B: Backend>(ctx: &mut B, level: u32, index: u64, lo: usize, hi: usize) 
 }
 
 /// The recursive kernel. Every dereference of `t` migrates, per the
-/// heuristic.
+/// heuristic. The `t->left` read is the first check of `t` on the path;
+/// the optimizer proves the `t->right` and `t->val` checks redundant
+/// (`ELIDED_SITES`): the logical thread is back on `t`'s processor after
+/// the future spawn and the call, so `t` is still local.
 fn tree_add<B: Backend>(ctx: &mut B, t: GPtr) -> i64 {
     if t.is_null() {
         return 0;
@@ -91,9 +94,9 @@ fn tree_add<B: Backend>(ctx: &mut B, t: GPtr) -> i64 {
     ctx.work(W_NODE);
     let left = ctx.read_ptr(t, F_LEFT, Mechanism::Migrate);
     let h = ctx.future_call(move |ctx| ctx.call(move |ctx| tree_add(ctx, left)));
-    let right = ctx.read_ptr(t, F_RIGHT, Mechanism::Migrate);
+    let right = ctx.read_ptr_checked(t, F_RIGHT, Mechanism::Migrate, Check::Elide);
     let rv = ctx.call(|ctx| tree_add(ctx, right));
-    let v = ctx.read_i64(t, F_VAL, Mechanism::Migrate);
+    let v = ctx.read_i64_checked(t, F_VAL, Mechanism::Migrate, Check::Elide);
     let lv = ctx.touch(h);
     lv + rv + v
 }
@@ -117,6 +120,9 @@ pub fn reference(size: SizeClass) -> u64 {
     sum(levels(size), 1) as u64
 }
 
+/// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
+pub const ELIDED_SITES: &[&str] = &["TreeAdd 7:30 t->right", "TreeAdd 9:30 t->val"];
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "TreeAdd",
     description: "Adds the values in a tree",
@@ -124,6 +130,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     choice: "M",
     whole_program: false,
     dsl: DSL,
+    elided_sites: ELIDED_SITES,
     run,
     reference,
 };

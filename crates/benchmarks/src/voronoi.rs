@@ -717,6 +717,9 @@ pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
     checksum_edges(&edges)
 }
 
+/// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
+pub const ELIDED_SITES: &[&str] = &[];
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "Voronoi",
     description: "Computes the Voronoi Diagram of a set of points",
@@ -724,6 +727,7 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     choice: "M+C",
     whole_program: false,
     dsl: DSL,
+    elided_sites: ELIDED_SITES,
     run,
     reference,
 };

@@ -33,6 +33,13 @@ pub struct CacheStats {
     /// Global/bilateral: cycles spent in the compiler-inserted
     /// write-tracking code (7 instructions non-shared, 23 shared).
     pub write_track_cycles: u64,
+    /// Remote cacheable accesses that took the full check (hash probe)
+    /// path — including elision hints that turned out stale and fell
+    /// back. Only incremented through `access_checked`.
+    pub checks_performed: u64,
+    /// Remote cacheable accesses whose check the optimizer elided and
+    /// whose fact verified, skipping the hash probe entirely.
+    pub checks_elided: u64,
 }
 
 impl CacheStats {

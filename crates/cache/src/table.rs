@@ -108,6 +108,58 @@ impl ProcCache {
             .find(|cp| cp.home == home && cp.page == page)
     }
 
+    /// Uncounted shared probe: the optimizer's elision fast path verifies
+    /// its static fact against the live descriptor without charging a
+    /// lookup — skipping exactly this bookkeeping is the point of eliding.
+    pub fn peek(&self, home: ProcId, page: PageNum) -> Option<&CachedPage> {
+        let b = bucket_of(home, page);
+        self.buckets[b]
+            .iter()
+            .find(|cp| cp.home == home && cp.page == page)
+    }
+
+    /// Find-or-insert with a *single* counted probe: the miss-service
+    /// library routine walks the chain once, installing the descriptor at
+    /// the end if the walk came up empty.
+    pub fn ensure(&mut self, home: ProcId, page: PageNum) -> &mut CachedPage {
+        self.lookups += 1;
+        let b = bucket_of(home, page);
+        let chain = &mut self.buckets[b];
+        match chain
+            .iter()
+            .position(|cp| cp.home == home && cp.page == page)
+        {
+            Some(i) => {
+                self.probes += (i + 1) as u64;
+                &mut chain[i]
+            }
+            None => {
+                self.probes += chain.len() as u64;
+                self.pages_ever += 1;
+                self.resident += 1;
+                chain.push(CachedPage {
+                    home,
+                    page,
+                    valid: 0,
+                    marked: false,
+                    validated_ts: 0,
+                });
+                chain.last_mut().unwrap()
+            }
+        }
+    }
+
+    /// Counted lookups so far (regression surface for the double-count
+    /// fix in the miss path).
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Chain probes so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
     /// Allocate a descriptor for a page on first use (page-granularity
     /// allocation, §3.2). Returns the fresh descriptor with no valid lines.
     pub fn insert(&mut self, home: ProcId, page: PageNum) -> &mut CachedPage {
@@ -274,6 +326,29 @@ mod tests {
         c.mark_all();
         assert!(c.lookup(0, 1).unwrap().marked);
         assert!(c.lookup(5, 2).unwrap().marked);
+    }
+
+    #[test]
+    fn ensure_counts_one_lookup_insert_or_not() {
+        let mut c = ProcCache::new();
+        let cp = c.ensure(3, 7);
+        cp.set_line(2);
+        assert_eq!(c.lookups(), 1, "install path probes once");
+        assert_eq!(c.pages_ever(), 1);
+        assert!(c.ensure(3, 7).line_valid(2), "found, not re-inserted");
+        assert_eq!(c.lookups(), 2);
+        assert_eq!(c.pages_ever(), 1);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn peek_is_uncounted_and_readonly() {
+        let mut c = ProcCache::new();
+        c.insert(1, 9).set_line(0);
+        let (lk, pr) = (c.lookups(), c.probes());
+        assert!(c.peek(1, 9).unwrap().line_valid(0));
+        assert!(c.peek(1, 10).is_none());
+        assert_eq!((c.lookups(), c.probes()), (lk, pr), "peek left counters");
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::frame::{CompleteOnDrop, FrameHandle};
 use crate::msg::{ArrivalKind, LookupReply, Msg};
 use crate::{ClientSlot, Mode, Shared, C_DONE, C_JOINING, C_RUNNING, C_WAITING_BODY};
 use olden_gptr::{GPtr, ProcId, Word, LINE_WORDS};
-use olden_runtime::{Backend, Mechanism, RaceViolation, RunStats, VClock};
+use olden_runtime::{Backend, Check, Mechanism, RaceViolation, RunStats, VClock};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
@@ -214,8 +214,15 @@ impl ExecCtx {
     /// A remote access under the cache mechanism: consult the current
     /// processor's cache; on a miss, do the fetch round trip to the home
     /// and install the line. Returns the word seen through the cache —
-    /// which, by design, may be stale until the next acquire.
-    fn cached_access(&mut self, p: GPtr, write: bool, wval: Option<Word>) -> Word {
+    /// which, by design, may be stale until the next acquire — and whether
+    /// the worker answered via the elision fast path.
+    fn cached_access(
+        &mut self,
+        p: GPtr,
+        write: bool,
+        wval: Option<Word>,
+        elide: bool,
+    ) -> (Word, bool) {
         let (home, page, line) = (p.proc(), p.page(), p.line_in_page());
         let word = p.local() as usize % LINE_WORDS;
         let cur = self.cur_proc;
@@ -226,15 +233,17 @@ impl ExecCtx {
             word,
             write,
             wval,
+            elide,
             reply,
         });
         match reply {
-            LookupReply::Hit(w) => {
+            LookupReply::Hit(w) | LookupReply::ElidedHit(w) => {
                 if !write {
                     // A cached read hit never generates home traffic, but
                     // the line's happens-before state lives at the home:
                     // notify it. (Write hits are covered by the
-                    // write-through that follows.)
+                    // write-through that follows.) Elided hits are still
+                    // real accesses, so they notify too.
                     if let Some(clock) = self.clock_for_msg() {
                         self.req(home, |reply| Msg::SanitizeHit {
                             page,
@@ -244,7 +253,7 @@ impl ExecCtx {
                         })
                     }
                 }
-                w
+                (w, matches!(reply, LookupReply::ElidedHit(_)))
             }
             LookupReply::Miss => {
                 // The fetch doubles as the sanitized read access; a write
@@ -258,7 +267,7 @@ impl ExecCtx {
                     clock,
                     reply,
                 });
-                self.req(cur, |reply| Msg::CacheInstall {
+                let w = self.req(cur, |reply| Msg::CacheInstall {
                     home,
                     page,
                     line,
@@ -267,7 +276,8 @@ impl ExecCtx {
                     write,
                     wval,
                     reply,
-                })
+                });
+                (w, false)
             }
         }
     }
@@ -336,11 +346,19 @@ impl ExecCtx {
         s.words_allocated += stats.words_allocated;
         s.migrate_local += stats.migrate_local;
         s.migrate_remote += stats.migrate_remote;
+        s.checks_performed += stats.checks_performed;
+        s.checks_elided += stats.checks_elided;
         self.cacheable_reads += cacheable_reads;
         self.cacheable_writes += cacheable_writes;
     }
 
-    fn read_impl(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> Word {
+    /// Whether a `Check::Elide` verdict is honored in this run (mirrors
+    /// the simulator's gate in `OldenCtx::resolve`).
+    fn want_elide(&self, check: Check) -> bool {
+        check == Check::Elide && self.shared.elide_checks && self.shared.force.is_none()
+    }
+
+    fn read_impl(&mut self, ptr: GPtr, field: usize, mech: Mechanism, check: Check) -> Word {
         let p = ptr.offset(field as u64);
         debug_assert!(!p.is_null(), "null dereference");
         if self.free_depth > 0 {
@@ -348,28 +366,37 @@ impl ExecCtx {
         }
         self.bump();
         let mech = self.shared.force.unwrap_or(mech);
-        match mech {
+        let want = self.want_elide(check);
+        let (value, elided) = match mech {
             Mechanism::Migrate => {
-                if p.is_local_to(self.cur_proc) {
+                let local = p.is_local_to(self.cur_proc);
+                if local {
                     self.stats.migrate_local += 1;
                 } else {
+                    // A stale elision hint performs the full check.
                     self.stats.migrate_remote += 1;
                     self.migrate_to(p.proc());
                 }
-                self.read_home(p)
+                (self.read_home(p), want && local)
             }
             Mechanism::Cache => {
                 self.cacheable_reads += 1;
                 if p.is_local_to(self.cur_proc) {
-                    self.read_home(p)
+                    (self.read_home(p), want)
                 } else {
-                    self.cached_access(p, false, None)
+                    self.cached_access(p, false, None, want)
                 }
             }
+        };
+        if elided {
+            self.stats.checks_elided += 1;
+        } else {
+            self.stats.checks_performed += 1;
         }
+        value
     }
 
-    fn write_impl(&mut self, ptr: GPtr, field: usize, value: Word, mech: Mechanism) {
+    fn write_impl(&mut self, ptr: GPtr, field: usize, value: Word, mech: Mechanism, check: Check) {
         let p = ptr.offset(field as u64);
         debug_assert!(!p.is_null(), "null dereference");
         if self.free_depth > 0 {
@@ -378,28 +405,39 @@ impl ExecCtx {
         }
         self.bump();
         let mech = self.shared.force.unwrap_or(mech);
-        match mech {
+        let want = self.want_elide(check);
+        let elided = match mech {
             Mechanism::Migrate => {
-                if p.is_local_to(self.cur_proc) {
+                let local = p.is_local_to(self.cur_proc);
+                if local {
                     self.stats.migrate_local += 1;
                 } else {
+                    // A stale elision hint performs the full check.
                     self.stats.migrate_remote += 1;
                     self.migrate_to(p.proc());
                 }
                 self.write_home(p, value);
+                want && local
             }
             Mechanism::Cache => {
                 self.cacheable_writes += 1;
                 if p.is_local_to(self.cur_proc) {
                     self.write_home(p, value);
+                    want
                 } else {
                     // Update the cached copy (allocating the line on a
                     // miss), then write through to the home — every write
                     // reaches the authoritative copy synchronously.
-                    self.cached_access(p, true, Some(value));
+                    let (_, elided) = self.cached_access(p, true, Some(value), want);
                     self.write_home(p, value);
+                    elided
                 }
             }
+        };
+        if elided {
+            self.stats.checks_elided += 1;
+        } else {
+            self.stats.checks_performed += 1;
         }
         self.note_written(p.proc());
     }
@@ -637,11 +675,26 @@ impl Backend for ExecCtx {
     }
 
     fn read(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> Word {
-        self.read_impl(ptr, field, mech)
+        self.read_impl(ptr, field, mech, Check::Perform)
     }
 
     fn write_word(&mut self, ptr: GPtr, field: usize, value: Word, mech: Mechanism) {
-        self.write_impl(ptr, field, value, mech);
+        self.write_impl(ptr, field, value, mech, Check::Perform);
+    }
+
+    fn read_checked(&mut self, ptr: GPtr, field: usize, mech: Mechanism, check: Check) -> Word {
+        self.read_impl(ptr, field, mech, check)
+    }
+
+    fn write_word_checked(
+        &mut self,
+        ptr: GPtr,
+        field: usize,
+        value: Word,
+        mech: Mechanism,
+        check: Check,
+    ) {
+        self.write_impl(ptr, field, value, mech, check);
     }
 
     fn uncharged<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {

@@ -75,6 +75,10 @@ pub struct ExecConfig {
     /// piggyback them on their heap traffic; each line's home worker
     /// checks every access against the line's clock state.
     pub sanitize: bool,
+    /// Honor the static optimizer's `Check::Elide` verdicts at `*_checked`
+    /// access sites (the simulator's `Config::elide_checks`). Off by
+    /// default; force overrides disable it regardless.
+    pub elide_checks: bool,
 }
 
 impl ExecConfig {
@@ -85,6 +89,7 @@ impl ExecConfig {
             force: None,
             stall_timeout: Duration::from_secs(10),
             sanitize: false,
+            elide_checks: false,
         }
     }
 
@@ -111,6 +116,13 @@ impl ExecConfig {
         self.sanitize = true;
         self
     }
+
+    /// Same configuration with the static optimizer's check elisions
+    /// honored.
+    pub fn optimized(mut self) -> ExecConfig {
+        self.elide_checks = true;
+        self
+    }
 }
 
 /// Watchdog-readable state of one logical thread.
@@ -134,6 +146,7 @@ pub(crate) struct Shared {
     pub mode: Mode,
     pub force: Option<Mechanism>,
     pub sanitize: bool,
+    pub elide_checks: bool,
     pub mailboxes: Vec<Sender<Msg>>,
     /// Bumped by every worker message and every client operation; the
     /// watchdog's only signal.
@@ -255,6 +268,7 @@ where
         mode: cfg.mode,
         force: cfg.force,
         sanitize: cfg.sanitize,
+        elide_checks: cfg.elide_checks,
         mailboxes,
         progress: Arc::clone(&progress),
         clients: Mutex::new(Vec::new()),
@@ -335,6 +349,8 @@ where
         cache.remote_writes += r.cache.remote_writes;
         cache.hits += r.cache.hits;
         cache.misses += r.cache.misses;
+        cache.checks_performed += r.cache.checks_performed;
+        cache.checks_elided += r.cache.checks_elided;
         pages_cached += r.pages_ever;
         section_words += r.words_allocated;
         messages += r.served;

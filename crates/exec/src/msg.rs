@@ -46,6 +46,10 @@ pub enum LookupReply {
     /// ([`Msg::LineFetchReq`] to the home, then [`Msg::CacheInstall`]
     /// back here); the miss has already been counted.
     Miss,
+    /// The request carried a verified `elide` hint: the line was resident,
+    /// so the worker answered from an *uncounted* probe — no table lookup
+    /// charged, `checks_elided` bumped instead of `checks_performed`.
+    ElidedHit(Word),
 }
 
 /// Everything a worker can be asked to do.
@@ -100,6 +104,11 @@ pub enum Msg {
         /// with `wval` (the client still write-throughs to the home).
         write: bool,
         wval: Option<Word>,
+        /// The static optimizer elided this site's check and the run opted
+        /// in: answer from an uncounted probe when the line is resident
+        /// ([`LookupReply::ElidedHit`]), fall back to the counted path
+        /// otherwise.
+        elide: bool,
         reply: Sender<LookupReply>,
     },
     /// Install a line fetched from its home into this worker's cache and

@@ -156,6 +156,7 @@ impl Worker {
                 word,
                 write,
                 wval,
+                elide,
                 reply,
             } => {
                 debug_assert_ne!(home, self.proc, "local references bypass the cache");
@@ -164,6 +165,29 @@ impl Worker {
                 } else {
                     self.stats.remote_reads += 1;
                 }
+                if elide {
+                    // Verified elision hint: answer from an uncounted probe
+                    // (mirroring `CacheSystem::access_checked`'s fast path).
+                    // A stale hint falls through to the counted path below.
+                    let resident = self
+                        .cache
+                        .peek(home, page)
+                        .is_some_and(|cp| cp.line_valid(line) && !cp.marked);
+                    if resident {
+                        self.stats.hits += 1;
+                        self.stats.checks_elided += 1;
+                        let data = self
+                            .lines
+                            .get_mut(&(home, page, line))
+                            .expect("valid line has data");
+                        if write {
+                            data[word] = wval.expect("write carries a value");
+                        }
+                        let _ = reply.send(LookupReply::ElidedHit(data[word]));
+                        return true;
+                    }
+                }
+                self.stats.checks_performed += 1;
                 let valid = self
                     .cache
                     .lookup(home, page)
@@ -199,10 +223,9 @@ impl Worker {
                 if write {
                     data[word] = wval.expect("write carries a value");
                 }
-                let cp = match self.cache.lookup(home, page) {
-                    Some(_) => self.cache.lookup(home, page).unwrap(),
-                    None => self.cache.insert(home, page),
-                };
+                // Find-or-insert in one counted probe (a second `lookup`
+                // here used to double-count the miss path's table walks).
+                let cp = self.cache.ensure(home, page);
                 cp.set_line(line);
                 self.lines.insert((home, page, line), data);
                 let _ = reply.send(data[word]);

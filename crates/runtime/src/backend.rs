@@ -25,7 +25,7 @@
 //! their results; benchmark kernels pass small `move` closures capturing
 //! [`GPtr`]s and scalars, which satisfy the bounds for free.
 
-use crate::config::Mechanism;
+use crate::config::{Check, Mechanism};
 use crate::ctx::{FutureHandle, OldenCtx};
 use crate::sanitize::RaceViolation;
 use olden_gptr::{GPtr, ProcId, Word};
@@ -83,6 +83,55 @@ pub trait Backend: Sized {
     /// Read a floating-point field.
     fn read_f64(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> f64 {
         self.read(ptr, field, mech).as_f64()
+    }
+
+    /// [`Backend::read`] carrying the static optimizer's verdict for this
+    /// site (`olden-analysis`' redundant-check elimination). The default
+    /// ignores the verdict, so backends without an elision fast path stay
+    /// correct for free.
+    fn read_checked(&mut self, ptr: GPtr, field: usize, mech: Mechanism, check: Check) -> Word {
+        let _ = check;
+        self.read(ptr, field, mech)
+    }
+
+    /// [`Backend::write_word`] carrying the optimizer's verdict.
+    fn write_word_checked(
+        &mut self,
+        ptr: GPtr,
+        field: usize,
+        value: Word,
+        mech: Mechanism,
+        check: Check,
+    ) {
+        let _ = check;
+        self.write_word(ptr, field, value, mech);
+    }
+
+    /// [`Backend::write`] carrying the optimizer's verdict.
+    fn write_checked(
+        &mut self,
+        ptr: GPtr,
+        field: usize,
+        value: impl Into<Word>,
+        mech: Mechanism,
+        check: Check,
+    ) {
+        self.write_word_checked(ptr, field, value.into(), mech, check);
+    }
+
+    /// [`Backend::read_ptr`] carrying the optimizer's verdict.
+    fn read_ptr_checked(&mut self, ptr: GPtr, field: usize, mech: Mechanism, check: Check) -> GPtr {
+        self.read_checked(ptr, field, mech, check).as_ptr()
+    }
+
+    /// [`Backend::read_i64`] carrying the optimizer's verdict.
+    fn read_i64_checked(&mut self, ptr: GPtr, field: usize, mech: Mechanism, check: Check) -> i64 {
+        self.read_checked(ptr, field, mech, check).as_i64()
+    }
+
+    /// [`Backend::read_f64`] carrying the optimizer's verdict.
+    fn read_f64_checked(&mut self, ptr: GPtr, field: usize, mech: Mechanism, check: Check) -> f64 {
+        self.read_checked(ptr, field, mech, check).as_f64()
     }
 
     /// Execute `f` without charging costs or recording events: values are
@@ -161,6 +210,21 @@ impl Backend for OldenCtx {
 
     fn write_word(&mut self, ptr: GPtr, field: usize, value: Word, mech: Mechanism) {
         OldenCtx::write(self, ptr, field, value, mech);
+    }
+
+    fn read_checked(&mut self, ptr: GPtr, field: usize, mech: Mechanism, check: Check) -> Word {
+        OldenCtx::read_checked(self, ptr, field, mech, check)
+    }
+
+    fn write_word_checked(
+        &mut self,
+        ptr: GPtr,
+        field: usize,
+        value: Word,
+        mech: Mechanism,
+        check: Check,
+    ) {
+        OldenCtx::write_checked(self, ptr, field, value, mech, check);
     }
 
     fn uncharged<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {

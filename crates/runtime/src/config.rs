@@ -24,6 +24,26 @@ impl Mechanism {
     }
 }
 
+/// The static optimizer's verdict for one dereference site, carried by
+/// benchmark code into the `*_checked` access methods.
+///
+/// `Elide` is a *hint with a proof obligation already discharged
+/// statically*: the `olden-analysis` must-availability pass showed that on
+/// every path to the site the same object was already checked and nothing
+/// (migration, touch, release, reassignment, conflicting store) has
+/// invalidated that fact. The runtime still verifies the fact cheaply
+/// (a residence test it was going to pass anyway) and falls back to the
+/// byte-exact `Perform` path when the hint is stale — values and coherence
+/// behavior can never change, only the check/probe counters move.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Check {
+    /// Run the compiler-inserted pointer test / cache lookup as usual.
+    #[default]
+    Perform,
+    /// The optimizer proved the check redundant: take the fast path.
+    Elide,
+}
+
 /// Configuration of one simulated run.
 #[derive(Clone, Copy, Debug)]
 pub struct Config {
@@ -41,6 +61,12 @@ pub struct Config {
     /// (the dynamic half of `olden-racecheck`). Off by default: the log
     /// costs memory proportional to the access count.
     pub sanitize: bool,
+    /// Honor [`Check::Elide`] verdicts at `*_checked` access sites. Off by
+    /// default so every existing configuration keeps its exact cycle
+    /// accounting; `forced` runs ignore it regardless (the verdicts were
+    /// computed against the heuristic's mechanism assignment, which a
+    /// force override invalidates wholesale).
+    pub elide_checks: bool,
 }
 
 impl Config {
@@ -53,6 +79,7 @@ impl Config {
             protocol: Protocol::LocalKnowledge,
             force: None,
             sanitize: false,
+            elide_checks: false,
         }
     }
 
@@ -64,6 +91,7 @@ impl Config {
             protocol: Protocol::LocalKnowledge,
             force: None,
             sanitize: false,
+            elide_checks: false,
         }
     }
 
@@ -84,6 +112,13 @@ impl Config {
         self.protocol = p;
         self
     }
+
+    /// Same configuration with the static optimizer's check elisions
+    /// honored.
+    pub fn optimized(mut self) -> Config {
+        self.elide_checks = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +133,9 @@ mod tests {
         let c = Config::olden(8).with_protocol(Protocol::Bilateral);
         assert_eq!(c.protocol, Protocol::Bilateral);
         assert!(Config::sequential().cost.ptr_test == 0);
+        assert!(!Config::olden(4).elide_checks);
+        assert!(Config::olden(4).optimized().elide_checks);
+        assert_eq!(Check::default(), Check::Perform);
     }
 
     #[test]

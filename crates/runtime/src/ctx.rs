@@ -26,7 +26,7 @@
 //! eager scheme's dirty tracking. The context keeps a stack of written
 //! processor sets, pushed by [`OldenCtx::call`] and [`OldenCtx::future_call`].
 
-use crate::config::{Config, Mechanism};
+use crate::config::{Check, Config, Mechanism};
 use crate::heap::DistributedHeap;
 use crate::report::RunStats;
 use crate::sanitize::{check_trace, LineKey, RaceViolation};
@@ -196,16 +196,12 @@ impl OldenCtx {
     /// Read field `field` of the object at `ptr`, resolving remote data
     /// with `mech`.
     pub fn read(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> Word {
-        let p = ptr.offset(field as u64);
-        self.resolve(p, false, mech);
-        self.heap.read(p)
+        self.read_checked(ptr, field, mech, Check::Perform)
     }
 
     /// Write field `field` of the object at `ptr`.
     pub fn write(&mut self, ptr: GPtr, field: usize, value: impl Into<Word>, mech: Mechanism) {
-        let p = ptr.offset(field as u64);
-        self.resolve(p, true, mech);
-        self.heap.write(p, value.into());
+        self.write_checked(ptr, field, value, mech, Check::Perform);
     }
 
     /// Read a pointer-valued field.
@@ -223,19 +219,60 @@ impl OldenCtx {
         self.read(ptr, field, mech).as_f64()
     }
 
+    /// [`Self::read`] carrying the static optimizer's verdict for the site.
+    pub fn read_checked(&mut self, ptr: GPtr, field: usize, mech: Mechanism, check: Check) -> Word {
+        let p = ptr.offset(field as u64);
+        self.resolve(p, false, mech, check);
+        self.heap.read(p)
+    }
+
+    /// [`Self::write`] carrying the static optimizer's verdict for the site.
+    pub fn write_checked(
+        &mut self,
+        ptr: GPtr,
+        field: usize,
+        value: impl Into<Word>,
+        mech: Mechanism,
+        check: Check,
+    ) {
+        let p = ptr.offset(field as u64);
+        self.resolve(p, true, mech, check);
+        self.heap.write(p, value.into());
+    }
+
     /// The pointer test + mechanism simulation for one word access.
-    fn resolve(&mut self, ptr: GPtr, write: bool, mech: Mechanism) {
+    ///
+    /// With `Check::Elide` (honored only when the configuration opted in
+    /// and no force override is active), the compiler-inserted check is
+    /// skipped when the optimizer's availability fact verifies against
+    /// live state: a migrate-mechanism pointer that is local, a
+    /// cache-mechanism pointer that is local, or a remote line already
+    /// valid in the cache. A stale hint falls back to the byte-exact
+    /// perform path — values, coherence actions, and every other counter
+    /// are unchanged; only check cycles and lookup counters move.
+    fn resolve(&mut self, ptr: GPtr, write: bool, mech: Mechanism, check: Check) {
         debug_assert!(!ptr.is_null(), "null dereference");
         if self.free_depth > 0 {
             return;
         }
         let mech = self.cfg.force.unwrap_or(mech);
-        self.charge(self.cfg.cost.ptr_test);
+        let want = check == Check::Elide && self.cfg.elide_checks && self.cfg.force.is_none();
+        let mut elided = false;
         match mech {
             Mechanism::Migrate => {
                 if ptr.is_local_to(self.cur_proc) {
                     self.stats.migrate_local += 1;
+                    if want {
+                        // Fact verified: the thread is already where the
+                        // data lives, exactly what the pointer test would
+                        // have concluded. Skip it.
+                        elided = true;
+                    } else {
+                        self.charge(self.cfg.cost.ptr_test);
+                    }
                 } else {
+                    // A stale elision hint performs the full check.
+                    self.charge(self.cfg.cost.ptr_test);
                     self.stats.migrate_remote += 1;
                     self.migrate_to(ptr.proc());
                 }
@@ -248,18 +285,35 @@ impl OldenCtx {
                     self.cache.stats_mut().cacheable_reads += 1;
                 }
                 if ptr.is_local_to(self.cur_proc) {
+                    if want {
+                        elided = true;
+                    } else {
+                        self.charge(self.cfg.cost.ptr_test);
+                    }
                     self.charge(self.cfg.cost.local_ref);
                 } else {
-                    self.charge(self.cfg.cost.cache_lookup);
-                    let acc = self.cache.access(
+                    let before = self.cache.stats().checks_elided;
+                    let acc = self.cache.access_checked(
                         self.cur_proc,
                         ptr.proc(),
                         ptr.page(),
                         ptr.line_in_page(),
                         write,
+                        want,
                     );
-                    if let Access::Miss { .. } = acc {
-                        self.charge(self.cfg.cost.miss_service);
+                    if self.cache.stats().checks_elided > before {
+                        // Verified cached hit: pointer test and hash probe
+                        // both skipped; the access costs a local
+                        // reference (plus the write-through a cached
+                        // write always pays).
+                        elided = true;
+                        self.charge(self.cfg.cost.local_ref);
+                    } else {
+                        self.charge(self.cfg.cost.ptr_test);
+                        self.charge(self.cfg.cost.cache_lookup);
+                        if let Access::Miss { .. } = acc {
+                            self.charge(self.cfg.cost.miss_service);
+                        }
                     }
                     if write {
                         // Write-through: the word travels home.
@@ -267,6 +321,11 @@ impl OldenCtx {
                     }
                 }
             }
+        }
+        if elided {
+            self.stats.checks_elided += 1;
+        } else {
+            self.stats.checks_performed += 1;
         }
         if write {
             // Compiler-inserted write tracking (global/bilateral schemes)
@@ -662,6 +721,71 @@ mod tests {
         let before = c.cache().stats().hits;
         c.read(a, 0, Mechanism::Cache);
         assert_eq!(c.cache().stats().hits, before + 1, "line survived return");
+    }
+
+    #[test]
+    fn elision_gates_on_config_and_counts() {
+        // Default config: Elide verdicts are ignored but still counted as
+        // performed checks.
+        let mut c = ctx(4);
+        let a = c.alloc(0, 1);
+        c.write(a, 0, 5i64, Mechanism::Migrate);
+        let before = c.stats().checks_performed;
+        let v = c.read_checked(a, 0, Mechanism::Migrate, Check::Elide);
+        assert_eq!(v.as_i64(), 5);
+        assert_eq!(c.stats().checks_performed, before + 1);
+        assert_eq!(c.stats().checks_elided, 0);
+
+        // Optimized config: the verified fact skips the check.
+        let mut c = OldenCtx::new(Config::olden(4).optimized());
+        let a = c.alloc(0, 1);
+        c.write(a, 0, 5i64, Mechanism::Migrate);
+        let v = c.read_checked(a, 0, Mechanism::Migrate, Check::Elide);
+        assert_eq!(v.as_i64(), 5);
+        assert_eq!(c.stats().checks_elided, 1);
+    }
+
+    #[test]
+    fn stale_elision_hint_falls_back_exactly() {
+        // A remote migrate pointer under a (wrong) Elide hint must behave
+        // byte-for-byte like the perform path: migrate, same counters.
+        let mut c = OldenCtx::new(Config::olden(4).optimized());
+        let a = c.alloc(2, 1);
+        c.uncharged(|c| c.write(a, 0, 9i64, Mechanism::Migrate));
+        let v = c.read_checked(a, 0, Mechanism::Migrate, Check::Elide);
+        assert_eq!(v.as_i64(), 9);
+        assert_eq!(c.cur_proc(), 2, "stale hint still migrated");
+        assert_eq!(c.stats().migrations, 1);
+        assert_eq!(c.stats().checks_performed, 1);
+        assert_eq!(c.stats().checks_elided, 0);
+    }
+
+    #[test]
+    fn cache_elision_skips_lookup_on_verified_hit() {
+        let mut c = OldenCtx::new(Config::olden(4).optimized());
+        let a = c.alloc(1, 1);
+        c.uncharged(|c| c.write(a, 0, 7i64, Mechanism::Migrate));
+        c.read(a, 0, Mechanism::Cache); // miss: line becomes resident
+        let (hits, lookups) = {
+            let cs = c.cache().stats();
+            (cs.hits, c.cache().cache(0).lookups())
+        };
+        let v = c.read_checked(a, 0, Mechanism::Cache, Check::Elide);
+        assert_eq!(v.as_i64(), 7);
+        let cs = *c.cache().stats();
+        assert_eq!(cs.hits, hits + 1, "elided access still a hit");
+        assert_eq!(c.cache().cache(0).lookups(), lookups, "no hash probe");
+        assert_eq!(cs.checks_elided, 1);
+        assert_eq!(c.stats().checks_elided, 1);
+    }
+
+    #[test]
+    fn forced_runs_ignore_elision() {
+        let mut c = OldenCtx::new(Config::olden(4).optimized().forced(Mechanism::Cache));
+        let a = c.alloc(0, 1);
+        c.write(a, 0, 1i64, Mechanism::Migrate);
+        c.read_checked(a, 0, Mechanism::Migrate, Check::Elide);
+        assert_eq!(c.stats().checks_elided, 0, "force override disables hints");
     }
 
     #[test]

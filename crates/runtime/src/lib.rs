@@ -24,7 +24,7 @@ pub mod report;
 pub mod sanitize;
 
 pub use backend::Backend;
-pub use config::{Config, Mechanism};
+pub use config::{Check, Config, Mechanism};
 pub use ctx::{FutureHandle, OldenCtx};
 pub use heap::DistributedHeap;
 pub use olden_cache::{Access, CacheStats, Protocol};

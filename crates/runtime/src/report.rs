@@ -29,6 +29,16 @@ pub struct RunStats {
     /// Dereferences under the migrate mechanism that were remote (each
     /// one is a migration).
     pub migrate_remote: u64,
+    /// Charged dereferences whose compiler-inserted check ran (the
+    /// pointer test, plus the cache lookup when remote). Every plain
+    /// access performs its check; a `*_checked` access performs it unless
+    /// its `Check::Elide` hint verified. `checks_performed + checks_elided`
+    /// is therefore invariant under `Config::elide_checks`.
+    pub checks_performed: u64,
+    /// Charged dereferences whose check the optimizer elided and whose
+    /// availability fact verified at runtime, skipping the check cost
+    /// entirely.
+    pub checks_elided: u64,
 }
 
 /// Everything measured about one run.

@@ -26,4 +26,8 @@ cargo run --release -q -p olden-bench --bin oldenc -- \
 echo "==> oldenc elide (annotated benchmarks must elide checks at runtime)"
 cargo run --release -q -p olden-bench --bin oldenc -- elide
 
+echo "==> oldenc chaos (fault-injected exec runs vs fault-free simulator, surface vs golden)"
+cargo run --release -q -p olden-bench --bin oldenc -- \
+    chaos --seeds 32 --golden tests/golden/oldenc-chaos.txt
+
 echo "CI green."

@@ -17,6 +17,13 @@
 //!   simulator with elision enabled and prints the runtime check
 //!   counters. Exit 1 if any annotated benchmark elides zero checks —
 //!   the CI gate against the hints silently going dead.
+//! * `oldenc chaos [--seeds N] [--golden PATH]` runs every benchmark on
+//!   the thread backend under N seeded fault schedules (message drops,
+//!   duplicates, reorders) and checks each run's value and event
+//!   counters byte-equal to the fault-free simulator's. Prints one
+//!   deterministic summary line per benchmark (fault totals are pure
+//!   functions of the seeds, so the surface pins with `--golden`). Exit
+//!   1 on any divergence.
 //! * `oldenc check FILE...` lints DSL source files, printing full
 //!   multi-line diagnostics. Exit 1 when anything is reported, 2 on
 //!   parse errors.
@@ -30,6 +37,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: oldenc lint [--golden PATH]");
     eprintln!("       oldenc opt [--golden PATH]");
     eprintln!("       oldenc elide");
+    eprintln!("       oldenc chaos [--seeds N] [--golden PATH]");
     eprintln!("       oldenc check FILE...");
     ExitCode::from(2)
 }
@@ -148,6 +156,85 @@ fn elide() -> ExitCode {
     }
 }
 
+/// The `chaos` report: every benchmark, executed for real on worker
+/// threads under `seeds` seeded fault schedules, held byte-equal — in
+/// value, runtime event counters, cache hit/miss totals, pages cached,
+/// and serviced-message count — to the fault-free simulator run.
+///
+/// Fault verdicts are pure integer functions of the seed and each
+/// message's identity, and lockstep execution sends a deterministic
+/// message sequence, so the per-benchmark fault totals are reproducible
+/// bit-for-bit: the whole surface pins with `--golden`. Returns the
+/// report and the number of divergent runs.
+fn chaos_report(seeds: u64) -> (String, usize) {
+    use olden_benchmarks::{generic_run, SizeClass};
+    use olden_exec::{run_exec, ExecConfig};
+    use olden_runtime::{Config, FaultTag, OldenCtx, TransportStats};
+    const PROCS: usize = 8;
+    let mut out = String::new();
+    let mut divergent = 0usize;
+    for d in olden_benchmarks::all() {
+        let name = d.name;
+        let mut sim = OldenCtx::new(Config::olden(PROCS));
+        let sim_val = generic_run(name, &mut sim, SizeClass::Tiny).expect("registry benchmark");
+        let (base_val, base) = run_exec(ExecConfig::lockstep(PROCS), move |ctx| {
+            generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark")
+        });
+        let mut bad = 0usize;
+        let mut agg = TransportStats::default();
+        let mut injected = [0u64; 3]; // drops, duplicates, delayed duplicates
+        for seed in 0..seeds {
+            let (v, rep) = run_exec(ExecConfig::lockstep(PROCS).chaotic(seed), move |ctx| {
+                generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark")
+            });
+            let equivalent = v == base_val
+                && v == sim_val
+                && rep.stats == *sim.stats()
+                && (rep.cache.hits, rep.cache.misses)
+                    == (sim.cache().stats().hits, sim.cache().stats().misses)
+                && rep.pages_cached == sim.cache().pages_cached()
+                && rep.messages == base.messages;
+            if !equivalent {
+                let _ = writeln!(out, "{name}: seed {seed} DIVERGED from the fault-free run");
+                bad += 1;
+            }
+            agg.absorb(&rep.transport);
+            injected[0] += rep.faults.count(FaultTag::Dropped);
+            injected[1] += rep.faults.count(FaultTag::Duplicated);
+            injected[2] += rep.faults.count(FaultTag::DelayedDuplicate);
+        }
+        let _ = writeln!(
+            out,
+            "{name}: {}/{seeds} seeds equivalent; injected drops={} dups={} delayed={}; \
+             retries={} suppressed={}",
+            seeds - bad as u64,
+            injected[0],
+            injected[1],
+            injected[2],
+            agg.retries,
+            agg.dupes_suppressed,
+        );
+        divergent += bad;
+    }
+    let runs = olden_benchmarks::all().len() as u64 * seeds;
+    let _ = writeln!(
+        out,
+        "chaos: {}/{runs} faulted runs byte-equal to the fault-free simulator",
+        runs - divergent as u64
+    );
+    (out, divergent)
+}
+
+fn chaos(seeds: u64, golden: Option<&str>) -> ExitCode {
+    let (report, divergent) = chaos_report(seeds);
+    let code = golden_check("chaos", &report, golden);
+    if divergent > 0 {
+        eprintln!("oldenc: {divergent} chaotic run(s) diverged");
+        return ExitCode::FAILURE;
+    }
+    code
+}
+
 /// Minimal line diff: every golden line not in the output (`-`) and
 /// every output line not in the golden (`+`), in file order.
 fn diff_lines(want: &str, got: &str) -> Vec<String> {
@@ -216,6 +303,25 @@ fn main() -> ExitCode {
             _ => usage(),
         },
         Some("elide") if args.len() == 1 => elide(),
+        Some("chaos") => {
+            let (mut seeds, mut golden) = (32u64, None::<String>);
+            let mut rest = args[1..].iter();
+            loop {
+                match rest.next().map(String::as_str) {
+                    None => break,
+                    Some("--seeds") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if n > 0 => seeds = n,
+                        _ => return usage(),
+                    },
+                    Some("--golden") => match rest.next() {
+                        Some(p) => golden = Some(p.clone()),
+                        None => return usage(),
+                    },
+                    Some(_) => return usage(),
+                }
+            }
+            chaos(seeds, golden.as_deref())
+        }
         Some("check") => check(&args[1..]),
         _ => usage(),
     }
@@ -247,6 +353,20 @@ mod tests {
             opt_report(),
             want,
             "benchmark opt surface drifted; re-record tests/golden/oldenc-opt.txt"
+        );
+    }
+
+    /// The chaos surface pins too: fault totals are pure functions of
+    /// the seeds, so `tests/golden/oldenc-chaos.txt` is exactly what
+    /// `oldenc chaos --seeds 32` prints today — and zero runs diverge.
+    #[test]
+    fn chaos_golden_file_is_current() {
+        let want = include_str!("../../../../tests/golden/oldenc-chaos.txt");
+        let (report, divergent) = chaos_report(32);
+        assert_eq!(divergent, 0, "chaotic runs diverged:\n{report}");
+        assert_eq!(
+            report, want,
+            "chaos surface drifted; re-record tests/golden/oldenc-chaos.txt"
         );
     }
 

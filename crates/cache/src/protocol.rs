@@ -429,6 +429,40 @@ mod tests {
         assert_eq!(s.cache(0).pages_ever(), 1, "page allocated once");
     }
 
+    /// Two consecutive word addresses straddling a 2 KB page boundary
+    /// (word 255 → page 0 line 31; word 256 → page 1 line 0) are distinct
+    /// cache units under every protocol: each misses on first touch,
+    /// allocates its own page descriptor, and hits independently.
+    #[test]
+    fn page_straddling_accesses_are_independent_units() {
+        use olden_gptr::geometry::{line_in_page_of_word, page_of_word};
+        let words = [255u64, 256u64];
+        for p in Protocol::ALL {
+            let mut s = sys(p);
+            for &w in &words {
+                assert_eq!(
+                    s.access(0, 1, page_of_word(w), line_in_page_of_word(w), false),
+                    Access::Miss {
+                        revalidation: false
+                    },
+                    "{p:?} word {w}: first touch of its own line"
+                );
+            }
+            for &w in &words {
+                assert_eq!(
+                    s.access(0, 1, page_of_word(w), line_in_page_of_word(w), false),
+                    Access::Hit,
+                    "{p:?} word {w}"
+                );
+            }
+            assert_eq!(
+                s.cache(0).pages_ever(),
+                2,
+                "{p:?}: the straddle spans two descriptors"
+            );
+        }
+    }
+
     #[test]
     fn local_call_arrival_clears_everything() {
         let mut s = sys(Protocol::LocalKnowledge);

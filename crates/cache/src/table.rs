@@ -351,6 +351,116 @@ mod tests {
         assert_eq!((c.lookups(), c.probes()), (lk, pr), "peek left counters");
     }
 
+    /// The last line of a page is bit 31 of the valid mask — the u32's
+    /// sign bit, the classic shift-arithmetic trap. Setting, testing, and
+    /// clearing it must not disturb its neighbors.
+    #[test]
+    fn line_31_uses_the_sign_bit_safely() {
+        let mut c = ProcCache::new();
+        let cp = c.ensure(1, 0);
+        cp.set_line(31);
+        cp.set_line(30);
+        assert_eq!(cp.valid, (1u32 << 31) | (1u32 << 30));
+        assert!(cp.line_valid(31));
+        assert!(cp.line_valid(30));
+        assert!(!cp.line_valid(0));
+        assert!(c.invalidate_lines(1, 0, 1u32 << 31));
+        let cp = c.lookup(1, 0).unwrap();
+        assert!(!cp.line_valid(31), "line 31 cleared");
+        assert!(cp.line_valid(30), "line 30 untouched");
+        // All 32 lines valid is exactly a full mask.
+        let cp = c.ensure(1, 1);
+        for l in 0..LINES_PER_PAGE {
+            cp.set_line(l as LineInPage);
+        }
+        assert_eq!(cp.valid, u32::MAX);
+    }
+
+    /// A deref one word past word 255 lands on a *different page's* line
+    /// 0, never on the same page's (nonexistent) line 32: the descriptors
+    /// are distinct and each tracks its own valid bits.
+    #[test]
+    fn page_straddling_words_map_to_distinct_descriptors() {
+        use olden_gptr::geometry::{line_in_page_of_word, page_of_word};
+        let (last, first) = (255u64, 256u64); // last word of page 0, first of page 1
+        assert_eq!(
+            (page_of_word(last), line_in_page_of_word(last)),
+            (0, 31),
+            "word 255 is page 0's last line"
+        );
+        assert_eq!(
+            (page_of_word(first), line_in_page_of_word(first)),
+            (1, 0),
+            "word 256 starts page 1"
+        );
+        let mut c = ProcCache::new();
+        c.ensure(2, page_of_word(last))
+            .set_line(line_in_page_of_word(last));
+        c.ensure(2, page_of_word(first))
+            .set_line(line_in_page_of_word(first));
+        assert_eq!(c.pages_ever(), 2, "straddle allocated two descriptors");
+        assert!(c.lookup(2, 0).unwrap().line_valid(31));
+        assert!(!c.lookup(2, 0).unwrap().line_valid(0));
+        assert!(c.lookup(2, 1).unwrap().line_valid(0));
+        assert!(!c.lookup(2, 1).unwrap().line_valid(31));
+    }
+
+    /// With more pages than buckets, some chain must hold several
+    /// descriptors (pigeonhole). `ensure` walks the full chain before
+    /// concluding find-vs-insert: every page keeps its own identity, no
+    /// page is ever re-inserted, and the probe counters reflect the walk.
+    #[test]
+    fn ensure_disambiguates_hash_collisions() {
+        let mut c = ProcCache::new();
+        let n = HASH_BUCKETS as u64 + 512;
+        for p in 0..n {
+            c.ensure(1, p).set_line((p % 32) as LineInPage);
+        }
+        assert_eq!(c.pages_ever(), n);
+        assert_eq!(c.resident(), n as usize);
+        assert_eq!(c.lookups(), n);
+        // Second pass: all finds, no inserts, bits where we left them.
+        for p in 0..n {
+            let cp = c.ensure(1, p);
+            assert_eq!(cp.page, p);
+            assert!(cp.line_valid((p % 32) as LineInPage), "page {p}");
+            assert!(!cp.line_valid(((p + 1) % 32) as LineInPage), "page {p}");
+        }
+        assert_eq!(c.pages_ever(), n, "ensure never re-inserts a resident page");
+        assert_eq!(c.resident(), n as usize);
+        assert_eq!(c.lookups(), 2 * n);
+        // A found entry at chain position i costs i+1 probes, so the find
+        // pass alone contributes ≥ n — and strictly more than n exactly
+        // when some chain held several descriptors, which the pigeonhole
+        // guarantees here.
+        assert!(
+            c.probes() > c.lookups(),
+            "with {n} pages in {HASH_BUCKETS} buckets some ensure walked a chain \
+             ({} probes over {} lookups)",
+            c.probes(),
+            c.lookups()
+        );
+    }
+
+    /// `ensure` right after `clear_all` re-inserts: resident count comes
+    /// back, `pages_ever` keeps counting, and the new descriptor is
+    /// pristine (no stale valid bits, no stale mark).
+    #[test]
+    fn ensure_after_clear_reinserts_pristine() {
+        let mut c = ProcCache::new();
+        let cp = c.ensure(3, 5);
+        cp.set_line(4);
+        cp.marked = true;
+        cp.validated_ts = 9;
+        c.clear_all();
+        let cp = c.ensure(3, 5);
+        assert_eq!(cp.valid, 0, "fresh descriptor has no valid lines");
+        assert!(!cp.marked);
+        assert_eq!(cp.validated_ts, 0);
+        assert_eq!(c.pages_ever(), 2, "monotone across the clear");
+        assert_eq!(c.resident(), 1);
+    }
+
     #[test]
     fn chain_length_near_one_for_scattered_pages() {
         let mut c = ProcCache::new();

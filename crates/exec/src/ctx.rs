@@ -26,15 +26,20 @@
 //! interleaving-dependent, since concurrent threads really do share the
 //! per-processor caches.
 
+use crate::chaos::{ExecError, Verdict};
 use crate::frame::{CompleteOnDrop, FrameHandle};
-use crate::msg::{ArrivalKind, LookupReply, Msg};
+use crate::msg::{ArrivalKind, Envelope, LookupReply, Msg};
 use crate::{ClientSlot, Mode, Shared, C_DONE, C_JOINING, C_RUNNING, C_WAITING_BODY};
 use olden_gptr::{GPtr, ProcId, Word, LINE_WORDS};
-use olden_runtime::{Backend, Check, Mechanism, RaceViolation, RunStats, VClock};
+use olden_runtime::{
+    Backend, Check, FaultEvent, FaultTag, Mechanism, RaceViolation, RunStats, TransportStats,
+    VClock,
+};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// What a future body's thread hands back when joined.
 pub(crate) struct BodyOutcome<T> {
@@ -114,6 +119,13 @@ pub struct ExecCtx {
     /// when the sanitizer is off.
     clock: VClock,
     slot: Arc<ClientSlot>,
+    /// Per-sender logical sequence number (the exactly-once key); the
+    /// next message will carry `seq + 1`.
+    seq: u64,
+    /// Injected *delayed* duplicates, held back here and flushed before
+    /// the next send — so the copy really does arrive out of order with
+    /// the traffic in between.
+    delayed: Vec<(ProcId, Envelope)>,
 }
 
 impl ExecCtx {
@@ -134,6 +146,8 @@ impl ExecCtx {
             cacheable_writes: 0,
             clock: VClock::new(),
             slot,
+            seq: 0,
+            delayed: Vec::new(),
         };
         // The root segment's tick, matching the simulator's segment 0.
         ctx.clock_bump(proc);
@@ -181,18 +195,118 @@ impl ExecCtx {
         self.slot.ops.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// One request/reply round trip to a worker's mailbox.
-    fn req<R>(&self, proc: ProcId, build: impl FnOnce(Sender<R>) -> Msg) -> R {
+    /// Release any delayed duplicates before the next primary send, so
+    /// the copies arrive genuinely reordered past intervening traffic.
+    /// (Copies still held when the client exits were simply eaten by the
+    /// network: never transmitted, never counted.)
+    fn flush_delayed(&mut self) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        for (dst, env) in std::mem::take(&mut self.delayed) {
+            self.shared.transport.sends.fetch_add(1, Ordering::Relaxed);
+            self.shared.mailboxes[dst as usize]
+                .send(env)
+                .expect("worker mailbox closed mid-run");
+        }
+    }
+
+    /// One request/reply round trip to a worker's mailbox, through the
+    /// fault layer.
+    ///
+    /// The reply doubles as the acknowledgement: a dropped transmission
+    /// is re-sent after exponential backoff (the stand-in for an ack
+    /// timeout), every copy of the message carrying the same sequence
+    /// number so the receiver services it at most once. A message whose
+    /// every allowed attempt is dropped fails the run with a typed
+    /// [`ExecError::Starved`] — under [`FaultPlan`](crate::FaultPlan)'s
+    /// liveness rule that can only happen to a 100%-dropped class.
+    fn req<R>(&mut self, proc: ProcId, build: impl FnOnce(Sender<R>) -> Msg) -> R {
+        self.flush_delayed();
         let (tx, rx) = mpsc::channel();
-        self.shared.mailboxes[proc as usize]
-            .send(build(tx))
-            .expect("worker mailbox closed mid-run");
+        let msg = build(tx);
+        let kind = msg.kind();
+        self.seq += 1;
+        let env = Envelope {
+            src: self.slot.id,
+            seq: self.seq,
+            msg,
+        };
+        let plan = &self.shared.plan;
+        let t = &self.shared.transport;
+        let mut attempt: u32 = 0;
+        loop {
+            match plan.verdict(kind, env.src, proc, env.seq, attempt) {
+                Verdict::Deliver => {
+                    t.sends.fetch_add(1, Ordering::Relaxed);
+                    self.shared.mailboxes[proc as usize]
+                        .send(env)
+                        .expect("worker mailbox closed mid-run");
+                    break;
+                }
+                Verdict::Duplicate { delayed } => {
+                    t.sends.fetch_add(1, Ordering::Relaxed);
+                    let copy = env.clone();
+                    self.shared.mailboxes[proc as usize]
+                        .send(env)
+                        .expect("worker mailbox closed mid-run");
+                    t.record(FaultEvent {
+                        tag: if delayed {
+                            FaultTag::DelayedDuplicate
+                        } else {
+                            FaultTag::Duplicated
+                        },
+                        msg: kind.name(),
+                        src: copy.src,
+                        dst: proc,
+                        seq: copy.seq,
+                        attempt,
+                    });
+                    if delayed {
+                        self.delayed.push((proc, copy));
+                    } else {
+                        t.sends.fetch_add(1, Ordering::Relaxed);
+                        self.shared.mailboxes[proc as usize]
+                            .send(copy)
+                            .expect("worker mailbox closed mid-run");
+                    }
+                    break;
+                }
+                Verdict::Drop => {
+                    t.sends.fetch_add(1, Ordering::Relaxed);
+                    t.drops.fetch_add(1, Ordering::Relaxed);
+                    t.record(FaultEvent {
+                        tag: FaultTag::Dropped,
+                        msg: kind.name(),
+                        src: env.src,
+                        dst: proc,
+                        seq: env.seq,
+                        attempt,
+                    });
+                    attempt += 1;
+                    if attempt >= plan.max_attempts {
+                        std::panic::panic_any(ExecError::Starved {
+                            kind,
+                            dst: proc,
+                            seq: env.seq,
+                            attempts: attempt,
+                        });
+                    }
+                    t.retries.fetch_add(1, Ordering::Relaxed);
+                    // Backing off is forward progress: keep the watchdog
+                    // informed so a retry storm is not mistaken for a
+                    // stall.
+                    self.shared.progress.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(1u64 << attempt.min(11)));
+                }
+            }
+        }
         let r = rx.recv().expect("worker dropped a reply");
         self.bump();
         r
     }
 
-    fn read_home(&self, p: GPtr) -> Word {
+    fn read_home(&mut self, p: GPtr) -> Word {
         let clock = self.clock_for_msg();
         self.req(p.proc(), |reply| Msg::ReadHome {
             local: p.local(),
@@ -201,7 +315,7 @@ impl ExecCtx {
         })
     }
 
-    fn write_home(&self, p: GPtr, value: Word) {
+    fn write_home(&mut self, p: GPtr, value: Word) {
         let clock = self.clock_for_msg();
         self.req(p.proc(), |reply| Msg::WriteHome {
             local: p.local(),
@@ -536,6 +650,9 @@ impl ExecCtx {
                     // until it migrates), exactly as in the simulator.
                     clock: self.clock.clone(),
                     slot: self.shared.register_client(spawn_proc),
+                    // A fresh client id is a fresh sequence space.
+                    seq: 0,
+                    delayed: Vec::new(),
                 };
                 let body_frame = Arc::clone(&frame);
                 let join = std::thread::Builder::new()
@@ -718,6 +835,12 @@ impl Backend for ExecCtx {
 
     fn touch<T: Send + 'static>(&mut self, h: ExecHandle<T>) -> T {
         self.touch_impl(h)
+    }
+
+    /// Snapshot of the run's global transport counters (all clients and
+    /// workers share them).
+    fn transport_stats(&self) -> TransportStats {
+        self.shared.transport.snapshot()
     }
 
     /// Collect the per-line findings from every worker (round trips, so

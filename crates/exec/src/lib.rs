@@ -25,18 +25,22 @@
 //! migrations into genuine parallelism while keeping values — and the
 //! data-dependent migration/steal counters — deterministic.
 
+pub mod chaos;
 pub mod frame;
 pub mod msg;
 pub mod worker;
 
 mod ctx;
 
+pub use chaos::{ExecError, FaultPlan, MsgKind, Verdict};
 pub use ctx::{ExecCtx, ExecHandle};
 
-use crate::msg::Msg;
+use crate::msg::{Envelope, Msg, CONTROL_SRC};
 use crate::worker::{Worker, WorkerSlot, W_EXITED, W_SERVING, W_WAITING};
 use olden_gptr::{ProcId, MAX_PROCS};
-use olden_runtime::{CacheStats, Mechanism, RaceViolation, RunStats};
+use olden_runtime::{
+    CacheStats, FaultEvent, FaultLog, Mechanism, RaceViolation, RunStats, TransportStats,
+};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, Sender};
@@ -79,6 +83,10 @@ pub struct ExecConfig {
     /// access sites (the simulator's `Config::elide_checks`). Off by
     /// default; force overrides disable it regardless.
     pub elide_checks: bool,
+    /// Deterministic fault schedule for the mailbox transport. The
+    /// default ([`FaultPlan::none`]) injects nothing and the transport
+    /// behaves exactly as if the chaos layer did not exist.
+    pub plan: FaultPlan,
 }
 
 impl ExecConfig {
@@ -90,6 +98,7 @@ impl ExecConfig {
             stall_timeout: Duration::from_secs(10),
             sanitize: false,
             elide_checks: false,
+            plan: FaultPlan::none(),
         }
     }
 
@@ -123,6 +132,18 @@ impl ExecConfig {
         self.elide_checks = true;
         self
     }
+
+    /// Same configuration under an explicit fault schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> ExecConfig {
+        self.plan = plan;
+        self
+    }
+
+    /// Same configuration under the seed-derived chaotic fault schedule
+    /// (the one the chaos suite sweeps: see [`FaultPlan::from_seed`]).
+    pub fn chaotic(self, seed: u64) -> ExecConfig {
+        self.with_faults(FaultPlan::from_seed(seed))
+    }
 }
 
 /// Watchdog-readable state of one logical thread.
@@ -140,6 +161,41 @@ pub(crate) const C_WAITING_BODY: u8 = 1;
 pub(crate) const C_JOINING: u8 = 2;
 pub(crate) const C_DONE: u8 = 3;
 
+/// Global transport accounting for one run, shared by every client and
+/// every worker. Senders bump `sends`/`drops`/`retries`; receivers bump
+/// `deliveries`/`dupes_suppressed`; the fault log records every injected
+/// fault. On a successful run the counters must satisfy
+/// [`TransportStats::conservation_violation`].
+#[derive(Default)]
+pub(crate) struct Transport {
+    pub sends: AtomicU64,
+    pub deliveries: AtomicU64,
+    pub drops: AtomicU64,
+    pub retries: AtomicU64,
+    pub dupes_suppressed: AtomicU64,
+    faults: Mutex<FaultLog>,
+}
+
+impl Transport {
+    pub(crate) fn record(&self, ev: FaultEvent) {
+        self.faults.lock().unwrap().record(ev);
+    }
+
+    pub(crate) fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            sends: self.sends.load(Ordering::Relaxed),
+            deliveries: self.deliveries.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            dupes_suppressed: self.dupes_suppressed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn fault_log(&self) -> FaultLog {
+        self.faults.lock().unwrap().clone()
+    }
+}
+
 /// State shared by every logical thread of one run.
 pub(crate) struct Shared {
     pub procs: usize,
@@ -147,7 +203,9 @@ pub(crate) struct Shared {
     pub force: Option<Mechanism>,
     pub sanitize: bool,
     pub elide_checks: bool,
-    pub mailboxes: Vec<Sender<Msg>>,
+    pub plan: FaultPlan,
+    pub transport: Arc<Transport>,
+    pub mailboxes: Vec<Sender<Envelope>>,
     /// Bumped by every worker message and every client operation; the
     /// watchdog's only signal.
     pub progress: Arc<AtomicU64>,
@@ -197,6 +255,13 @@ pub struct ExecReport {
     /// Happens-before violations found by the sanitizer, over all
     /// workers (empty unless `ExecConfig::sanitize` was set).
     pub races: Vec<RaceViolation>,
+    /// Mailbox-transport counters (sends, deliveries, drops, retries,
+    /// suppressed duplicates). On every successful run these satisfy the
+    /// conservation law against `messages`; with a quiet
+    /// [`FaultPlan`] they collapse to `sends == deliveries == messages`.
+    pub transport: TransportStats,
+    /// Every fault the chaos layer injected, in a bounded log.
+    pub faults: FaultLog,
 }
 
 fn dump_state(worker_slots: &[Arc<WorkerSlot>], shared: &Shared) -> String {
@@ -233,28 +298,40 @@ fn dump_state(worker_slots: &[Arc<WorkerSlot>], shared: &Shared) -> String {
     s
 }
 
-/// Execute `program` on `cfg.procs` worker threads and report.
+/// Execute `program` on `cfg.procs` worker threads and report, returning
+/// failures as values.
 ///
 /// Spawns the worker fleet, runs the program as the root logical thread,
 /// then performs a deterministic shutdown: a [`Msg::Shutdown`] to each
 /// worker in processor order, collecting each one's final statistics. The
 /// calling thread meanwhile acts as the watchdog — if the run's progress
-/// counter stalls for `cfg.stall_timeout`, it panics with a state dump of
-/// every worker and logical thread instead of hanging.
-pub fn run_exec<T, F>(cfg: ExecConfig, program: F) -> (T, ExecReport)
+/// counter stalls for `cfg.stall_timeout`, it fails with
+/// [`ExecError::Stalled`] carrying a state dump of every worker and
+/// logical thread instead of hanging. A message class starved by the
+/// fault plan fails with [`ExecError::Starved`]. On either error the
+/// run's threads are abandoned (workers exit on their own once every
+/// mailbox sender is gone); a program panic that is not an [`ExecError`]
+/// still propagates as a panic.
+pub fn try_run_exec<T, F>(cfg: ExecConfig, program: F) -> Result<(T, ExecReport), ExecError>
 where
     T: Send + 'static,
     F: FnOnce(&mut ExecCtx) -> T + Send + 'static,
 {
     assert!(cfg.procs >= 1 && cfg.procs <= MAX_PROCS);
     let progress = Arc::new(AtomicU64::new(0));
+    let transport = Arc::new(Transport::default());
     let mut mailboxes = Vec::with_capacity(cfg.procs);
     let mut worker_slots = Vec::with_capacity(cfg.procs);
     let mut worker_joins = Vec::with_capacity(cfg.procs);
     for p in 0..cfg.procs {
         let (tx, rx) = mpsc::channel();
         let slot = Arc::new(WorkerSlot::default());
-        let worker = Worker::new(p as ProcId, Arc::clone(&slot), Arc::clone(&progress));
+        let worker = Worker::new(
+            p as ProcId,
+            Arc::clone(&slot),
+            Arc::clone(&progress),
+            Arc::clone(&transport),
+        );
         let jh = thread::Builder::new()
             .name(format!("olden-worker-{p}"))
             .spawn(move || worker.serve(rx))
@@ -269,6 +346,8 @@ where
         force: cfg.force,
         sanitize: cfg.sanitize,
         elide_checks: cfg.elide_checks,
+        plan: cfg.plan,
+        transport: Arc::clone(&transport),
         mailboxes,
         progress: Arc::clone(&progress),
         clients: Mutex::new(Vec::new()),
@@ -303,11 +382,13 @@ where
                 } else {
                     stalled += tick;
                     if stalled >= cfg.stall_timeout {
-                        panic!(
-                            "olden-exec watchdog: no progress for {:?}; run is stalled\n{}",
-                            cfg.stall_timeout,
-                            dump_state(&worker_slots, &shared)
-                        );
+                        return Err(ExecError::Stalled {
+                            dump: format!(
+                                "no progress for {:?}\n{}",
+                                cfg.stall_timeout,
+                                dump_state(&worker_slots, &shared)
+                            ),
+                        });
                     }
                 }
             }
@@ -316,21 +397,32 @@ where
     };
     let Some((value, client)) = outcome else {
         // The root dropped its channel without sending a result: it
-        // panicked. Re-raise here so the failure is the caller's.
+        // panicked. An `ExecError` payload (e.g. a starved message) is
+        // this backend's own typed failure: return it. Anything else is
+        // the program's panic — re-raise so the failure is the caller's.
         match root.join() {
-            Err(payload) => std::panic::resume_unwind(payload),
+            Err(payload) => match payload.downcast::<ExecError>() {
+                Ok(err) => return Err(*err),
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
             Ok(()) => unreachable!("root client exited without a result"),
         }
     };
     root.join().expect("root client already sent its result");
 
     // Deterministic shutdown: each worker reports and exits, in processor
-    // order.
+    // order. Control-plane envelopes bypass the fault layer but still
+    // count as transport traffic, keeping the conservation law exact.
     let mut reports = Vec::with_capacity(cfg.procs);
     for tx in &shared.mailboxes {
         let (rtx, rrx) = mpsc::channel();
-        tx.send(Msg::Shutdown { reply: rtx })
-            .expect("worker alive at shutdown");
+        transport.sends.fetch_add(1, Ordering::Relaxed);
+        tx.send(Envelope {
+            src: CONTROL_SRC,
+            seq: 0,
+            msg: Msg::Shutdown { reply: rtx },
+        })
+        .expect("worker alive at shutdown");
         reports.push(rrx.recv().expect("worker shutdown report"));
     }
     for jh in worker_joins {
@@ -357,6 +449,12 @@ where
         races.extend(r.races.iter().copied());
     }
     let clients = shared.clients.lock().unwrap().len() as u64;
+    let stats = transport.snapshot();
+    // Self-check the exactly-once machinery on every successful run:
+    // nothing lost silently, nothing serviced twice.
+    if let Some(violation) = stats.conservation_violation(messages) {
+        panic!("olden-exec transport conservation violated: {violation}");
+    }
     let report = ExecReport {
         procs: cfg.procs,
         stats: client.stats,
@@ -366,8 +464,24 @@ where
         messages,
         clients,
         races,
+        transport: stats,
+        faults: transport.fault_log(),
     };
-    (value, report)
+    Ok((value, report))
+}
+
+/// [`try_run_exec`], panicking on failure (the original interface; the
+/// panic message carries the [`ExecError`] description, so a stall still
+/// reads "watchdog … stalled" with the full state dump).
+pub fn run_exec<T, F>(cfg: ExecConfig, program: F) -> (T, ExecReport)
+where
+    T: Send + 'static,
+    F: FnOnce(&mut ExecCtx) -> T + Send + 'static,
+{
+    match try_run_exec(cfg, program) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -643,16 +757,96 @@ mod tests {
         );
     }
 
-    /// A stalled run fails loudly with the state dump, not by hanging.
+    /// A stalled run fails loudly — as a typed [`ExecError::Stalled`]
+    /// value carrying the state dump — not by hanging.
     #[test]
-    #[should_panic(expected = "watchdog")]
     fn watchdog_trips_on_a_stalled_client() {
         let cfg = ExecConfig::lockstep(2).with_stall_timeout(Duration::from_millis(300));
-        let _ = run_exec(cfg, |ctx| {
+        let err = try_run_exec(cfg, |ctx| {
             let a = ctx.alloc(1, 1);
             ctx.write(a, 0, 1i64, Mechanism::Migrate);
             // A buggy kernel that blocks forever.
             thread::sleep(Duration::from_secs(3600));
+        })
+        .expect_err("a blocked client must trip the watchdog");
+        match err {
+            ExecError::Stalled { dump } => {
+                assert!(dump.contains("no progress for 300ms"), "{dump}");
+                assert!(dump.contains("worker 0"), "{dump}");
+                assert!(dump.contains("client 0"), "{dump}");
+                assert!(dump.contains("running on proc 1"), "{dump}");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    /// With the default (quiet) fault plan the transport is perfect:
+    /// every send is a delivery, every delivery is serviced, and the
+    /// fault log is empty — the chaos layer is invisible.
+    #[test]
+    fn quiet_plan_transport_is_perfect() {
+        let (_, rep) = run_exec(ExecConfig::lockstep(4), |ctx| {
+            let a = ctx.alloc(2, 2);
+            ctx.write(a, 0, 5i64, Mechanism::Cache);
+            ctx.read_i64(a, 0, Mechanism::Cache) + ctx.read_i64(a, 1, Mechanism::Migrate)
         });
+        assert_eq!(rep.transport.sends, rep.transport.deliveries);
+        assert_eq!(rep.transport.deliveries, rep.messages);
+        assert_eq!(rep.transport.drops, 0);
+        assert_eq!(rep.transport.retries, 0);
+        assert_eq!(rep.transport.dupes_suppressed, 0);
+        assert_eq!(rep.faults.total(), 0);
+    }
+
+    /// Under a chaotic schedule values and event counters still match the
+    /// fault-free run exactly; the injected faults show up only in the
+    /// transport counters and the fault log, and the conservation law
+    /// (checked inside `try_run_exec` on every run) holds.
+    #[test]
+    fn chaotic_run_matches_fault_free_run() {
+        fn kernel(ctx: &mut ExecCtx) -> i64 {
+            let n = ctx.nprocs() as u8;
+            let mut total = 0i64;
+            for p in 0..n {
+                let a = ctx.alloc(p, 2);
+                ctx.write(a, 0, p as i64 + 1, Mechanism::Cache);
+                total += ctx.read_i64(a, 0, Mechanism::Cache);
+                total += ctx.call(|c| c.read_i64(a, 0, Mechanism::Migrate));
+            }
+            total
+        }
+        let (base_val, base) = run_exec(ExecConfig::lockstep(4), kernel);
+        let mut any_faults = false;
+        for seed in 0..8 {
+            let (v, rep) = run_exec(ExecConfig::lockstep(4).chaotic(seed), kernel);
+            assert_eq!(v, base_val, "seed {seed}");
+            assert_eq!(rep.stats, base.stats, "seed {seed}");
+            assert_eq!(rep.messages, base.messages, "seed {seed}");
+            assert_eq!(
+                rep.faults.count(olden_runtime::FaultTag::Dropped),
+                rep.transport.drops,
+                "seed {seed}: every drop is logged"
+            );
+            any_faults |= rep.faults.total() > 0;
+        }
+        assert!(any_faults, "eight chaotic seeds must inject something");
+    }
+
+    /// A message class dropped at 100% fails with a typed error naming
+    /// the starved kind — never a raw panic, never a deadlock.
+    #[test]
+    fn starved_class_fails_with_typed_error() {
+        let plan = FaultPlan::from_seed(1).starving(MsgKind::Alloc);
+        let err = try_run_exec(ExecConfig::lockstep(2).with_faults(plan), |ctx| {
+            ctx.alloc(1, 1);
+        })
+        .expect_err("Alloc is unreachable");
+        match err {
+            ExecError::Starved { kind, attempts, .. } => {
+                assert_eq!(kind, MsgKind::Alloc);
+                assert_eq!(attempts, plan.max_attempts);
+            }
+            other => panic!("expected Starved, got {other:?}"),
+        }
     }
 }

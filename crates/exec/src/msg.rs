@@ -15,10 +15,15 @@
 //! [`FrameHandle`](crate::frame::FrameHandle)s shared between the
 //! spawning and the body thread.
 
+use crate::chaos::MsgKind;
 use olden_cache::CacheStats;
 use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS};
 use olden_runtime::{RaceViolation, VClock};
 use std::sync::mpsc::Sender;
+
+/// Sender id stamped on control-plane envelopes (shutdown), which carry
+/// no client sequence numbers and bypass receiver-side dedupe.
+pub const CONTROL_SRC: u64 = u64::MAX;
 
 /// One 64-byte line's payload, as moved by a fetch reply.
 pub type LineData = [Word; LINE_WORDS];
@@ -52,7 +57,27 @@ pub enum LookupReply {
     ElidedHit(Word),
 }
 
+/// What actually travels on a mailbox: a [`Msg`] stamped with its
+/// sender's identity and a per-sender sequence number.
+///
+/// The fault layer may transmit one logical message several times (a
+/// retry after a drop, or an injected duplicate); every copy carries the
+/// *same* `(src, seq)`, which is what lets the receiving worker service
+/// each logical message exactly once. `Msg` is `Clone` for exactly this
+/// purpose — a cloned reply `Sender` feeds the same rendezvous channel,
+/// and a suppressed copy simply drops its sender unused.
+#[derive(Clone)]
+pub struct Envelope {
+    /// Sending client's id ([`CONTROL_SRC`] for control messages).
+    pub src: u64,
+    /// Per-sender logical sequence number, starting at 1; retries and
+    /// duplicates of one logical message share it.
+    pub seq: u64,
+    pub msg: Msg,
+}
+
 /// Everything a worker can be asked to do.
+#[derive(Clone)]
 pub enum Msg {
     /// `ALLOC(words)` in this worker's heap section.
     Alloc { words: usize, reply: Sender<GPtr> },
@@ -132,6 +157,24 @@ pub enum Msg {
     /// Deterministic shutdown: reply with the worker's final statistics
     /// and exit the service loop.
     Shutdown { reply: Sender<WorkerReport> },
+}
+
+impl Msg {
+    /// The message's class, for fault targeting and error reporting.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            Msg::Alloc { .. } => MsgKind::Alloc,
+            Msg::ReadHome { .. } => MsgKind::ReadHome,
+            Msg::WriteHome { .. } => MsgKind::WriteHome,
+            Msg::LineFetchReq { .. } => MsgKind::LineFetch,
+            Msg::SanitizeHit { .. } => MsgKind::SanitizeHit,
+            Msg::RaceQuery { .. } => MsgKind::RaceQuery,
+            Msg::CacheLookup { .. } => MsgKind::CacheLookup,
+            Msg::CacheInstall { .. } => MsgKind::CacheInstall,
+            Msg::MigrateThread { .. } => MsgKind::Migrate,
+            Msg::Shutdown { .. } => MsgKind::Shutdown,
+        }
+    }
 }
 
 /// A worker's final accounting, returned in the [`Msg::Shutdown`] reply.

@@ -9,7 +9,8 @@
 //! serviced from local state only (see `msg` module docs for why that
 //! makes the system deadlock-free).
 
-use crate::msg::{ArrivalKind, LineData, LookupReply, Msg, WorkerReport};
+use crate::msg::{ArrivalKind, Envelope, LineData, LookupReply, Msg, WorkerReport, CONTROL_SRC};
+use crate::Transport;
 use olden_cache::{CacheStats, ProcCache};
 use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS, PAGE_WORDS};
 use olden_runtime::{LineKey, LineSanitizer};
@@ -53,10 +54,25 @@ pub struct Worker {
     san: LineSanitizer,
     slot: Arc<WorkerSlot>,
     progress: Arc<AtomicU64>,
+    /// Global transport counters (shared with every client and the
+    /// report): this worker bumps `deliveries` and `dupes_suppressed`.
+    transport: Arc<Transport>,
+    /// Receiver-side exactly-once state: highest sequence number yet
+    /// serviced from each sender. Sound as a dedupe filter because each
+    /// client blocks for the reply before its next logical message, so
+    /// its primaries arrive in increasing `seq` order and anything at or
+    /// below the high-water mark is a copy of an already-serviced
+    /// message.
+    seen: HashMap<u64, u64>,
 }
 
 impl Worker {
-    pub fn new(proc: ProcId, slot: Arc<WorkerSlot>, progress: Arc<AtomicU64>) -> Worker {
+    pub(crate) fn new(
+        proc: ProcId,
+        slot: Arc<WorkerSlot>,
+        progress: Arc<AtomicU64>,
+        transport: Arc<Transport>,
+    ) -> Worker {
         Worker {
             proc,
             section: vec![Word::ZERO; LINE_WORDS],
@@ -66,6 +82,8 @@ impl Worker {
             san: LineSanitizer::new(),
             slot,
             progress,
+            transport,
+            seen: HashMap::new(),
         }
     }
 
@@ -77,18 +95,34 @@ impl Worker {
     }
 
     /// Service messages until shutdown.
-    pub fn serve(mut self, rx: Receiver<Msg>) {
+    pub fn serve(mut self, rx: Receiver<Envelope>) {
         loop {
             self.slot.state.store(W_WAITING, Ordering::Relaxed);
-            let Ok(msg) = rx.recv() else {
+            let Ok(env) = rx.recv() else {
                 // All senders dropped without a shutdown: the run aborted
                 // (e.g. a client panicked); exit quietly.
                 break;
             };
             self.slot.state.store(W_SERVING, Ordering::Relaxed);
-            self.slot.served.fetch_add(1, Ordering::Relaxed);
+            self.transport.deliveries.fetch_add(1, Ordering::Relaxed);
             self.progress.fetch_add(1, Ordering::Relaxed);
-            if !self.handle(msg) {
+            if env.src != CONTROL_SRC {
+                let high = self.seen.entry(env.src).or_insert(0);
+                if env.seq <= *high {
+                    // A retry's or injected duplicate's copy of a message
+                    // already serviced: discard it (its cloned reply
+                    // sender drops unused — the primary already answered).
+                    // Delivered but not *served*, so `ExecReport.messages`
+                    // stays byte-equal to the fault-free run.
+                    self.transport
+                        .dupes_suppressed
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                *high = env.seq;
+            }
+            self.slot.served.fetch_add(1, Ordering::Relaxed);
+            if !self.handle(env.msg) {
                 break;
             }
         }

@@ -31,7 +31,7 @@ pub mod trace;
 pub use clocks::{segment_clocks, VClock};
 pub use cost::CostModel;
 pub use sched::{Schedule, ScheduleError};
-pub use trace::{EdgeKind, SegId, Segment, Trace};
+pub use trace::{EdgeKind, FaultEvent, FaultLog, FaultTag, SegId, Segment, Trace};
 
 /// Number of processors in a simulated machine configuration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -162,6 +162,107 @@ impl Trace {
     }
 }
 
+/// What a chaos transport did to one message attempt.
+///
+/// The execution backends tag injected transport faults with these the
+/// same way trace edges are tagged with [`EdgeKind`]s: a stable, closed
+/// vocabulary that reports and golden files can pin. The machine crate
+/// owns the vocabulary; it knows nothing about any particular message
+/// protocol (the payload is described by a plain kind name).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultTag {
+    /// The attempt was lost in transit; the sender must retry.
+    Dropped,
+    /// The message was delivered twice back to back.
+    Duplicated,
+    /// The message was delivered, and a copy was held back to be
+    /// re-delivered later — out of order with intervening traffic.
+    DelayedDuplicate,
+}
+
+impl FaultTag {
+    /// All tags, indexed consistently with [`FaultLog::count`].
+    pub const ALL: [FaultTag; 3] = [
+        FaultTag::Dropped,
+        FaultTag::Duplicated,
+        FaultTag::DelayedDuplicate,
+    ];
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            FaultTag::Dropped => 0,
+            FaultTag::Duplicated => 1,
+            FaultTag::DelayedDuplicate => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultTag::Dropped => "drop",
+            FaultTag::Duplicated => "duplicate",
+            FaultTag::DelayedDuplicate => "delayed-duplicate",
+        }
+    }
+}
+
+/// One injected transport fault, as recorded by a chaos layer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultEvent {
+    pub tag: FaultTag,
+    /// Message-kind name of the affected payload (e.g. `"CacheLookup"`).
+    pub msg: &'static str,
+    /// Logical sender id.
+    pub src: u64,
+    /// Destination processor.
+    pub dst: ProcId,
+    /// The affected message's sequence number on its sender's channel.
+    pub seq: u64,
+    /// Which transmission attempt was hit (0 = first send).
+    pub attempt: u32,
+}
+
+/// A bounded record of injected faults: exact per-tag counts always, plus
+/// the first [`FaultLog::CAP`] events verbatim for diagnostics. Counts
+/// stay exact past the cap so conservation laws remain checkable on runs
+/// of any length.
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+    counts: [u64; 3],
+}
+
+impl FaultLog {
+    /// Events kept verbatim; recording beyond this only bumps counts.
+    pub const CAP: usize = 4096;
+
+    pub fn new() -> FaultLog {
+        FaultLog::default()
+    }
+
+    pub fn record(&mut self, ev: FaultEvent) {
+        self.counts[ev.tag.index()] += 1;
+        if self.events.len() < FaultLog::CAP {
+            self.events.push(ev);
+        }
+    }
+
+    /// Exact number of faults recorded with `tag` (not capped).
+    pub fn count(&self, tag: FaultTag) -> u64 {
+        self.counts[tag.index()]
+    }
+
+    /// Total faults injected, over all tags.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The retained event prefix (at most [`FaultLog::CAP`] entries).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +307,48 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.total_cost(), 0);
         assert_eq!(t.max_proc(), None);
+    }
+
+    #[test]
+    fn fault_log_counts_every_tag() {
+        let mut log = FaultLog::new();
+        let ev = |tag, seq| FaultEvent {
+            tag,
+            msg: "CacheLookup",
+            src: 0,
+            dst: 1,
+            seq,
+            attempt: 0,
+        };
+        log.record(ev(FaultTag::Dropped, 1));
+        log.record(ev(FaultTag::Dropped, 1));
+        log.record(ev(FaultTag::Duplicated, 2));
+        log.record(ev(FaultTag::DelayedDuplicate, 3));
+        assert_eq!(log.count(FaultTag::Dropped), 2);
+        assert_eq!(log.count(FaultTag::Duplicated), 1);
+        assert_eq!(log.count(FaultTag::DelayedDuplicate), 1);
+        assert_eq!(log.total(), 4);
+        assert_eq!(log.events().len(), 4);
+        for tag in FaultTag::ALL {
+            let scanned = log.events().iter().filter(|e| e.tag == tag).count() as u64;
+            assert_eq!(log.count(tag), scanned, "{tag:?}");
+        }
+    }
+
+    #[test]
+    fn fault_log_caps_events_but_not_counts() {
+        let mut log = FaultLog::new();
+        for seq in 0..(FaultLog::CAP as u64 + 100) {
+            log.record(FaultEvent {
+                tag: FaultTag::Dropped,
+                msg: "ReadHome",
+                src: 7,
+                dst: 0,
+                seq,
+                attempt: 1,
+            });
+        }
+        assert_eq!(log.events().len(), FaultLog::CAP, "events bounded");
+        assert_eq!(log.count(FaultTag::Dropped), FaultLog::CAP as u64 + 100);
     }
 }

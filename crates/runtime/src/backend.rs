@@ -27,6 +27,7 @@
 
 use crate::config::{Check, Mechanism};
 use crate::ctx::{FutureHandle, OldenCtx};
+use crate::report::TransportStats;
 use crate::sanitize::RaceViolation;
 use olden_gptr::{GPtr, ProcId, Word};
 
@@ -160,6 +161,14 @@ pub trait Backend: Sized {
     /// backends without a sanitizer — and sanitizer-off runs report none.
     fn race_violations(&mut self) -> Vec<RaceViolation> {
         Vec::new()
+    }
+
+    /// Message-transport counters accumulated so far (the `olden-chaos`
+    /// observation surface). The default is for backends that pass no real
+    /// messages — the simulator's transport is trivially perfect, so it
+    /// reports all zeros; the thread backend counts every envelope.
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats::default()
     }
 
     /// Spawn one future per element and touch them all: the `do in

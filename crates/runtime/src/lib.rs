@@ -29,6 +29,8 @@ pub use ctx::{FutureHandle, OldenCtx};
 pub use heap::DistributedHeap;
 pub use olden_cache::{Access, CacheStats, Protocol};
 pub use olden_gptr::{GPtr, ProcId, Word};
-pub use olden_machine::{segment_clocks, CostModel, EdgeKind, VClock};
-pub use report::{run, speedup_curve, RunReport, RunStats};
+pub use olden_machine::{
+    segment_clocks, CostModel, EdgeKind, FaultEvent, FaultLog, FaultTag, VClock,
+};
+pub use report::{run, speedup_curve, RunReport, RunStats, TransportStats};
 pub use sanitize::{check_trace, LineKey, LineSanitizer, RaceViolation};

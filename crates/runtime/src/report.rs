@@ -41,6 +41,79 @@ pub struct RunStats {
     pub checks_elided: u64,
 }
 
+/// Message-transport counters for one run, in the shape every backend
+/// shares (the chaos layer's observation surface).
+///
+/// The simulator performs no real message passing, so its transport is
+/// trivially perfect: all fields zero. The thread backend counts every
+/// envelope its mailbox transport carries; under fault injection the
+/// counters must satisfy the **conservation law** checked by
+/// [`TransportStats::conservation_violation`] — nothing is ever lost
+/// silently, every drop is paid for by a retry or surfaces as a typed
+/// error.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Envelopes handed to the transport: every transmission attempt,
+    /// including retries and duplicates (and attempts the fault layer
+    /// then lost in transit).
+    pub sends: u64,
+    /// Envelopes that arrived at a receiver, including duplicates the
+    /// receiver then suppressed.
+    pub deliveries: u64,
+    /// Attempts lost in transit by the fault layer.
+    pub drops: u64,
+    /// Re-transmissions after a drop.
+    pub retries: u64,
+    /// Arrived envelopes discarded by sequence-number dedupe.
+    pub dupes_suppressed: u64,
+}
+
+impl TransportStats {
+    /// Check the conservation law for a *successfully completed* run.
+    /// `serviced` is the number of messages the receivers actually
+    /// processed (exactly-once: each logical message once). Returns a
+    /// description of the first violated equation, or `None` when all
+    /// hold:
+    ///
+    /// 1. `sends = deliveries + drops` — every attempt either arrived or
+    ///    was dropped;
+    /// 2. `retries = drops` — every drop was retried (a run that gave up
+    ///    fails with a typed error and never reports at all);
+    /// 3. `deliveries = serviced + dupes_suppressed` — every arrival was
+    ///    processed exactly once or discarded as a known duplicate.
+    pub fn conservation_violation(&self, serviced: u64) -> Option<String> {
+        if self.sends != self.deliveries + self.drops {
+            return Some(format!(
+                "sends {} != deliveries {} + drops {}",
+                self.sends, self.deliveries, self.drops
+            ));
+        }
+        if self.retries != self.drops {
+            return Some(format!(
+                "retries {} != drops {} (an unretried drop leaked)",
+                self.retries, self.drops
+            ));
+        }
+        if self.deliveries != serviced + self.dupes_suppressed {
+            return Some(format!(
+                "deliveries {} != serviced {} + dupes_suppressed {}",
+                self.deliveries, serviced, self.dupes_suppressed
+            ));
+        }
+        None
+    }
+
+    /// Fold another run's counters into this one (aggregation across
+    /// seeds in the chaos harness).
+    pub fn absorb(&mut self, other: &TransportStats) {
+        self.sends += other.sends;
+        self.deliveries += other.deliveries;
+        self.drops += other.drops;
+        self.retries += other.retries;
+        self.dupes_suppressed += other.dupes_suppressed;
+    }
+}
+
 /// Everything measured about one run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -140,6 +213,58 @@ where
 mod tests {
     use super::*;
     use crate::config::Mechanism;
+
+    #[test]
+    fn transport_conservation_law() {
+        // A fault-free transport: sends == deliveries == serviced.
+        let quiet = TransportStats {
+            sends: 10,
+            deliveries: 10,
+            ..Default::default()
+        };
+        assert_eq!(quiet.conservation_violation(10), None);
+        // A faulty but conserved run: 3 drops all retried, 2 dupes
+        // suppressed, 10 logical messages serviced exactly once.
+        let chaotic = TransportStats {
+            sends: 15,
+            deliveries: 12,
+            drops: 3,
+            retries: 3,
+            dupes_suppressed: 2,
+        };
+        assert_eq!(chaotic.conservation_violation(10), None);
+        // Each law violated in turn.
+        let lost = TransportStats {
+            sends: 11,
+            deliveries: 10,
+            ..Default::default()
+        };
+        assert!(lost.conservation_violation(10).unwrap().contains("drops"));
+        let unretried = TransportStats {
+            sends: 11,
+            deliveries: 10,
+            drops: 1,
+            retries: 0,
+            dupes_suppressed: 0,
+        };
+        assert!(unretried
+            .conservation_violation(10)
+            .unwrap()
+            .contains("retries"));
+        let double_serviced = TransportStats {
+            sends: 11,
+            deliveries: 11,
+            ..Default::default()
+        };
+        assert!(double_serviced
+            .conservation_violation(10)
+            .unwrap()
+            .contains("dupes_suppressed"));
+        let mut agg = quiet;
+        agg.absorb(&chaotic);
+        assert_eq!(agg.sends, 25);
+        assert_eq!(agg.conservation_violation(20), None);
+    }
 
     #[test]
     fn run_reports_consistent_totals() {

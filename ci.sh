@@ -1,33 +1,49 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: format, lint, build, test — all offline.
+# Tier-1 CI gate: format, lint, build, test, golden surfaces, perf smoke —
+# all offline. Each stage reports its wall time; the trailer totals them.
 set -euo pipefail
+IFS=$'\n\t'
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+# stage <name> <cmd...> — run one CI stage, timing it.
+stage() {
+    local name=$1
+    shift
+    echo "==> ${name}"
+    local t0=$SECONDS
+    "$@"
+    echo "    (${name}: $((SECONDS - t0))s)"
+}
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage "cargo fmt --check" cargo fmt --all -- --check
 
-echo "==> cargo build --release"
-cargo build --workspace --release
+stage "cargo clippy -D warnings" \
+    cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q"
-cargo test --workspace -q
+stage "cargo build --release" cargo build --workspace --release
 
-echo "==> oldenc lint (benchmark DSL race surface vs golden)"
-cargo run --release -q -p olden-bench --bin oldenc -- \
-    lint --golden tests/golden/oldenc-benchmarks.txt
+stage "cargo test -q" cargo test --workspace -q
 
-echo "==> oldenc opt (optimizer verdict surface vs golden)"
-cargo run --release -q -p olden-bench --bin oldenc -- \
-    opt --golden tests/golden/oldenc-opt.txt
+oldenc() {
+    cargo run --release -q -p olden-bench --bin oldenc -- "$@"
+}
 
-echo "==> oldenc elide (annotated benchmarks must elide checks at runtime)"
-cargo run --release -q -p olden-bench --bin oldenc -- elide
+stage "oldenc lint (benchmark DSL race surface vs golden)" \
+    oldenc lint --golden tests/golden/oldenc-benchmarks.txt
 
-echo "==> oldenc chaos (fault-injected exec runs vs fault-free simulator, surface vs golden)"
-cargo run --release -q -p olden-bench --bin oldenc -- \
-    chaos --seeds 32 --golden tests/golden/oldenc-chaos.txt
+stage "oldenc opt (optimizer verdict surface vs golden)" \
+    oldenc opt --golden tests/golden/oldenc-opt.txt
 
-echo "CI green."
+stage "oldenc elide (annotated benchmarks must elide checks at runtime)" \
+    oldenc elide
+
+stage "oldenc chaos (fault-injected exec runs vs fault-free simulator, surface vs golden)" \
+    oldenc chaos --seeds 32 --golden tests/golden/oldenc-chaos.txt
+
+# Perf smoke: counters must equal the committed baseline exactly; wall
+# times may drift up to 35% after calibration-normalizing host speed.
+stage "oldenc bench (perf smoke vs BENCH_baseline.json)" \
+    oldenc bench --json /tmp/bench.json \
+    --check BENCH_baseline.json --tolerance 0.35
+
+echo "CI green in ${SECONDS}s."

@@ -1,0 +1,43 @@
+//! Recorder overhead on the exec backend.
+//!
+//! With recording off, every trace hook is a branch on a `None` option —
+//! the acceptance bar is that a record-off run stays within 5% of itself
+//! run-to-run and, more importantly, that turning recording *on* costs
+//! little enough that profiling real runs is routine. The off/off pair
+//! bounds harness noise; off-vs-on is the recorder's true price.
+
+use olden_bench::microbench::{black_box, Bench};
+use olden_benchmarks::{generic_run, SizeClass};
+use olden_exec::{run_exec, ExecConfig};
+
+fn run_once(name: &'static str, record: bool) -> u64 {
+    let cfg = if record {
+        ExecConfig::lockstep(8).recorded()
+    } else {
+        ExecConfig::lockstep(8)
+    };
+    let (v, rep) = run_exec(cfg, move |ctx| {
+        generic_run(name, ctx, SizeClass::Tiny).unwrap()
+    });
+    black_box(v.wrapping_add(rep.messages))
+}
+
+fn main() {
+    let b = Bench::new("obs_overhead").samples(5);
+    for name in ["TreeAdd", "Power", "Health"] {
+        let off = b.run(&format!("{name}/record-off"), || run_once(name, false));
+        let off2 = b.run(&format!("{name}/record-off-again"), || {
+            run_once(name, false)
+        });
+        let on = b.run(&format!("{name}/record-on"), || run_once(name, true));
+        if let (Some(off), Some(off2), Some(on)) = (off, off2, on) {
+            let noise = off2.median.as_nanos() as f64 / off.median.as_nanos() as f64;
+            let cost = on.median.as_nanos() as f64 / off.median.as_nanos().max(1) as f64;
+            println!(
+                "{name}: record-off run-to-run {:+.1}%, record-on vs off {:+.1}%",
+                (noise - 1.0) * 100.0,
+                (cost - 1.0) * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! `oldenc bench`: machine-readable benchmark points and the perf-smoke
+//! comparison CI runs against a committed baseline.
+//!
+//! Each point is one benchmark executed for real on the thread backend:
+//! its wall time plus every deterministic counter the run produces
+//! (runtime events, cache traffic, messages serviced). The counters pin
+//! exactly — any drift is a behavior change, not noise. Wall times are
+//! compared through a **calibration ratio**: both files record how long a
+//! fixed integer spin took on their host, and a point only fails when its
+//! *normalized* time (benchmark wall / calibration wall) slows down by
+//! more than the tolerance. That keeps the gate meaningful across CI
+//! machines of very different speeds.
+
+use olden_benchmarks::{all, generic_run, Descriptor, SizeClass};
+use olden_exec::{run_exec, ExecConfig};
+use olden_obs::json::Json;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Schema tag; bump on any incompatible shape change.
+pub const SCHEMA: &str = "olden-bench/v1";
+
+/// One benchmark's measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchPoint {
+    pub name: String,
+    /// Best-of-reps wall time of the lockstep execution, nanoseconds.
+    pub wall_ns: u64,
+    /// Deterministic counters; exact across hosts for a fixed config.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// A full `oldenc bench` output file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchFile {
+    pub procs: usize,
+    /// Wall time of [`calibration_ns`]'s fixed spin on the producing
+    /// host: the denominator that normalizes wall times across machines.
+    pub calib_ns: u64,
+    pub points: Vec<BenchPoint>,
+}
+
+/// Time a fixed integer workload (an xorshift spin) on this host. Pure
+/// ALU work with no allocation: a stable yardstick for "how fast is this
+/// machine today".
+pub fn calibration_ns() -> u64 {
+    let t = Instant::now();
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut acc = 0u64;
+    for _ in 0..8_000_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x);
+    }
+    std::hint::black_box(acc);
+    t.elapsed().as_nanos() as u64
+}
+
+/// Measure one benchmark: best-of-`reps` wall time plus the run's full
+/// counter set (identical across reps — lockstep runs are deterministic).
+pub fn point(d: &Descriptor, procs: usize, size: SizeClass, reps: usize) -> BenchPoint {
+    let name = d.name;
+    let mut best = u64::MAX;
+    let mut counters = BTreeMap::new();
+    for rep in 0..reps.max(1) {
+        let t = Instant::now();
+        let (value, report) = run_exec(ExecConfig::lockstep(procs), move |ctx| {
+            generic_run(name, ctx, size).expect("registry benchmark")
+        });
+        best = best.min(t.elapsed().as_nanos() as u64);
+        assert_eq!(value, (d.reference)(size), "{name}: value diverged");
+        if rep == 0 {
+            for (k, v) in report.stats.counters() {
+                counters.insert(k.to_string(), v);
+            }
+            for (k, v) in report.cache.counters() {
+                counters.insert(k.to_string(), v);
+            }
+            counters.insert("messages".to_string(), report.messages);
+            counters.insert("pages_cached".to_string(), report.pages_cached);
+        }
+    }
+    BenchPoint {
+        name: name.to_string(),
+        wall_ns: best,
+        counters,
+    }
+}
+
+/// Measure every registry benchmark.
+pub fn measure(procs: usize, size: SizeClass, reps: usize) -> BenchFile {
+    BenchFile {
+        procs,
+        calib_ns: calibration_ns(),
+        points: all().iter().map(|d| point(d, procs, size, reps)).collect(),
+    }
+}
+
+impl BenchFile {
+    pub fn render(&self) -> String {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(&p.name)),
+                    ("wall_ns".into(), Json::u64(p.wall_ns)),
+                    (
+                        "counters".into(),
+                        Json::Obj(
+                            p.counters
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA)),
+            ("procs".into(), Json::u64(self.procs as u64)),
+            ("calib_ns".into(), Json::u64(self.calib_ns)),
+            ("points".into(), Json::Arr(points)),
+        ]);
+        let mut s = doc.render();
+        s.push('\n');
+        s
+    }
+
+    pub fn parse(text: &str) -> Result<BenchFile, String> {
+        let doc = Json::parse(text)?;
+        let field = |k: &str| doc.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        let schema = field("schema")?.as_str().ok_or("schema is not a string")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let procs = field("procs")?.as_u64().ok_or("procs is not an integer")? as usize;
+        let calib_ns = field("calib_ns")?
+            .as_u64()
+            .ok_or("calib_ns is not an integer")?;
+        let mut points = Vec::new();
+        for p in field("points")?.as_arr().ok_or("points is not an array")? {
+            let name = p
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("point without a name")?
+                .to_string();
+            let wall_ns = p
+                .get("wall_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: wall_ns missing"))?;
+            let mut counters = BTreeMap::new();
+            for (k, v) in p
+                .get("counters")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("{name}: counters missing"))?
+            {
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| format!("{name}: counter {k:?} is not an integer"))?;
+                counters.insert(k.clone(), v);
+            }
+            points.push(BenchPoint {
+                name,
+                wall_ns,
+                counters,
+            });
+        }
+        Ok(BenchFile {
+            procs,
+            calib_ns,
+            points,
+        })
+    }
+}
+
+/// Outcome of comparing a fresh measurement against a baseline.
+#[derive(Debug, Default)]
+pub struct CheckOutcome {
+    /// Hard failures: counter drift, missing benchmarks, or a normalized
+    /// slowdown beyond the tolerance. Non-empty fails CI.
+    pub violations: Vec<String>,
+    /// Informational lines (e.g. speedups); never fail the run.
+    pub notes: Vec<String>,
+}
+
+/// Compare `cur` against `base`. Counters must match exactly; wall times
+/// are normalized by each file's calibration spin and must not slow down
+/// by more than `tolerance` (0.35 = 35%).
+pub fn check(cur: &BenchFile, base: &BenchFile, tolerance: f64) -> CheckOutcome {
+    let mut out = CheckOutcome::default();
+    if cur.procs != base.procs {
+        out.violations.push(format!(
+            "processor counts differ: current {} vs baseline {}",
+            cur.procs, base.procs
+        ));
+        return out;
+    }
+    for b in &base.points {
+        let Some(c) = cur.points.iter().find(|p| p.name == b.name) else {
+            out.violations
+                .push(format!("{}: present in baseline, missing from run", b.name));
+            continue;
+        };
+        for (k, bv) in &b.counters {
+            match c.counters.get(k) {
+                Some(cv) if cv == bv => {}
+                Some(cv) => out.violations.push(format!(
+                    "{}: counter {k} drifted: baseline {bv}, current {cv}",
+                    b.name
+                )),
+                None => out
+                    .violations
+                    .push(format!("{}: counter {k} missing from run", b.name)),
+            }
+        }
+        for k in c.counters.keys() {
+            if !b.counters.contains_key(k) {
+                out.notes
+                    .push(format!("{}: new counter {k} (not in baseline)", b.name));
+            }
+        }
+        // Normalized ratio: >1 means this run is slower than the baseline
+        // after accounting for host speed.
+        let ratio =
+            (c.wall_ns as f64 / cur.calib_ns as f64) / (b.wall_ns as f64 / base.calib_ns as f64);
+        if ratio > 1.0 + tolerance {
+            out.violations.push(format!(
+                "{}: {:.2}x normalized slowdown (tolerance {:.0}%)",
+                b.name,
+                ratio,
+                tolerance * 100.0
+            ));
+        } else if ratio < 1.0 / (1.0 + tolerance) {
+            out.notes.push(format!(
+                "{}: {:.2}x normalized speedup",
+                b.name,
+                1.0 / ratio
+            ));
+        }
+    }
+    for c in &cur.points {
+        if !base.points.iter().any(|b| b.name == c.name) {
+            out.notes
+                .push(format!("{}: new benchmark (not in baseline)", c.name));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olden_benchmarks::by_name;
+
+    fn sample() -> BenchFile {
+        let d = by_name("TreeAdd").unwrap();
+        BenchFile {
+            procs: 8,
+            calib_ns: 10_000_000,
+            points: vec![point(&d, 8, SizeClass::Tiny, 1)],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let f = sample();
+        let parsed = BenchFile::parse(&f.render()).expect("own output parses");
+        assert_eq!(parsed, f);
+        assert!(
+            f.points[0].counters["futures"] > 0,
+            "TreeAdd spawns futures"
+        );
+        assert!(f.points[0].counters.contains_key("messages"));
+    }
+
+    /// The perf-smoke gate really fires: a synthetic 2x slowdown on one
+    /// benchmark (same calibration) is a violation at 35% tolerance.
+    #[test]
+    fn synthetic_double_slowdown_is_a_violation() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.points[0].wall_ns *= 2;
+        let out = check(&cur, &base, 0.35);
+        assert!(
+            out.violations.iter().any(|v| v.contains("slowdown")),
+            "2x slowdown not flagged: {out:?}"
+        );
+        // And the same wall times pass clean.
+        assert!(check(&base, &base, 0.35).violations.is_empty());
+    }
+
+    /// A twice-as-fast *host* is not a slowdown: the calibration ratio
+    /// cancels machine speed out.
+    #[test]
+    fn calibration_normalizes_host_speed() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.calib_ns *= 2; // slower host...
+        cur.points[0].wall_ns *= 2; // ...slows the benchmark equally
+        assert!(check(&cur, &base, 0.35).violations.is_empty());
+    }
+
+    #[test]
+    fn counter_drift_is_a_violation() {
+        let base = sample();
+        let mut cur = base.clone();
+        *cur.points[0].counters.get_mut("migrations").unwrap() += 1;
+        let out = check(&cur, &base, 0.35);
+        assert!(
+            out.violations.iter().any(|v| v.contains("migrations")),
+            "counter drift not flagged: {out:?}"
+        );
+    }
+
+    #[test]
+    fn missing_benchmark_is_a_violation() {
+        let base = sample();
+        let cur = BenchFile {
+            procs: 8,
+            calib_ns: base.calib_ns,
+            points: Vec::new(),
+        };
+        let out = check(&cur, &base, 0.35);
+        assert!(out.violations.iter().any(|v| v.contains("missing")));
+    }
+}

@@ -24,20 +24,39 @@
 //!   deterministic summary line per benchmark (fault totals are pure
 //!   functions of the seeds, so the surface pins with `--golden`). Exit
 //!   1 on any divergence.
+//! * `oldenc profile <bench> [--trace out.json]` runs one benchmark
+//!   recorded on both backends, reconciles each recording's exact event
+//!   counts against the run's own counters (exit 1 on any mismatch), and
+//!   prints per-processor utilization timelines. `--trace` additionally
+//!   writes a Chrome `trace_event` JSON file — open it at
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * `oldenc bench [--json PATH] [--check BASE --tolerance F]` measures
+//!   every benchmark on the thread backend (wall time + all deterministic
+//!   counters) and optionally compares against a committed baseline:
+//!   counters must match exactly, wall times within the tolerance after
+//!   calibration-normalizing for host speed. The CI perf-smoke gate.
 //! * `oldenc check FILE...` lints DSL source files, printing full
 //!   multi-line diagnostics. Exit 1 when anything is reported, 2 on
 //!   parse errors.
+//!
+//! Every golden-backed subcommand takes `--bless` to re-record its golden
+//! file in place, and a mismatch prints the exact command to do so.
 
 use olden_analysis::optimize_src;
 use olden_analysis::racecheck::racecheck_src;
+use olden_bench::{benchjson, profile};
+use olden_benchmarks::SizeClass;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: oldenc lint [--golden PATH]");
-    eprintln!("       oldenc opt [--golden PATH]");
+    eprintln!("usage: oldenc lint [--golden PATH [--bless]]");
+    eprintln!("       oldenc opt [--golden PATH [--bless]]");
     eprintln!("       oldenc elide");
-    eprintln!("       oldenc chaos [--seeds N] [--golden PATH]");
+    eprintln!("       oldenc chaos [--seeds N] [--golden PATH [--bless]]");
+    eprintln!("       oldenc profile BENCH [--trace PATH] [--procs N] [--width N]");
+    eprintln!("       oldenc bench [--json PATH] [--check BASE] [--tolerance F]");
+    eprintln!("                    [--procs N] [--reps N]");
     eprintln!("       oldenc check FILE...");
     ExitCode::from(2)
 }
@@ -86,11 +105,28 @@ fn opt_report() -> String {
     out
 }
 
-fn golden_check(what: &str, report: &str, golden: Option<&str>) -> ExitCode {
+/// Compare `report` to the golden file (or, with `--bless`, re-record
+/// it). `regen` is the subcommand with any arguments needed to reproduce
+/// this exact report, so a mismatch prints a ready-to-run bless command.
+fn golden_check(
+    what: &str,
+    regen: &str,
+    report: &str,
+    golden: Option<&str>,
+    bless: bool,
+) -> ExitCode {
     print!("{report}");
     let Some(path) = golden else {
         return ExitCode::SUCCESS;
     };
+    if bless {
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("oldenc: cannot write golden file {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("oldenc: blessed {what} output into {path}");
+        return ExitCode::SUCCESS;
+    }
     let want = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -106,17 +142,20 @@ fn golden_check(what: &str, report: &str, golden: Option<&str>) -> ExitCode {
         for diff in diff_lines(&want, report) {
             eprintln!("  {diff}");
         }
-        eprintln!("(re-record with: oldenc {what} > {path})");
+        eprintln!(
+            "re-record with: cargo run --release -q -p olden-bench --bin oldenc -- \
+             {regen} --golden {path} --bless"
+        );
         ExitCode::FAILURE
     }
 }
 
-fn lint(golden: Option<&str>) -> ExitCode {
-    golden_check("lint", &lint_report(), golden)
+fn lint(golden: Option<&str>, bless: bool) -> ExitCode {
+    golden_check("lint", "lint", &lint_report(), golden, bless)
 }
 
-fn opt(golden: Option<&str>) -> ExitCode {
-    golden_check("opt", &opt_report(), golden)
+fn opt(golden: Option<&str>, bless: bool) -> ExitCode {
+    golden_check("opt", "opt", &opt_report(), golden, bless)
 }
 
 /// Run every annotated benchmark with elision on and report the runtime
@@ -166,11 +205,61 @@ fn elide() -> ExitCode {
 /// message sequence, so the per-benchmark fault totals are reproducible
 /// bit-for-bit: the whole surface pins with `--golden`. Returns the
 /// report and the number of divergent runs.
+///
+/// Seeds are swept in parallel across the host's cores: each seed's run
+/// is fully independent, and the per-benchmark lines aggregate plain
+/// sums over results collected back into seed order — so the report is
+/// byte-identical to a sequential sweep.
 fn chaos_report(seeds: u64) -> (String, usize) {
     use olden_benchmarks::{generic_run, SizeClass};
-    use olden_exec::{run_exec, ExecConfig};
-    use olden_runtime::{Config, FaultTag, OldenCtx, TransportStats};
+    use olden_exec::{run_exec, ExecConfig, ExecReport};
+    use olden_runtime::{Config, FaultTag, OldenCtx, RunStats, TransportStats};
+    use std::sync::atomic::{AtomicU64, Ordering};
     const PROCS: usize = 8;
+
+    /// What every faulted run must byte-equal (snapshotted before the
+    /// sweep so worker threads share it by reference).
+    struct Expect {
+        sim_val: u64,
+        base_val: u64,
+        stats: RunStats,
+        hits: u64,
+        misses: u64,
+        pages: u64,
+        messages: u64,
+    }
+    struct SeedOutcome {
+        equivalent: bool,
+        transport: TransportStats,
+        injected: [u64; 3], // drops, duplicates, delayed duplicates
+    }
+
+    fn run_seed(name: &'static str, seed: u64, e: &Expect) -> SeedOutcome {
+        let (v, rep): (u64, ExecReport) =
+            run_exec(ExecConfig::lockstep(PROCS).chaotic(seed), move |ctx| {
+                generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark")
+            });
+        SeedOutcome {
+            equivalent: v == e.base_val
+                && v == e.sim_val
+                && rep.stats == e.stats
+                && (rep.cache.hits, rep.cache.misses) == (e.hits, e.misses)
+                && rep.pages_cached == e.pages
+                && rep.messages == e.messages,
+            transport: rep.transport,
+            injected: [
+                rep.faults.count(FaultTag::Dropped),
+                rep.faults.count(FaultTag::Duplicated),
+                rep.faults.count(FaultTag::DelayedDuplicate),
+            ],
+        }
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(seeds as usize)
+        .max(1);
     let mut out = String::new();
     let mut divergent = 0usize;
     for d in olden_benchmarks::all() {
@@ -180,28 +269,51 @@ fn chaos_report(seeds: u64) -> (String, usize) {
         let (base_val, base) = run_exec(ExecConfig::lockstep(PROCS), move |ctx| {
             generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark")
         });
+        let expect = Expect {
+            sim_val,
+            base_val,
+            stats: *sim.stats(),
+            hits: sim.cache().stats().hits,
+            misses: sim.cache().stats().misses,
+            pages: sim.cache().pages_cached(),
+            messages: base.messages,
+        };
+        // Work-stealing sweep: an atomic next-seed index, results slotted
+        // back by seed so aggregation order never depends on scheduling.
+        let next = AtomicU64::new(0);
+        let mut results: Vec<Option<SeedOutcome>> = (0..seeds).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let (tx, rx) = std::sync::mpsc::channel::<(u64, SeedOutcome)>();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, expect) = (&next, &expect);
+                s.spawn(move || loop {
+                    let seed = next.fetch_add(1, Ordering::Relaxed);
+                    if seed >= seeds {
+                        break;
+                    }
+                    tx.send((seed, run_seed(name, seed, expect)))
+                        .expect("collector alive");
+                });
+            }
+            drop(tx);
+            for (seed, r) in rx {
+                results[seed as usize] = Some(r);
+            }
+        });
         let mut bad = 0usize;
         let mut agg = TransportStats::default();
-        let mut injected = [0u64; 3]; // drops, duplicates, delayed duplicates
-        for seed in 0..seeds {
-            let (v, rep) = run_exec(ExecConfig::lockstep(PROCS).chaotic(seed), move |ctx| {
-                generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark")
-            });
-            let equivalent = v == base_val
-                && v == sim_val
-                && rep.stats == *sim.stats()
-                && (rep.cache.hits, rep.cache.misses)
-                    == (sim.cache().stats().hits, sim.cache().stats().misses)
-                && rep.pages_cached == sim.cache().pages_cached()
-                && rep.messages == base.messages;
-            if !equivalent {
+        let mut injected = [0u64; 3];
+        for (seed, r) in results.iter().enumerate() {
+            let r = r.as_ref().expect("every seed ran");
+            if !r.equivalent {
                 let _ = writeln!(out, "{name}: seed {seed} DIVERGED from the fault-free run");
                 bad += 1;
             }
-            agg.absorb(&rep.transport);
-            injected[0] += rep.faults.count(FaultTag::Dropped);
-            injected[1] += rep.faults.count(FaultTag::Duplicated);
-            injected[2] += rep.faults.count(FaultTag::DelayedDuplicate);
+            agg.absorb(&r.transport);
+            for (slot, n) in injected.iter_mut().zip(r.injected) {
+                *slot += n;
+            }
         }
         let _ = writeln!(
             out,
@@ -225,14 +337,144 @@ fn chaos_report(seeds: u64) -> (String, usize) {
     (out, divergent)
 }
 
-fn chaos(seeds: u64, golden: Option<&str>) -> ExitCode {
+fn chaos(seeds: u64, golden: Option<&str>, bless: bool) -> ExitCode {
     let (report, divergent) = chaos_report(seeds);
-    let code = golden_check("chaos", &report, golden);
+    let regen = format!("chaos --seeds {seeds}");
+    let code = golden_check("chaos", &regen, &report, golden, bless);
     if divergent > 0 {
         eprintln!("oldenc: {divergent} chaotic run(s) diverged");
         return ExitCode::FAILURE;
     }
     code
+}
+
+/// `oldenc profile`: one benchmark recorded on both backends, the
+/// recordings reconciled against the runs' counters, timelines printed,
+/// and optionally a Chrome trace written.
+fn profile_cmd(bench: &str, trace: Option<&str>, procs: usize, width: usize) -> ExitCode {
+    let Some(d) = olden_benchmarks::by_name(bench) else {
+        eprintln!("oldenc: unknown benchmark {bench:?}; known:");
+        for d in olden_benchmarks::all() {
+            eprintln!("  {}", d.name);
+        }
+        return ExitCode::from(2);
+    };
+    let sim = profile::profile_sim(&d, procs, SizeClass::Tiny);
+    let exec = profile::profile_exec(&d, procs, SizeClass::Tiny);
+    let mut broken = 0usize;
+    for (which, bad) in [("sim", sim.reconcile()), ("exec", exec.reconcile())] {
+        for b in &bad {
+            eprintln!(
+                "oldenc: {} {which} recording does not reconcile: {b}",
+                d.name
+            );
+        }
+        broken += bad.len();
+    }
+    if broken > 0 {
+        eprintln!("oldenc: trace untrustworthy; nothing written");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} on {procs} procs: makespan {} cycles (sim), wall {:.2} ms (exec lockstep)",
+        d.name,
+        sim.report.makespan,
+        exec.wall_ns as f64 / 1e6
+    );
+    println!(
+        "events: {} stored (sim) / {} stored (exec); counters reconcile on both backends",
+        sim.recording.events_stored(),
+        exec.recording.events_stored()
+    );
+    let metrics = exec.recording.metrics();
+    print!("{}", metrics.render());
+    println!("-- sim lane activity (logical time) --");
+    print!(
+        "{}",
+        olden_obs::timeline::event_timeline(&sim.recording, width)
+    );
+    println!("-- exec lane activity (wall time) --");
+    print!(
+        "{}",
+        olden_obs::timeline::event_timeline(&exec.recording, width)
+    );
+    if let Some(path) = trace {
+        let text =
+            olden_obs::chrome::trace_json(&[("sim", &sim.recording), ("exec", &exec.recording)]);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("oldenc: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote Chrome trace to {path} (open at https://ui.perfetto.dev)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `oldenc bench`: measure every benchmark, optionally write the JSON
+/// and/or gate against a baseline (the CI perf-smoke stage).
+fn bench_cmd(
+    json: Option<&str>,
+    check_path: Option<&str>,
+    tolerance: f64,
+    procs: usize,
+    reps: usize,
+) -> ExitCode {
+    let file = benchjson::measure(procs, SizeClass::Tiny, reps);
+    println!(
+        "{} benchmarks on {procs} procs, best of {reps}; calibration {:.2} ms",
+        file.points.len(),
+        file.calib_ns as f64 / 1e6
+    );
+    for p in &file.points {
+        println!(
+            "  {:<10} {:>9.3} ms  migrations={} misses={} messages={}",
+            p.name,
+            p.wall_ns as f64 / 1e6,
+            p.counters["migrations"],
+            p.counters["misses"],
+            p.counters["messages"]
+        );
+    }
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(path, file.render()) {
+            eprintln!("oldenc: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    let Some(base_path) = check_path else {
+        return ExitCode::SUCCESS;
+    };
+    let base = match std::fs::read_to_string(base_path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| benchjson::BenchFile::parse(&s))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("oldenc: cannot load baseline {base_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out = benchjson::check(&file, &base, tolerance);
+    for n in &out.notes {
+        eprintln!("oldenc: note: {n}");
+    }
+    if out.violations.is_empty() {
+        eprintln!(
+            "oldenc: perf-smoke clean against {base_path} (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &out.violations {
+            eprintln!("oldenc: perf-smoke violation: {v}");
+        }
+        eprintln!(
+            "re-baseline with: cargo run --release -q -p olden-bench --bin oldenc -- \
+             bench --procs {procs} --reps {reps} --json {base_path}"
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// Minimal line diff: every golden line not in the output (`-`) and
@@ -289,22 +531,38 @@ fn check(files: &[String]) -> ExitCode {
     }
 }
 
+/// Parse `[--golden PATH] [--bless]`.
+fn golden_flags(args: &[String]) -> Option<(Option<String>, bool)> {
+    let (mut golden, mut bless) = (None, false);
+    let mut rest = args.iter();
+    loop {
+        match rest.next().map(String::as_str) {
+            None => break,
+            Some("--golden") => golden = Some(rest.next()?.clone()),
+            Some("--bless") => bless = true,
+            Some(_) => return None,
+        }
+    }
+    if bless && golden.is_none() {
+        return None; // --bless needs a file to bless
+    }
+    Some((golden, bless))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => match args.get(1).map(String::as_str) {
-            None => lint(None),
-            Some("--golden") if args.len() == 3 => lint(Some(&args[2])),
-            _ => usage(),
+        Some("lint") => match golden_flags(&args[1..]) {
+            Some((golden, bless)) => lint(golden.as_deref(), bless),
+            None => usage(),
         },
-        Some("opt") => match args.get(1).map(String::as_str) {
-            None => opt(None),
-            Some("--golden") if args.len() == 3 => opt(Some(&args[2])),
-            _ => usage(),
+        Some("opt") => match golden_flags(&args[1..]) {
+            Some((golden, bless)) => opt(golden.as_deref(), bless),
+            None => usage(),
         },
         Some("elide") if args.len() == 1 => elide(),
         Some("chaos") => {
-            let (mut seeds, mut golden) = (32u64, None::<String>);
+            let (mut seeds, mut golden, mut bless) = (32u64, None::<String>, false);
             let mut rest = args[1..].iter();
             loop {
                 match rest.next().map(String::as_str) {
@@ -317,10 +575,78 @@ fn main() -> ExitCode {
                         Some(p) => golden = Some(p.clone()),
                         None => return usage(),
                     },
+                    Some("--bless") => bless = true,
                     Some(_) => return usage(),
                 }
             }
-            chaos(seeds, golden.as_deref())
+            if bless && golden.is_none() {
+                return usage();
+            }
+            chaos(seeds, golden.as_deref(), bless)
+        }
+        Some("profile") => {
+            let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let (mut trace, mut procs, mut width) = (None::<String>, 8usize, 72usize);
+            let mut rest = args[2..].iter();
+            loop {
+                match rest.next().map(String::as_str) {
+                    None => break,
+                    Some("--trace") => match rest.next() {
+                        Some(p) => trace = Some(p.clone()),
+                        None => return usage(),
+                    },
+                    Some("--procs") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if (1..=64).contains(&n) => procs = n,
+                        _ => return usage(),
+                    },
+                    Some("--width") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if n >= 8 => width = n,
+                        _ => return usage(),
+                    },
+                    Some(_) => return usage(),
+                }
+            }
+            profile_cmd(bench, trace.as_deref(), procs, width)
+        }
+        Some("bench") => {
+            let (mut json, mut check_path) = (None::<String>, None::<String>);
+            let (mut tolerance, mut procs, mut reps) = (0.35f64, 8usize, 3usize);
+            let mut rest = args[1..].iter();
+            loop {
+                match rest.next().map(String::as_str) {
+                    None => break,
+                    Some("--json") => match rest.next() {
+                        Some(p) => json = Some(p.clone()),
+                        None => return usage(),
+                    },
+                    Some("--check") => match rest.next() {
+                        Some(p) => check_path = Some(p.clone()),
+                        None => return usage(),
+                    },
+                    Some("--tolerance") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(t) if (0.0..10.0).contains(&t) => tolerance = t,
+                        _ => return usage(),
+                    },
+                    Some("--procs") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if (1..=64).contains(&n) => procs = n,
+                        _ => return usage(),
+                    },
+                    Some("--reps") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if (1..=100).contains(&n) => reps = n,
+                        _ => return usage(),
+                    },
+                    Some(_) => return usage(),
+                }
+            }
+            bench_cmd(
+                json.as_deref(),
+                check_path.as_deref(),
+                tolerance,
+                procs,
+                reps,
+            )
         }
         Some("check") => check(&args[1..]),
         _ => usage(),

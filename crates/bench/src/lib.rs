@@ -1,7 +1,9 @@
 //! Benchmark harness utilities shared by the table regenerators and the
 //! wall-clock benches.
 
+pub mod benchjson;
 pub mod microbench;
+pub mod profile;
 
 use olden_benchmarks::{Descriptor, SizeClass};
 use olden_runtime::{run, Config, Mechanism, Protocol, RunReport};

@@ -71,6 +71,26 @@ impl CacheStats {
             100.0 * self.remote_writes as f64 / self.cacheable_writes as f64
         }
     }
+
+    /// Every counter as a `(stable_name, value)` list — the shape a
+    /// metrics registry or a bench-JSON emitter ingests. Names are part
+    /// of the `BENCH_*.json` schema; do not rename.
+    pub fn counters(&self) -> [(&'static str, u64); 12] {
+        [
+            ("cacheable_reads", self.cacheable_reads),
+            ("cacheable_writes", self.cacheable_writes),
+            ("remote_reads", self.remote_reads),
+            ("remote_writes", self.remote_writes),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("revalidations", self.revalidations),
+            ("invalidations_sent", self.invalidations_sent),
+            ("invalidations_spurious", self.invalidations_spurious),
+            ("write_track_cycles", self.write_track_cycles),
+            ("checks_performed", self.checks_performed),
+            ("checks_elided", self.checks_elided),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +111,29 @@ mod tests {
         assert!((s.miss_pct() - 20.0).abs() < 1e-9);
         assert!((s.read_remote_pct() - 10.0).abs() < 1e-9);
         assert!((s.write_remote_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_cover_every_field() {
+        let s = CacheStats {
+            cacheable_reads: 1,
+            cacheable_writes: 2,
+            remote_reads: 3,
+            remote_writes: 4,
+            hits: 5,
+            misses: 6,
+            revalidations: 7,
+            invalidations_sent: 8,
+            invalidations_spurious: 9,
+            write_track_cycles: 10,
+            checks_performed: 11,
+            checks_elided: 12,
+        };
+        let c = s.counters();
+        // One entry per struct field, values in declaration order.
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.iter().map(|(_, v)| *v).sum::<u64>(), (1..=12).sum());
+        assert!(c.iter().any(|&(n, v)| n == "misses" && v == 6));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::frame::{CompleteOnDrop, FrameHandle};
 use crate::msg::{ArrivalKind, Envelope, LookupReply, Msg};
 use crate::{ClientSlot, Mode, Shared, C_DONE, C_JOINING, C_RUNNING, C_WAITING_BODY};
 use olden_gptr::{GPtr, ProcId, Word, LINE_WORDS};
+use olden_obs::{EventKind, Recorder};
 use olden_runtime::{
     Backend, Check, FaultEvent, FaultTag, Mechanism, RaceViolation, RunStats, TransportStats,
     VClock,
@@ -126,6 +127,10 @@ pub struct ExecCtx {
     /// the next send — so the copy really does arrive out of order with
     /// the traffic in between.
     delayed: Vec<(ProcId, Envelope)>,
+    /// Event recorder (recorded runs only). Single-owner: only this
+    /// logical thread writes it; the lane is parked in `Shared::lanes`
+    /// when the thread finishes.
+    rec: Option<Recorder>,
 }
 
 impl ExecCtx {
@@ -135,6 +140,7 @@ impl ExecCtx {
 
     fn fresh(shared: Arc<Shared>, proc: ProcId) -> ExecCtx {
         let slot = shared.register_client(proc);
+        let rec = shared.record.then(|| Recorder::exec(shared.epoch));
         let mut ctx = ExecCtx {
             shared,
             cur_proc: proc,
@@ -148,6 +154,7 @@ impl ExecCtx {
             slot,
             seq: 0,
             delayed: Vec::new(),
+            rec,
         };
         // The root segment's tick, matching the simulator's segment 0.
         ctx.clock_bump(proc);
@@ -174,12 +181,43 @@ impl ExecCtx {
         }
     }
 
-    pub(crate) fn finish(self) -> ClientFinal {
+    pub(crate) fn finish(mut self) -> ClientFinal {
+        self.park_lane();
         self.slot.state.store(C_DONE, Ordering::Relaxed);
         ClientFinal {
             stats: self.stats,
             cacheable_reads: self.cacheable_reads,
             cacheable_writes: self.cacheable_writes,
+        }
+    }
+
+    /// Hand this logical thread's event lane to the run (recorded runs
+    /// only); called once when the thread finishes.
+    fn park_lane(&mut self) {
+        if let Some(r) = self.rec.take() {
+            let lane = r.into_lane(format!("client{:04}", self.slot.id));
+            self.shared.lanes.lock().unwrap().push(lane);
+        }
+    }
+
+    #[inline]
+    fn rec_instant(&mut self, kind: EventKind, proc: ProcId, arg: u64) {
+        if let Some(r) = self.rec.as_mut() {
+            r.instant(kind, proc, arg);
+        }
+    }
+
+    #[inline]
+    fn rec_begin(&mut self, kind: EventKind, proc: ProcId) {
+        if let Some(r) = self.rec.as_mut() {
+            r.begin(kind, proc, 0);
+        }
+    }
+
+    #[inline]
+    fn rec_end(&mut self, kind: EventKind, proc: ProcId) {
+        if let Some(r) = self.rec.as_mut() {
+            r.end(kind, proc);
         }
     }
 
@@ -293,6 +331,11 @@ impl ExecCtx {
                         });
                     }
                     t.retries.fetch_add(1, Ordering::Relaxed);
+                    // Direct field access: `plan`/`t` borrow `self.shared`,
+                    // which is disjoint from `self.rec`.
+                    if let Some(r) = self.rec.as_mut() {
+                        r.instant(EventKind::Retry, proc, attempt as u64);
+                    }
                     // Backing off is forward progress: keep the watchdog
                     // informed so a retry storm is not mistaken for a
                     // stall.
@@ -370,6 +413,7 @@ impl ExecCtx {
                 (w, matches!(reply, LookupReply::ElidedHit(_)))
             }
             LookupReply::Miss => {
+                self.rec_instant(EventKind::LineFetch, cur, home as u64);
                 // The fetch doubles as the sanitized read access; a write
                 // miss instead carries its clock on the write-through, so
                 // each simulator-side logged access maps to exactly one
@@ -416,6 +460,7 @@ impl ExecCtx {
         let from = self.cur_proc;
         debug_assert_ne!(from, target);
         self.stats.migrations += 1;
+        self.rec_instant(EventKind::MigrateSend, from, target as u64);
         // Steals are marked with the *departing* segment's clock, before
         // the bump: the resumed continuation is ordered after everything
         // up to the migration, not after the body's later work.
@@ -427,6 +472,10 @@ impl ExecCtx {
             arrival: ArrivalKind::Call,
             reply,
         });
+        // The worker recorded the acquire's invalidation while servicing
+        // the round trip, so this lands after it — same order as the
+        // simulator's send → invalidate → receive.
+        self.rec_instant(EventKind::MigrateRecv, target, from as u64);
     }
 
     /// A migration just vacated `proc`: every in-flight future anchored
@@ -568,11 +617,13 @@ impl ExecCtx {
         if self.cur_proc != entry {
             self.stats.return_migrations += 1;
             let from = self.cur_proc;
+            self.rec_instant(EventKind::ReturnSend, from, entry as u64);
             self.mark_steals(from);
             self.cur_proc = entry;
             self.slot.proc.store(entry, Ordering::Relaxed);
             self.clock_bump(entry);
             self.arrive_return(written);
+            self.rec_instant(EventKind::ReturnRecv, entry, from as u64);
         }
         r
     }
@@ -600,11 +651,13 @@ impl ExecCtx {
             Mode::Lockstep => {
                 // The simulator's discipline exactly: body inline, one
                 // logical thread throughout.
+                self.rec_begin(EventKind::FutureBody, spawn_proc);
                 self.write_scopes.push(Vec::new());
                 let value = f(self);
                 let written = self.write_scopes.pop().expect("scope underflow");
                 self.merge_written(&written);
                 self.frames.pop().expect("frame underflow");
+                self.rec_end(EventKind::FutureBody, self.cur_proc);
                 if frame.is_stolen() {
                     self.stats.steals += 1;
                     // The idle spawn processor grabbed the continuation;
@@ -619,6 +672,7 @@ impl ExecCtx {
                     self.cur_proc = spawn_proc;
                     self.slot.proc.store(spawn_proc, Ordering::Relaxed);
                     self.clock_bump(spawn_proc);
+                    self.rec_instant(EventKind::Steal, spawn_proc, 0);
                     ExecHandle(HandleInner::Ready {
                         value,
                         written,
@@ -653,14 +707,21 @@ impl ExecCtx {
                     // A fresh client id is a fresh sequence space.
                     seq: 0,
                     delayed: Vec::new(),
+                    rec: self
+                        .shared
+                        .record
+                        .then(|| Recorder::exec(self.shared.epoch)),
                 };
                 let body_frame = Arc::clone(&frame);
                 let join = std::thread::Builder::new()
                     .name(format!("olden-body-{}", child.slot.id))
                     .spawn(move || {
                         let _complete = CompleteOnDrop(body_frame);
+                        child.rec_begin(EventKind::FutureBody, spawn_proc);
                         let value = f(&mut child);
                         let written = child.write_scopes.pop().expect("scope underflow");
+                        child.rec_end(EventKind::FutureBody, child.cur_proc);
+                        child.park_lane();
                         child.slot.state.store(C_DONE, Ordering::Relaxed);
                         BodyOutcome {
                             value,
@@ -691,6 +752,7 @@ impl ExecCtx {
                     self.cur_proc = spawn_proc;
                     self.slot.proc.store(spawn_proc, Ordering::Relaxed);
                     self.clock_bump(spawn_proc);
+                    self.rec_instant(EventKind::Steal, spawn_proc, 0);
                     ExecHandle(HandleInner::Pending { join })
                 } else {
                     // Completed without migrating: join immediately; the
@@ -723,6 +785,7 @@ impl ExecCtx {
                 clock,
             } => {
                 if parallel && self.free_depth == 0 {
+                    self.rec_begin(EventKind::TouchStall, self.cur_proc);
                     // The touch is a join: order this thread after the
                     // body's final segment, in a fresh segment.
                     if let Some(bc) = &clock {
@@ -732,10 +795,14 @@ impl ExecCtx {
                     // Receiving the future's value is a migration receipt:
                     // acquire with the body's write set.
                     self.arrive_return(written);
+                    self.rec_end(EventKind::TouchStall, self.cur_proc);
                 }
                 value
             }
             HandleInner::Pending { join } => {
+                if self.free_depth == 0 {
+                    self.rec_begin(EventKind::TouchStall, self.cur_proc);
+                }
                 self.slot.state.store(C_JOINING, Ordering::Relaxed);
                 let out = join_body(join);
                 self.slot.state.store(C_RUNNING, Ordering::Relaxed);
@@ -748,6 +815,7 @@ impl ExecCtx {
                         self.clock_bump(self.cur_proc);
                     }
                     self.arrive_return(out.written);
+                    self.rec_end(EventKind::TouchStall, self.cur_proc);
                 }
                 out.value
             }

@@ -35,9 +35,10 @@ mod ctx;
 pub use chaos::{ExecError, FaultPlan, MsgKind, Verdict};
 pub use ctx::{ExecCtx, ExecHandle};
 
-use crate::msg::{Envelope, Msg, CONTROL_SRC};
+use crate::msg::{Envelope, Msg, WorkerReport, CONTROL_SRC};
 use crate::worker::{Worker, WorkerSlot, W_EXITED, W_SERVING, W_WAITING};
 use olden_gptr::{ProcId, MAX_PROCS};
+use olden_obs::{Lane, Recorder, Recording};
 use olden_runtime::{
     CacheStats, FaultEvent, FaultLog, Mechanism, RaceViolation, RunStats, TransportStats,
 };
@@ -46,7 +47,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How future bodies execute.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -87,6 +88,12 @@ pub struct ExecConfig {
     /// default ([`FaultPlan::none`]) injects nothing and the transport
     /// behaves exactly as if the chaos layer did not exist.
     pub plan: FaultPlan,
+    /// Capture an `olden-obs` event recording of the run: every logical
+    /// thread and every worker keeps its own event buffer (no shared
+    /// state on the hot path), drained into
+    /// [`ExecReport::recording`] at shutdown. Off by default — the hooks
+    /// are a branch-on-`None` when disabled.
+    pub record: bool,
 }
 
 impl ExecConfig {
@@ -99,6 +106,7 @@ impl ExecConfig {
             sanitize: false,
             elide_checks: false,
             plan: FaultPlan::none(),
+            record: false,
         }
     }
 
@@ -143,6 +151,12 @@ impl ExecConfig {
     /// (the one the chaos suite sweeps: see [`FaultPlan::from_seed`]).
     pub fn chaotic(self, seed: u64) -> ExecConfig {
         self.with_faults(FaultPlan::from_seed(seed))
+    }
+
+    /// Same configuration with event recording on.
+    pub fn recorded(mut self) -> ExecConfig {
+        self.record = true;
+        self
     }
 }
 
@@ -214,6 +228,15 @@ pub(crate) struct Shared {
     /// every clock bump on processor `p` draws a fresh tick, so distinct
     /// segments on one processor stay distinguishable across threads.
     pub ticks: Vec<AtomicU64>,
+    /// Event recording on (`ExecConfig::record`).
+    pub record: bool,
+    /// The run's time zero: every recorder stamps monotonic nanoseconds
+    /// since this instant, so lanes from different threads align.
+    pub epoch: Instant,
+    /// Finished client lanes, pushed by each logical thread as it
+    /// completes (never touched on the hot path; worker lanes travel in
+    /// their shutdown reports instead).
+    pub lanes: Mutex<Vec<Lane>>,
     next_client: AtomicU64,
 }
 
@@ -262,6 +285,9 @@ pub struct ExecReport {
     pub transport: TransportStats,
     /// Every fault the chaos layer injected, in a bounded log.
     pub faults: FaultLog,
+    /// Structured event recording — one lane per logical thread plus one
+    /// per worker (`None` unless `ExecConfig::record` was set).
+    pub recording: Option<Recording>,
 }
 
 fn dump_state(worker_slots: &[Arc<WorkerSlot>], shared: &Shared) -> String {
@@ -320,6 +346,7 @@ where
     assert!(cfg.procs >= 1 && cfg.procs <= MAX_PROCS);
     let progress = Arc::new(AtomicU64::new(0));
     let transport = Arc::new(Transport::default());
+    let epoch = Instant::now();
     let mut mailboxes = Vec::with_capacity(cfg.procs);
     let mut worker_slots = Vec::with_capacity(cfg.procs);
     let mut worker_joins = Vec::with_capacity(cfg.procs);
@@ -331,6 +358,7 @@ where
             Arc::clone(&slot),
             Arc::clone(&progress),
             Arc::clone(&transport),
+            cfg.record.then(|| Recorder::exec(epoch)),
         );
         let jh = thread::Builder::new()
             .name(format!("olden-worker-{p}"))
@@ -352,6 +380,9 @@ where
         progress: Arc::clone(&progress),
         clients: Mutex::new(Vec::new()),
         ticks: (0..cfg.procs).map(|_| AtomicU64::new(0)).collect(),
+        record: cfg.record,
+        epoch,
+        lanes: Mutex::new(Vec::new()),
         next_client: AtomicU64::new(0),
     });
 
@@ -413,7 +444,7 @@ where
     // Deterministic shutdown: each worker reports and exits, in processor
     // order. Control-plane envelopes bypass the fault layer but still
     // count as transport traffic, keeping the conservation law exact.
-    let mut reports = Vec::with_capacity(cfg.procs);
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(cfg.procs);
     for tx in &shared.mailboxes {
         let (rtx, rrx) = mpsc::channel();
         transport.sends.fetch_add(1, Ordering::Relaxed);
@@ -448,6 +479,14 @@ where
         messages += r.served;
         races.extend(r.races.iter().copied());
     }
+    // Assemble the recording: client lanes parked in `shared.lanes` plus
+    // each worker's lane from its shutdown report, sorted by label inside
+    // `Recording::new` for determinism.
+    let recording = cfg.record.then(|| {
+        let mut lanes = std::mem::take(&mut *shared.lanes.lock().unwrap());
+        lanes.extend(reports.iter_mut().filter_map(|r| r.lane.take()));
+        Recording::new(cfg.procs, lanes)
+    });
     let clients = shared.clients.lock().unwrap().len() as u64;
     let stats = transport.snapshot();
     // Self-check the exactly-once machinery on every successful run:
@@ -466,6 +505,7 @@ where
         races,
         transport: stats,
         faults: transport.fault_log(),
+        recording,
     };
     Ok((value, report))
 }

@@ -192,4 +192,7 @@ pub struct WorkerReport {
     pub served: u64,
     /// Happens-before violations on lines homed here (sanitizer runs).
     pub races: Vec<RaceViolation>,
+    /// The worker's event lane (recorded runs only): the worker-site
+    /// events — invalidation acquires — this worker performed.
+    pub lane: Option<olden_obs::Lane>,
 }

@@ -13,6 +13,7 @@ use crate::msg::{ArrivalKind, Envelope, LineData, LookupReply, Msg, WorkerReport
 use crate::Transport;
 use olden_cache::{CacheStats, ProcCache};
 use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS, PAGE_WORDS};
+use olden_obs::{EventKind, Recorder};
 use olden_runtime::{LineKey, LineSanitizer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -64,6 +65,9 @@ pub struct Worker {
     /// below the high-water mark is a copy of an already-serviced
     /// message.
     seen: HashMap<u64, u64>,
+    /// Event recorder (recorded runs only). Single-owner: only this
+    /// worker thread writes it; the lane leaves in the shutdown report.
+    rec: Option<Recorder>,
 }
 
 impl Worker {
@@ -72,6 +76,7 @@ impl Worker {
         slot: Arc<WorkerSlot>,
         progress: Arc<AtomicU64>,
         transport: Arc<Transport>,
+        rec: Option<Recorder>,
     ) -> Worker {
         Worker {
             proc,
@@ -84,6 +89,7 @@ impl Worker {
             progress,
             transport,
             seen: HashMap::new(),
+            rec,
         }
     }
 
@@ -265,6 +271,16 @@ impl Worker {
                 let _ = reply.send(data[word]);
             }
             Msg::MigrateThread { arrival, reply } => {
+                if let Some(r) = self.rec.as_mut() {
+                    // Mirror the simulator's invalidate event exactly:
+                    // `u64::MAX` = whole-cache call acquire, otherwise the
+                    // return acquire's written-home count.
+                    let arg = match &arrival {
+                        ArrivalKind::Call => u64::MAX,
+                        ArrivalKind::Return(written) => written.len() as u64,
+                    };
+                    r.instant(EventKind::Invalidate, self.proc, arg);
+                }
                 match arrival {
                     ArrivalKind::Call => self.cache.clear_all(),
                     ArrivalKind::Return(written) => self.cache.clear_homes(&written),
@@ -278,6 +294,10 @@ impl Worker {
                     words_allocated: (self.section.len() - LINE_WORDS) as u64,
                     served: self.slot.served.load(Ordering::Relaxed),
                     races: self.san.violations().to_vec(),
+                    lane: self
+                        .rec
+                        .take()
+                        .map(|r| r.into_lane(format!("worker{:02}", self.proc))),
                 };
                 let _ = reply.send(report);
                 return false;

@@ -1,0 +1,157 @@
+//! Observability parity: the simulator's logical-time event stream and
+//! the thread backend's wall-time event stream describe the *same*
+//! computation.
+//!
+//! In lockstep mode the two backends execute identical event sequences,
+//! so their recordings must agree exactly once timestamps are stripped:
+//! per processor, the same kinds, phases, and arguments in the same
+//! order. The comparison is split by event site — the simulator records
+//! everything into one lane, the exec backend splits thread-side events
+//! (client lanes) from invalidation acquires (worker lanes) — which is
+//! exactly what [`Recording::site_sequences`] normalizes away.
+
+use olden_benchmarks::{all, generic_run, SizeClass};
+use olden_exec::{run_exec, ExecConfig, ExecReport};
+use olden_runtime::{Config, EventKind, OldenCtx, Site};
+
+const PROCS: usize = 8;
+
+fn recorded_exec(name: &'static str, cfg: ExecConfig) -> ExecReport {
+    let (_, rep) = run_exec(cfg.recorded(), move |ctx| {
+        generic_run(name, ctx, SizeClass::Tiny).expect("known benchmark")
+    });
+    rep
+}
+
+/// Every benchmark, both sites: the sim's per-processor `(kind, phase,
+/// arg)` sequences equal the exec backend's in lockstep mode.
+#[test]
+fn lockstep_event_sequences_match_simulator_per_processor() {
+    for d in all() {
+        let name = d.name;
+        let mut sim = OldenCtx::new(Config::olden(PROCS).recorded());
+        generic_run(name, &mut sim, SizeClass::Tiny).unwrap();
+        let sim_rec = sim.take_recording().expect("recorded sim run");
+        let rep = recorded_exec(name, ExecConfig::lockstep(PROCS));
+        let exec_rec = rep.recording.as_ref().expect("recorded exec run");
+
+        sim_rec
+            .span_nesting_ok()
+            .unwrap_or_else(|e| panic!("{name} sim nesting: {e}"));
+        exec_rec
+            .span_nesting_ok()
+            .unwrap_or_else(|e| panic!("{name} exec nesting: {e}"));
+        assert_eq!(sim_rec.dropped(), 0, "{name}: sim lane overflowed");
+        assert_eq!(exec_rec.dropped(), 0, "{name}: exec lane overflowed");
+        for site in [Site::Client, Site::Worker] {
+            assert_eq!(
+                sim_rec.site_sequences(site),
+                exec_rec.site_sequences(site),
+                "{name}: per-processor {site:?}-site event sequences diverge"
+            );
+        }
+    }
+}
+
+/// The recording's exact per-kind counts reconcile with the run's own
+/// counters — the same identity `oldenc profile` checks, here asserted
+/// for every benchmark on the exec backend.
+#[test]
+fn lockstep_event_counts_reconcile_with_exec_report() {
+    for d in all() {
+        let name = d.name;
+        let rep = recorded_exec(name, ExecConfig::lockstep(PROCS));
+        let rec = rep.recording.as_ref().expect("recorded exec run");
+        assert_eq!(
+            rec.count(EventKind::MigrateSend),
+            rep.stats.migrations,
+            "{name}"
+        );
+        assert_eq!(
+            rec.count(EventKind::MigrateRecv),
+            rep.stats.migrations,
+            "{name}"
+        );
+        assert_eq!(
+            rec.count(EventKind::ReturnSend),
+            rep.stats.return_migrations,
+            "{name}"
+        );
+        assert_eq!(
+            rec.count(EventKind::ReturnRecv),
+            rep.stats.return_migrations,
+            "{name}"
+        );
+        assert_eq!(
+            rec.count(EventKind::FutureBody),
+            rep.stats.futures,
+            "{name}"
+        );
+        assert_eq!(rec.count(EventKind::Steal), rep.stats.steals, "{name}");
+        assert_eq!(rec.count(EventKind::LineFetch), rep.cache.misses, "{name}");
+        // Every invalidation acquire is a call arrival, a return-stub
+        // arrival, or a touched value's receipt.
+        assert_eq!(
+            rec.count(EventKind::Invalidate),
+            rep.stats.migrations + rep.stats.return_migrations + rec.count(EventKind::TouchStall),
+            "{name}"
+        );
+        assert_eq!(
+            rec.count(EventKind::Retry),
+            0,
+            "{name}: fault-free run retried"
+        );
+    }
+}
+
+/// Recording is observation, not perturbation: a recorded lockstep run
+/// produces byte-identical counters and message counts to a plain one.
+#[test]
+fn recording_does_not_perturb_the_run() {
+    for name in ["TreeAdd", "MST", "Health"] {
+        let (v0, plain) = run_exec(ExecConfig::lockstep(PROCS), move |ctx| {
+            generic_run(name, ctx, SizeClass::Tiny).expect("known benchmark")
+        });
+        let (v1, rec) = run_exec(ExecConfig::lockstep(PROCS).recorded(), move |ctx| {
+            generic_run(name, ctx, SizeClass::Tiny).expect("known benchmark")
+        });
+        assert_eq!(v0, v1, "{name} value");
+        assert_eq!(plain.stats, rec.stats, "{name} runtime counters");
+        assert_eq!(plain.cache, rec.cache, "{name} cache counters");
+        assert_eq!(plain.messages, rec.messages, "{name} message count");
+        assert!(
+            plain.recording.is_none(),
+            "{name}: unrecorded run grew a recording"
+        );
+    }
+}
+
+/// Parallel mode — real body threads, child lanes pushed concurrently —
+/// still yields well-formed recordings whose deterministic counts match
+/// the report.
+#[test]
+fn parallel_mode_recording_is_well_formed_and_reconciles() {
+    for name in ["TreeAdd", "Power", "EM3D", "Health"] {
+        let rep = recorded_exec(name, ExecConfig::parallel(4));
+        let rec = rep.recording.as_ref().expect("recorded parallel run");
+        rec.span_nesting_ok()
+            .unwrap_or_else(|e| panic!("{name} nesting: {e}"));
+        assert_eq!(
+            rec.count(EventKind::MigrateRecv),
+            rep.stats.migrations,
+            "{name}"
+        );
+        assert_eq!(
+            rec.count(EventKind::FutureBody),
+            rep.stats.futures,
+            "{name}"
+        );
+        assert_eq!(rec.count(EventKind::Steal), rep.stats.steals, "{name}");
+        assert_eq!(rec.count(EventKind::LineFetch), rep.cache.misses, "{name}");
+        assert_eq!(
+            rec.count(EventKind::Invalidate),
+            rep.stats.migrations + rep.stats.return_migrations + rec.count(EventKind::TouchStall),
+            "{name}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the "JSON Array Format" the Chrome/Perfetto trace viewers load
+//! (`chrome://tracing`, <https://ui.perfetto.dev>): one object per event
+//! with `ph` `"B"`/`"E"` for spans and `"i"` (thread-scoped) for
+//! instants, `ts` in *microseconds*. Each `(&str, &Recording)` group
+//! becomes one `pid` — so a sim run and an exec run of the same
+//! benchmark sit side by side in the viewer — and each lane becomes one
+//! `tid`, both named through `"M"` metadata events. Simulator lanes
+//! carry logical timestamps; we emit one viewer-microsecond per tick
+//! rather than rescale, so span lengths stay proportional to logical
+//! time.
+
+use crate::json::Json;
+use crate::{Phase, Recording};
+
+/// Render one or more recordings as a complete Chrome trace document.
+pub fn trace_json(groups: &[(&str, &Recording)]) -> String {
+    let mut events = Vec::new();
+    for (pid, (label, rec)) in groups.iter().enumerate() {
+        let pid = pid as u64;
+        events.push(meta_event("process_name", pid, None, label));
+        for (tid, lane) in rec.lanes.iter().enumerate() {
+            let tid = tid as u64;
+            let unit = if lane.nanos { "ns" } else { "ticks" };
+            events.push(meta_event(
+                "thread_name",
+                pid,
+                Some(tid),
+                &format!("{} ({unit})", lane.label),
+            ));
+            // Monotonic-nanosecond lanes scale to real microseconds;
+            // logical lanes map one tick to one microsecond.
+            let ts_of = |ts: u64| {
+                if lane.nanos {
+                    ts as f64 / 1000.0
+                } else {
+                    ts as f64
+                }
+            };
+            let mut open: Vec<(u64, &'static str)> = Vec::new();
+            let mut last_ts = 0.0f64;
+            for e in &lane.events {
+                let ts = ts_of(e.ts);
+                last_ts = last_ts.max(ts);
+                let ph = match e.phase {
+                    Phase::Begin => {
+                        open.push((tid, e.kind.name()));
+                        "B"
+                    }
+                    Phase::End => {
+                        open.pop();
+                        "E"
+                    }
+                    Phase::Instant => "i",
+                };
+                let mut obj = vec![
+                    ("name".to_string(), Json::str(e.kind.name())),
+                    ("ph".to_string(), Json::str(ph)),
+                    ("ts".to_string(), Json::Num(ts)),
+                    ("pid".to_string(), Json::u64(pid)),
+                    ("tid".to_string(), Json::u64(tid)),
+                ];
+                if e.phase == Phase::Instant {
+                    // Thread-scoped instant (a tick mark on the lane).
+                    obj.push(("s".to_string(), Json::str("t")));
+                }
+                // `u64::MAX` is the whole-cache invalidation sentinel; it
+                // (and anything past f64 exactness) renders as a string.
+                let arg = if e.arg == u64::MAX {
+                    Json::str("all")
+                } else if e.arg <= (1 << 53) {
+                    Json::u64(e.arg)
+                } else {
+                    Json::str(e.arg.to_string())
+                };
+                obj.push((
+                    "args".to_string(),
+                    Json::Obj(vec![
+                        ("proc".to_string(), Json::u64(e.proc as u64)),
+                        ("arg".to_string(), arg),
+                    ]),
+                ));
+                events.push(Json::Obj(obj));
+            }
+            // A lane that dropped its tail may hold begins whose ends
+            // were never stored; close them at the lane's horizon so the
+            // viewer doesn't render spans to infinity.
+            if lane.dropped > 0 {
+                for (tid, name) in open.into_iter().rev() {
+                    events.push(Json::Obj(vec![
+                        ("name".to_string(), Json::str(name)),
+                        ("ph".to_string(), Json::str("E")),
+                        ("ts".to_string(), Json::Num(last_ts)),
+                        ("pid".to_string(), Json::u64(pid)),
+                        ("tid".to_string(), Json::u64(tid)),
+                    ]));
+                }
+            }
+        }
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::str("ms")),
+    ])
+    .render()
+}
+
+fn meta_event(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> Json {
+    let mut obj = vec![
+        ("name".to_string(), Json::str(kind)),
+        ("ph".to_string(), Json::str("M")),
+        ("pid".to_string(), Json::u64(pid)),
+    ];
+    if let Some(tid) = tid {
+        obj.push(("tid".to_string(), Json::u64(tid)));
+    }
+    obj.push((
+        "args".to_string(),
+        Json::Obj(vec![("name".to_string(), Json::str(name))]),
+    ));
+    events_ts_zero(obj)
+}
+
+fn events_ts_zero(mut obj: Vec<(String, Json)>) -> Json {
+    obj.push(("ts".to_string(), Json::u64(0)));
+    Json::Obj(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Recorder, Recording};
+
+    fn sample() -> Recording {
+        let mut r = Recorder::sim();
+        r.instant(EventKind::MigrateSend, 0, 1);
+        r.instant(EventKind::MigrateRecv, 1, 0);
+        r.begin(EventKind::FutureBody, 1, 0);
+        r.end(EventKind::FutureBody, 1);
+        Recording::new(2, vec![r.into_lane("sim".to_string())])
+    }
+
+    #[test]
+    fn emits_parseable_trace_with_balanced_spans() {
+        let text = trace_json(&[("sim", &sample())]);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let phs: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phs.iter().filter(|p| **p == "B").count(), 1);
+        assert_eq!(phs.iter().filter(|p| **p == "E").count(), 1);
+        assert_eq!(phs.iter().filter(|p| **p == "i").count(), 2);
+        assert_eq!(phs.iter().filter(|p| **p == "M").count(), 2);
+        // Instants are thread-scoped.
+        let inst = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .unwrap();
+        assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(
+            inst.get("args").unwrap().get("arg").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn groups_become_pids() {
+        let a = sample();
+        let b = sample();
+        let text = trace_json(&[("sim", &a), ("exec", &b)]);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").unwrap().as_u64())
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .filter(|e| e.get("name").unwrap().as_str() == Some("process_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec!["sim", "exec"]);
+    }
+
+    #[test]
+    fn dropped_lane_gets_synthetic_ends() {
+        let mut r = Recorder::sim().with_cap(1);
+        r.begin(EventKind::FutureBody, 0, 0);
+        r.end(EventKind::FutureBody, 0); // dropped past cap
+        let rec = Recording::new(1, vec![r.into_lane("sim".to_string())]);
+        let text = trace_json(&[("sim", &rec)]);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let b = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("B"))
+            .count();
+        let e = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("E"))
+            .count();
+        assert_eq!((b, e), (1, 1), "synthetic E closes the truncated span");
+    }
+}

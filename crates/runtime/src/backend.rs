@@ -171,6 +171,16 @@ pub trait Backend: Sized {
         TransportStats::default()
     }
 
+    /// Take the structured event recording accumulated so far (the
+    /// `olden-obs` observation surface), once. The default is for
+    /// backends that never record. The simulator records into the
+    /// context itself, so it overrides this; the thread backend's lanes
+    /// live with its worker threads and are only assembled at shutdown —
+    /// its recording arrives in `ExecReport::recording` instead.
+    fn take_recording(&mut self) -> Option<olden_obs::Recording> {
+        None
+    }
+
     /// Spawn one future per element and touch them all: the `do in
     /// parallel` idiom of Figure 5.
     fn parallel_for<I, T, F>(&mut self, items: I, body: F) -> Vec<T>
@@ -258,6 +268,10 @@ impl Backend for OldenCtx {
 
     fn race_violations(&mut self) -> Vec<RaceViolation> {
         OldenCtx::race_violations(self)
+    }
+
+    fn take_recording(&mut self) -> Option<olden_obs::Recording> {
+        OldenCtx::take_recording(self)
     }
 }
 

@@ -67,6 +67,12 @@ pub struct Config {
     /// computed against the heuristic's mechanism assignment, which a
     /// force override invalidates wholesale).
     pub elide_checks: bool,
+    /// Capture an `olden-obs` event recording of the run (migrations,
+    /// line fetches, future bodies, …), returned in
+    /// [`RunReport::recording`](crate::RunReport). Off by default: the
+    /// hooks are a branch-on-`None` when disabled, so plain runs pay
+    /// nothing.
+    pub record: bool,
 }
 
 impl Config {
@@ -80,6 +86,7 @@ impl Config {
             force: None,
             sanitize: false,
             elide_checks: false,
+            record: false,
         }
     }
 
@@ -92,6 +99,7 @@ impl Config {
             force: None,
             sanitize: false,
             elide_checks: false,
+            record: false,
         }
     }
 
@@ -119,6 +127,12 @@ impl Config {
         self.elide_checks = true;
         self
     }
+
+    /// Same configuration with event recording on.
+    pub fn recorded(mut self) -> Config {
+        self.record = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +149,8 @@ mod tests {
         assert!(Config::sequential().cost.ptr_test == 0);
         assert!(!Config::olden(4).elide_checks);
         assert!(Config::olden(4).optimized().elide_checks);
+        assert!(!Config::olden(4).record);
+        assert!(Config::olden(4).recorded().record);
         assert_eq!(Check::default(), Check::Perform);
     }
 

@@ -33,6 +33,7 @@ use crate::sanitize::{check_trace, LineKey, RaceViolation};
 use olden_cache::{Access, Arrival, CacheSystem};
 use olden_gptr::{GPtr, ProcId, Word};
 use olden_machine::trace::{EdgeKind, SegId, Trace};
+use olden_obs::{EventKind, Recorder, Recording};
 
 /// A pending future's bookkeeping while its body runs.
 struct FutureFrame {
@@ -81,6 +82,9 @@ pub struct OldenCtx {
     /// Sanitizer access log: (segment, line, is-write) per charged heap
     /// access. Empty unless `Config::sanitize` is set.
     access_log: Vec<(SegId, LineKey, bool)>,
+    /// Structured event recorder (`Config::record` runs only); `None`
+    /// otherwise, so unrecorded runs pay one branch per hook.
+    rec: Option<Recorder>,
 }
 
 impl OldenCtx {
@@ -99,6 +103,7 @@ impl OldenCtx {
             stats: RunStats::default(),
             free_depth: 0,
             access_log: Vec::new(),
+            rec: cfg.record.then(Recorder::sim),
             cfg,
         }
     }
@@ -134,6 +139,40 @@ impl OldenCtx {
     /// trace-derived segment clocks, so it can be called mid-run.
     pub fn race_violations(&self) -> Vec<RaceViolation> {
         check_trace(&self.trace, &self.access_log)
+    }
+
+    /// Take the run's event recording (once; `None` unless the run was
+    /// configured with [`Config::recorded`]). The simulator's one logical
+    /// thread makes a single lane, labeled `sim`; the lane's timestamps
+    /// are logical (one tick per event), its `proc` fields follow the
+    /// thread's migrations.
+    pub fn take_recording(&mut self) -> Option<Recording> {
+        let rec = self.rec.take()?;
+        Some(Recording::new(
+            self.cfg.procs,
+            vec![rec.into_lane("sim".to_string())],
+        ))
+    }
+
+    #[inline]
+    fn rec_instant(&mut self, kind: EventKind, proc: ProcId, arg: u64) {
+        if let Some(r) = self.rec.as_mut() {
+            r.instant(kind, proc, arg);
+        }
+    }
+
+    #[inline]
+    fn rec_begin(&mut self, kind: EventKind, proc: ProcId) {
+        if let Some(r) = self.rec.as_mut() {
+            r.begin(kind, proc, 0);
+        }
+    }
+
+    #[inline]
+    fn rec_end(&mut self, kind: EventKind, proc: ProcId) {
+        if let Some(r) = self.rec.as_mut() {
+            r.end(kind, proc);
+        }
     }
 
     /// The recorded trace (consumed by the report layer).
@@ -313,6 +352,11 @@ impl OldenCtx {
                         self.charge(self.cfg.cost.cache_lookup);
                         if let Access::Miss { .. } = acc {
                             self.charge(self.cfg.cost.miss_service);
+                            self.rec_instant(
+                                EventKind::LineFetch,
+                                self.cur_proc,
+                                ptr.proc() as u64,
+                            );
                         }
                     }
                     if write {
@@ -361,6 +405,7 @@ impl OldenCtx {
         let from = self.cur_proc;
         debug_assert_ne!(from, target);
         self.stats.migrations += 1;
+        self.rec_instant(EventKind::MigrateSend, from, target as u64);
         let inval = self.cache.depart(from, self.cfg.cost.write_through);
         self.charge(inval);
         self.charge(self.cfg.cost.mig_send);
@@ -372,6 +417,10 @@ impl OldenCtx {
         self.cur_proc = target;
         self.charge(self.cfg.cost.mig_recv);
         self.cache.arrive(target, Arrival::Call);
+        // The call-arrival acquire clears the whole destination cache
+        // (`u64::MAX` = everything, matching the exec worker's event).
+        self.rec_instant(EventKind::Invalidate, target, u64::MAX);
+        self.rec_instant(EventKind::MigrateRecv, target, from as u64);
     }
 
     /// A migration just vacated `proc`: every unstolen future spawned
@@ -407,6 +456,7 @@ impl OldenCtx {
         if self.cur_proc != entry {
             self.stats.return_migrations += 1;
             let from = self.cur_proc;
+            self.rec_instant(EventKind::ReturnSend, from, entry as u64);
             let inval = self.cache.depart(from, self.cfg.cost.write_through);
             self.charge(inval);
             self.charge(self.cfg.cost.ret_send);
@@ -423,6 +473,9 @@ impl OldenCtx {
                     written_homes: &written,
                 },
             );
+            // Return acquire: only lines homed on written processors.
+            self.rec_instant(EventKind::Invalidate, entry, written.len() as u64);
+            self.rec_instant(EventKind::ReturnRecv, entry, from as u64);
         }
         r
     }
@@ -447,6 +500,7 @@ impl OldenCtx {
         self.charge(self.cfg.cost.future_spawn);
         self.stats.futures += 1;
         let spawn_proc = self.cur_proc;
+        self.rec_begin(EventKind::FutureBody, spawn_proc);
         self.frames.push(FutureFrame {
             spawn_proc,
             stolen: None,
@@ -456,6 +510,7 @@ impl OldenCtx {
         let written = self.write_scopes.pop().expect("scope underflow");
         self.merge_written(&written);
         let frame = self.frames.pop().expect("frame underflow");
+        self.rec_end(EventKind::FutureBody, self.cur_proc);
         match frame.stolen {
             Some(steal_src) => {
                 self.stats.steals += 1;
@@ -472,6 +527,7 @@ impl OldenCtx {
                 self.cur_seg = cont;
                 self.cur_proc = spawn_proc;
                 self.charge(self.cfg.cost.steal);
+                self.rec_instant(EventKind::Steal, spawn_proc, 0);
                 FutureHandle {
                     value,
                     parallel: Some(body_end),
@@ -498,6 +554,7 @@ impl OldenCtx {
         self.charge(self.cfg.cost.touch);
         self.stats.touches += 1;
         if let Some(body_end) = h.parallel {
+            self.rec_begin(EventKind::TouchStall, self.cur_proc);
             let post = self.trace.new_segment(self.cur_proc);
             self.trace.add_edge(self.cur_seg, post, 0, EdgeKind::Seq);
             self.trace
@@ -512,6 +569,8 @@ impl OldenCtx {
                     written_homes: &h.written,
                 },
             );
+            self.rec_instant(EventKind::Invalidate, self.cur_proc, h.written.len() as u64);
+            self.rec_end(EventKind::TouchStall, self.cur_proc);
         }
         h.value
     }

@@ -41,6 +41,27 @@ pub struct RunStats {
     pub checks_elided: u64,
 }
 
+impl RunStats {
+    /// Every counter as a `(stable_name, value)` list — the shape a
+    /// metrics registry or a bench-JSON emitter ingests. Names are part
+    /// of the `BENCH_*.json` schema; do not rename.
+    pub fn counters(&self) -> [(&'static str, u64); 11] {
+        [
+            ("migrations", self.migrations),
+            ("return_migrations", self.return_migrations),
+            ("futures", self.futures),
+            ("steals", self.steals),
+            ("touches", self.touches),
+            ("allocs", self.allocs),
+            ("words_allocated", self.words_allocated),
+            ("migrate_local", self.migrate_local),
+            ("migrate_remote", self.migrate_remote),
+            ("checks_performed", self.checks_performed),
+            ("checks_elided", self.checks_elided),
+        ]
+    }
+}
+
 /// Message-transport counters for one run, in the shape every backend
 /// shares (the chaos layer's observation surface).
 ///
@@ -138,6 +159,9 @@ pub struct RunReport {
     /// Happens-before violations found by the dynamic race sanitizer
     /// (empty unless the run was configured with `Config::sanitized`).
     pub races: Vec<RaceViolation>,
+    /// Structured event recording (`None` unless the run was configured
+    /// with `Config::recorded`).
+    pub recording: Option<olden_obs::Recording>,
 }
 
 impl RunReport {
@@ -160,6 +184,7 @@ pub fn run<R>(cfg: Config, program: impl FnOnce(&mut OldenCtx) -> R) -> (R, RunR
     } else {
         Vec::new()
     };
+    let recording = ctx.take_recording();
     let (trace, _, cache_sys) = {
         let (t, s, c) = ctx.into_parts();
         debug_assert_eq!(s, stats);
@@ -177,6 +202,7 @@ pub fn run<R>(cfg: Config, program: impl FnOnce(&mut OldenCtx) -> R) -> (R, RunR
         pages_cached: cache_sys.pages_cached(),
         mean_chain_length: cache_sys.mean_chain_length(),
         races,
+        recording,
     };
     debug_assert_eq!(
         trace.count_edges(EdgeKind::Migrate) as u64,
@@ -282,6 +308,55 @@ mod tests {
         assert!(rep.makespan <= rep.total_work + 10_000);
         assert_eq!(rep.procs, 4);
         assert!(rep.stats.migrations >= 3);
+    }
+
+    #[test]
+    fn recording_reconciles_with_stats() {
+        use olden_obs::EventKind;
+        let program = |ctx: &mut OldenCtx| {
+            let a = ctx.alloc(1, 2);
+            ctx.write(a, 0, 5i64, Mechanism::Cache); // miss (write-allocate)
+            ctx.read_i64(a, 0, Mechanism::Cache); // hit
+            let h = ctx.future_call(move |c| c.call(move |c| c.read_i64(a, 1, Mechanism::Migrate)));
+            ctx.touch(h);
+        };
+        let (_, plain) = run(Config::olden(4), program);
+        assert!(plain.recording.is_none(), "recording is opt-in");
+        let (_, rep) = run(Config::olden(4).recorded(), program);
+        let rec = rep.recording.as_ref().expect("recorded run");
+        assert_eq!(rec.count(EventKind::MigrateRecv), rep.stats.migrations);
+        assert_eq!(
+            rec.count(EventKind::ReturnRecv),
+            rep.stats.return_migrations
+        );
+        assert_eq!(rec.count(EventKind::FutureBody), rep.stats.futures);
+        assert_eq!(rec.count(EventKind::Steal), rep.stats.steals);
+        assert_eq!(rec.count(EventKind::LineFetch), rep.cache.misses);
+        assert_eq!(
+            rec.count(EventKind::Invalidate),
+            rep.stats.migrations + rep.stats.return_migrations + rec.count(EventKind::TouchStall),
+            "every arrival acquire records exactly one invalidation"
+        );
+        rec.span_nesting_ok().unwrap();
+        // The recorded run's measurements are unperturbed by recording.
+        assert_eq!(rep.makespan, plain.makespan);
+        assert_eq!(rep.stats, plain.stats);
+    }
+
+    #[test]
+    fn run_stats_counters_cover_every_field() {
+        let (_, rep) = run(Config::olden(4), |ctx| {
+            let a = ctx.alloc(1, 1);
+            ctx.write(a, 0, 1i64, Mechanism::Migrate);
+        });
+        let c = rep.stats.counters();
+        assert_eq!(c.len(), 11);
+        assert!(c
+            .iter()
+            .any(|&(n, v)| n == "migrations" && v == rep.stats.migrations));
+        assert!(c
+            .iter()
+            .any(|&(n, v)| n == "allocs" && v == rep.stats.allocs));
     }
 
     #[test]

@@ -40,6 +40,22 @@ stage "oldenc elide (annotated benchmarks must elide checks at runtime)" \
 stage "oldenc chaos (fault-injected exec runs vs fault-free simulator, surface vs golden)" \
     oldenc chaos --seeds 32 --golden tests/golden/oldenc-chaos.txt
 
+# Net parity: every benchmark re-run across real worker processes over
+# loopback TCP, counters byte-equal to the simulator, plus seeded chaos
+# schedules over the sockets. Exit 3 means the sandbox denies loopback;
+# skip gracefully rather than fail.
+net_parity() {
+    local rc=0
+    oldenc net --procs 4 --seeds 2 || rc=$?
+    if [ "$rc" -eq 3 ]; then
+        echo "    (net parity skipped: loopback TCP unavailable)"
+    elif [ "$rc" -ne 0 ]; then
+        return "$rc"
+    fi
+}
+
+stage "oldenc net (multi-process parity over loopback TCP)" net_parity
+
 # Perf smoke: counters must equal the committed baseline exactly; wall
 # times may drift up to 35% after calibration-normalizing host speed.
 stage "oldenc bench (perf smoke vs BENCH_baseline.json)" \

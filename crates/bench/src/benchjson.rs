@@ -13,6 +13,7 @@
 
 use olden_benchmarks::{all, generic_run, Descriptor, SizeClass};
 use olden_exec::{run_exec, ExecConfig};
+use olden_net::{run_net, NetConfig};
 use olden_obs::json::Json;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -26,6 +27,13 @@ pub struct BenchPoint {
     pub name: String,
     /// Best-of-reps wall time of the lockstep execution, nanoseconds.
     pub wall_ns: u64,
+    /// Best-of-reps wall time of the same run on the network backend
+    /// (worker processes over loopback TCP), when measured with
+    /// `oldenc bench --net`. Absent from files produced without `--net`
+    /// and from baselines that predate the column; the counters need no
+    /// second column — a net run whose counters diverge from the
+    /// lockstep execution fails the measurement itself.
+    pub net_wall_ns: Option<u64>,
     /// Deterministic counters; exact across hosts for a fixed config.
     pub counters: BTreeMap<String, u64>,
 }
@@ -59,10 +67,33 @@ pub fn calibration_ns() -> u64 {
 
 /// Measure one benchmark: best-of-`reps` wall time plus the run's full
 /// counter set (identical across reps — lockstep runs are deterministic).
-pub fn point(d: &Descriptor, procs: usize, size: SizeClass, reps: usize) -> BenchPoint {
+///
+/// With `net_cmd` set, the same benchmark is also run best-of-`reps` on
+/// the network backend (worker processes spawned from that command) and
+/// its wall time recorded in the `net` column. Lockstep runs are
+/// transport-independent, so the net run's value and every counter must
+/// equal the thread-backend run's *exactly* — a divergence is a
+/// correctness bug and panics rather than producing a misleading point.
+pub fn point(
+    d: &Descriptor,
+    procs: usize,
+    size: SizeClass,
+    reps: usize,
+    net_cmd: Option<&[String]>,
+) -> BenchPoint {
     let name = d.name;
     let mut best = u64::MAX;
     let mut counters = BTreeMap::new();
+    let collect = |report: &olden_exec::ExecReport, into: &mut BTreeMap<String, u64>| {
+        for (k, v) in report.stats.counters() {
+            into.insert(k.to_string(), v);
+        }
+        for (k, v) in report.cache.counters() {
+            into.insert(k.to_string(), v);
+        }
+        into.insert("messages".to_string(), report.messages);
+        into.insert("pages_cached".to_string(), report.pages_cached);
+    };
     for rep in 0..reps.max(1) {
         let t = Instant::now();
         let (value, report) = run_exec(ExecConfig::lockstep(procs), move |ctx| {
@@ -71,29 +102,51 @@ pub fn point(d: &Descriptor, procs: usize, size: SizeClass, reps: usize) -> Benc
         best = best.min(t.elapsed().as_nanos() as u64);
         assert_eq!(value, (d.reference)(size), "{name}: value diverged");
         if rep == 0 {
-            for (k, v) in report.stats.counters() {
-                counters.insert(k.to_string(), v);
-            }
-            for (k, v) in report.cache.counters() {
-                counters.insert(k.to_string(), v);
-            }
-            counters.insert("messages".to_string(), report.messages);
-            counters.insert("pages_cached".to_string(), report.pages_cached);
+            collect(&report, &mut counters);
         }
     }
+    let net_wall_ns = net_cmd.map(|cmd| {
+        let mut net_best = u64::MAX;
+        for _ in 0..reps.max(1) {
+            let cfg = NetConfig::new(ExecConfig::lockstep(procs), cmd.to_vec());
+            let t = Instant::now();
+            let (value, report) = run_net(cfg, move |ctx| {
+                generic_run(name, ctx, size).expect("registry benchmark")
+            });
+            net_best = net_best.min(t.elapsed().as_nanos() as u64);
+            assert_eq!(value, (d.reference)(size), "{name}: net value diverged");
+            let mut net_counters = BTreeMap::new();
+            collect(&report, &mut net_counters);
+            assert_eq!(
+                net_counters, counters,
+                "{name}: net counters diverged from the thread backend"
+            );
+        }
+        net_best
+    });
     BenchPoint {
         name: name.to_string(),
         wall_ns: best,
+        net_wall_ns,
         counters,
     }
 }
 
-/// Measure every registry benchmark.
-pub fn measure(procs: usize, size: SizeClass, reps: usize) -> BenchFile {
+/// Measure every registry benchmark. `net_cmd`, when set, adds the
+/// network-backend wall column (see [`point`]).
+pub fn measure(
+    procs: usize,
+    size: SizeClass,
+    reps: usize,
+    net_cmd: Option<&[String]>,
+) -> BenchFile {
     BenchFile {
         procs,
         calib_ns: calibration_ns(),
-        points: all().iter().map(|d| point(d, procs, size, reps)).collect(),
+        points: all()
+            .iter()
+            .map(|d| point(d, procs, size, reps, net_cmd))
+            .collect(),
     }
 }
 
@@ -103,19 +156,26 @@ impl BenchFile {
             .points
             .iter()
             .map(|p| {
-                Json::Obj(vec![
+                let mut fields = vec![
                     ("name".into(), Json::str(&p.name)),
                     ("wall_ns".into(), Json::u64(p.wall_ns)),
-                    (
-                        "counters".into(),
-                        Json::Obj(
-                            p.counters
-                                .iter()
-                                .map(|(k, v)| (k.clone(), Json::u64(*v)))
-                                .collect(),
-                        ),
+                ];
+                // Optional column: omitted entirely when not measured,
+                // so files without --net render byte-identically to the
+                // pre-net schema and old baselines stay valid.
+                if let Some(n) = p.net_wall_ns {
+                    fields.push(("net_wall_ns".into(), Json::u64(n)));
+                }
+                fields.push((
+                    "counters".into(),
+                    Json::Obj(
+                        p.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                            .collect(),
                     ),
-                ])
+                ));
+                Json::Obj(fields)
             })
             .collect();
         let doc = Json::Obj(vec![
@@ -151,6 +211,13 @@ impl BenchFile {
                 .get("wall_ns")
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("{name}: wall_ns missing"))?;
+            let net_wall_ns = match p.get("net_wall_ns") {
+                None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| format!("{name}: net_wall_ns is not an integer"))?,
+                ),
+            };
             let mut counters = BTreeMap::new();
             for (k, v) in p
                 .get("counters")
@@ -165,6 +232,7 @@ impl BenchFile {
             points.push(BenchPoint {
                 name,
                 wall_ns,
+                net_wall_ns,
                 counters,
             });
         }
@@ -240,6 +308,32 @@ pub fn check(cur: &BenchFile, base: &BenchFile, tolerance: f64) -> CheckOutcome 
                 1.0 / ratio
             ));
         }
+        // The net column gates the same way, but only when both sides
+        // carry it — a baseline from before the column (or measured
+        // without --net) neither fails nor warns, so adopting the column
+        // never breaks an existing perf-smoke gate.
+        match (c.net_wall_ns, b.net_wall_ns) {
+            (Some(cn), Some(bn)) => {
+                let ratio = (cn as f64 / cur.calib_ns as f64) / (bn as f64 / base.calib_ns as f64);
+                if ratio > 1.0 + tolerance {
+                    out.violations.push(format!(
+                        "{}: {:.2}x normalized net-backend slowdown (tolerance {:.0}%)",
+                        b.name,
+                        ratio,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            (Some(_), None) => out.notes.push(format!(
+                "{}: net column measured but absent from baseline",
+                b.name
+            )),
+            (None, Some(_)) => out.notes.push(format!(
+                "{}: baseline has a net column this run did not measure (pass --net)",
+                b.name
+            )),
+            (None, None) => {}
+        }
     }
     for c in &cur.points {
         if !base.points.iter().any(|b| b.name == c.name) {
@@ -260,7 +354,7 @@ mod tests {
         BenchFile {
             procs: 8,
             calib_ns: 10_000_000,
-            points: vec![point(&d, 8, SizeClass::Tiny, 1)],
+            points: vec![point(&d, 8, SizeClass::Tiny, 1, None)],
         }
     }
 
@@ -313,6 +407,45 @@ mod tests {
             out.violations.iter().any(|v| v.contains("migrations")),
             "counter drift not flagged: {out:?}"
         );
+    }
+
+    /// The net column survives render → parse, and a file measured
+    /// without `--net` renders with no trace of the column at all.
+    #[test]
+    fn net_column_round_trips_and_is_truly_optional() {
+        let mut f = sample();
+        assert!(
+            !f.render().contains("net_wall_ns"),
+            "unmeasured net column must not appear in the JSON"
+        );
+        f.points[0].net_wall_ns = Some(123_456_789);
+        let parsed = BenchFile::parse(&f.render()).expect("own output parses");
+        assert_eq!(parsed, f);
+        assert_eq!(parsed.points[0].net_wall_ns, Some(123_456_789));
+    }
+
+    /// A net-backend slowdown beyond tolerance is a violation when both
+    /// files carry the column; a column mismatch is only a note, so a
+    /// pre-net baseline keeps gating exactly as before.
+    #[test]
+    fn net_column_gates_symmetrically_and_skips_asymmetrically() {
+        let mut base = sample();
+        base.points[0].net_wall_ns = Some(50_000_000);
+        let mut cur = base.clone();
+        cur.points[0].net_wall_ns = Some(200_000_000);
+        let out = check(&cur, &base, 0.35);
+        assert!(
+            out.violations.iter().any(|v| v.contains("net-backend")),
+            "4x net slowdown not flagged: {out:?}"
+        );
+
+        let old_base = sample(); // no net column, as committed baselines predate it
+        let out = check(&cur, &old_base, 0.35);
+        assert!(
+            out.violations.is_empty(),
+            "a pre-net baseline must keep passing: {out:?}"
+        );
+        assert!(out.notes.iter().any(|n| n.contains("absent from baseline")));
     }
 
     #[test]

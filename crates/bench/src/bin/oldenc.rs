@@ -30,11 +30,21 @@
 //!   prints per-processor utilization timelines. `--trace` additionally
 //!   writes a Chrome `trace_event` JSON file — open it at
 //!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * `oldenc net [BENCH] [--procs N] [--seeds N] [--stall-timeout SECS]`
+//!   runs benchmarks on the network backend — one worker OS process per
+//!   simulated processor, loopback TCP — and holds each run's value and
+//!   full counter set byte-equal to the simulator; `--seeds` additionally
+//!   sweeps that many chaos schedules per benchmark over the real
+//!   sockets. Exit 1 on any divergence. The CI net-parity gate. (The
+//!   worker processes re-enter this binary through a hidden `net-worker`
+//!   subcommand, so a single installed `oldenc` is the whole fleet.)
 //! * `oldenc bench [--json PATH] [--check BASE --tolerance F]` measures
 //!   every benchmark on the thread backend (wall time + all deterministic
 //!   counters) and optionally compares against a committed baseline:
 //!   counters must match exactly, wall times within the tolerance after
-//!   calibration-normalizing for host speed. The CI perf-smoke gate.
+//!   calibration-normalizing for host speed. With `--net` each point
+//!   also gets a network-backend wall column (counters must match the
+//!   thread backend exactly). The CI perf-smoke gate.
 //! * `oldenc check FILE...` lints DSL source files, printing full
 //!   multi-line diagnostics. Exit 1 when anything is reported, 2 on
 //!   parse errors.
@@ -53,10 +63,11 @@ fn usage() -> ExitCode {
     eprintln!("usage: oldenc lint [--golden PATH [--bless]]");
     eprintln!("       oldenc opt [--golden PATH [--bless]]");
     eprintln!("       oldenc elide");
-    eprintln!("       oldenc chaos [--seeds N] [--golden PATH [--bless]]");
-    eprintln!("       oldenc profile BENCH [--trace PATH] [--procs N] [--width N]");
+    eprintln!("       oldenc chaos [--seeds N] [--stall-timeout SECS] [--golden PATH [--bless]]");
+    eprintln!("       oldenc profile BENCH [--trace PATH] [--procs N] [--width N] [--net]");
+    eprintln!("       oldenc net [BENCH] [--procs N] [--seeds N] [--stall-timeout SECS]");
     eprintln!("       oldenc bench [--json PATH] [--check BASE] [--tolerance F]");
-    eprintln!("                    [--procs N] [--reps N]");
+    eprintln!("                    [--procs N] [--reps N] [--net]");
     eprintln!("       oldenc check FILE...");
     ExitCode::from(2)
 }
@@ -210,12 +221,21 @@ fn elide() -> ExitCode {
 /// is fully independent, and the per-benchmark lines aggregate plain
 /// sums over results collected back into seed order — so the report is
 /// byte-identical to a sequential sweep.
-fn chaos_report(seeds: u64) -> (String, usize) {
+fn chaos_report(seeds: u64, stall: Option<std::time::Duration>) -> (String, usize) {
     use olden_benchmarks::{generic_run, SizeClass};
     use olden_exec::{run_exec, ExecConfig, ExecReport};
     use olden_runtime::{Config, FaultTag, OldenCtx, RunStats, TransportStats};
     use std::sync::atomic::{AtomicU64, Ordering};
     const PROCS: usize = 8;
+
+    /// Apply the CLI stall override, if any, on top of the default
+    /// watchdog timeout.
+    fn with_stall(cfg: ExecConfig, stall: Option<std::time::Duration>) -> ExecConfig {
+        match stall {
+            Some(d) => cfg.with_stall_timeout(d),
+            None => cfg,
+        }
+    }
 
     /// What every faulted run must byte-equal (snapshotted before the
     /// sweep so worker threads share it by reference).
@@ -234,11 +254,16 @@ fn chaos_report(seeds: u64) -> (String, usize) {
         injected: [u64; 3], // drops, duplicates, delayed duplicates
     }
 
-    fn run_seed(name: &'static str, seed: u64, e: &Expect) -> SeedOutcome {
-        let (v, rep): (u64, ExecReport) =
-            run_exec(ExecConfig::lockstep(PROCS).chaotic(seed), move |ctx| {
-                generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark")
-            });
+    fn run_seed(
+        name: &'static str,
+        seed: u64,
+        e: &Expect,
+        stall: Option<std::time::Duration>,
+    ) -> SeedOutcome {
+        let (v, rep): (u64, ExecReport) = run_exec(
+            with_stall(ExecConfig::lockstep(PROCS).chaotic(seed), stall),
+            move |ctx| generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark"),
+        );
         SeedOutcome {
             equivalent: v == e.base_val
                 && v == e.sim_val
@@ -266,9 +291,10 @@ fn chaos_report(seeds: u64) -> (String, usize) {
         let name = d.name;
         let mut sim = OldenCtx::new(Config::olden(PROCS));
         let sim_val = generic_run(name, &mut sim, SizeClass::Tiny).expect("registry benchmark");
-        let (base_val, base) = run_exec(ExecConfig::lockstep(PROCS), move |ctx| {
-            generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark")
-        });
+        let (base_val, base) =
+            run_exec(with_stall(ExecConfig::lockstep(PROCS), stall), move |ctx| {
+                generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark")
+            });
         let expect = Expect {
             sim_val,
             base_val,
@@ -292,7 +318,7 @@ fn chaos_report(seeds: u64) -> (String, usize) {
                     if seed >= seeds {
                         break;
                     }
-                    tx.send((seed, run_seed(name, seed, expect)))
+                    tx.send((seed, run_seed(name, seed, expect, stall)))
                         .expect("collector alive");
                 });
             }
@@ -337,8 +363,13 @@ fn chaos_report(seeds: u64) -> (String, usize) {
     (out, divergent)
 }
 
-fn chaos(seeds: u64, golden: Option<&str>, bless: bool) -> ExitCode {
-    let (report, divergent) = chaos_report(seeds);
+fn chaos(
+    seeds: u64,
+    stall: Option<std::time::Duration>,
+    golden: Option<&str>,
+    bless: bool,
+) -> ExitCode {
+    let (report, divergent) = chaos_report(seeds, stall);
     let regen = format!("chaos --seeds {seeds}");
     let code = golden_check("chaos", &regen, &report, golden, bless);
     if divergent > 0 {
@@ -348,10 +379,135 @@ fn chaos(seeds: u64, golden: Option<&str>, bless: bool) -> ExitCode {
     code
 }
 
+/// The command prefix that re-enters this binary as a net worker: the
+/// parent appends `<proc> <parent_port> <record>` per process.
+fn self_worker_cmd() -> Result<Vec<String>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let exe = exe
+        .into_os_string()
+        .into_string()
+        .map_err(|p| format!("own binary path is not unicode: {p:?}"))?;
+    Ok(vec![exe, "net-worker".to_string()])
+}
+
+/// `oldenc net`: every benchmark (or one) executed on the multi-process
+/// network backend — worker processes over loopback TCP — held to value
+/// and counter parity with the simulator, plus an optional chaos-seed
+/// sweep over the real sockets. Exit 1 on any divergence: the CI
+/// net-parity gate.
+fn net_run_cmd(
+    bench: Option<&str>,
+    procs: usize,
+    seeds: u64,
+    stall: Option<std::time::Duration>,
+) -> ExitCode {
+    use olden_benchmarks::generic_run;
+    use olden_exec::ExecConfig;
+    use olden_net::{loopback_available, run_net, NetConfig};
+    use olden_runtime::{Config, OldenCtx};
+    use std::time::Instant;
+
+    if !loopback_available() {
+        // Distinct from a parity failure: the environment cannot run the
+        // backend at all. CI treats this exit as "skip".
+        eprintln!("oldenc: loopback TCP unavailable; cannot run the net backend here");
+        return ExitCode::from(3);
+    }
+    let worker_cmd = match self_worker_cmd() {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("oldenc: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let exec_cfg = || {
+        let cfg = ExecConfig::lockstep(procs);
+        match stall {
+            Some(d) => cfg.with_stall_timeout(d),
+            None => cfg,
+        }
+    };
+    let net_with = |name: &'static str, cfg: ExecConfig| {
+        run_net(NetConfig::new(cfg, worker_cmd.clone()), move |ctx| {
+            generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark")
+        })
+    };
+
+    let descriptors: Vec<_> = olden_benchmarks::all()
+        .iter()
+        .filter(|d| bench.is_none_or(|b| d.name == b))
+        .cloned()
+        .collect();
+    if descriptors.is_empty() {
+        eprintln!(
+            "oldenc: unknown benchmark {:?}; known:",
+            bench.unwrap_or("")
+        );
+        for d in olden_benchmarks::all() {
+            eprintln!("  {}", d.name);
+        }
+        return ExitCode::from(2);
+    }
+
+    let mut divergent = 0usize;
+    for d in &descriptors {
+        let name = d.name;
+        let mut sim = OldenCtx::new(Config::olden(procs));
+        let sim_val = generic_run(name, &mut sim, SizeClass::Tiny).expect("registry benchmark");
+        let t = Instant::now();
+        let (val, rep) = net_with(name, exec_cfg());
+        let wall_ms = t.elapsed().as_nanos() as f64 / 1e6;
+        let clean = val == sim_val
+            && rep.stats == *sim.stats()
+            && (rep.cache.hits, rep.cache.misses)
+                == (sim.cache().stats().hits, sim.cache().stats().misses)
+            && rep.pages_cached == sim.cache().pages_cached();
+        if !clean {
+            println!("{name}: DIVERGED from the simulator over TCP");
+            divergent += 1;
+        }
+        let mut chaos_bad = 0usize;
+        for seed in 0..seeds {
+            let (cv, crep) = net_with(name, exec_cfg().chaotic(seed));
+            if cv != sim_val || crep.stats != *sim.stats() || crep.messages != rep.messages {
+                println!("{name}: chaos seed {seed} DIVERGED over TCP");
+                chaos_bad += 1;
+            }
+        }
+        divergent += chaos_bad;
+        println!(
+            "{name}: {} on {procs} worker processes, {} frames, {wall_ms:.2} ms{}",
+            if clean { "parity ok" } else { "PARITY BROKEN" },
+            rep.messages,
+            if seeds > 0 {
+                format!(", chaos {}/{seeds} seeds ok", seeds as usize - chaos_bad)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if divergent == 0 {
+        println!(
+            "net: {} benchmark(s) byte-equal to the simulator across process boundaries",
+            descriptors.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("oldenc: {divergent} net run(s) diverged");
+        ExitCode::FAILURE
+    }
+}
+
 /// `oldenc profile`: one benchmark recorded on both backends, the
 /// recordings reconciled against the runs' counters, timelines printed,
 /// and optionally a Chrome trace written.
-fn profile_cmd(bench: &str, trace: Option<&str>, procs: usize, width: usize) -> ExitCode {
+fn profile_cmd(
+    bench: &str,
+    trace: Option<&str>,
+    procs: usize,
+    width: usize,
+    net: bool,
+) -> ExitCode {
     let Some(d) = olden_benchmarks::by_name(bench) else {
         eprintln!("oldenc: unknown benchmark {bench:?}; known:");
         for d in olden_benchmarks::all() {
@@ -361,8 +517,27 @@ fn profile_cmd(bench: &str, trace: Option<&str>, procs: usize, width: usize) -> 
     };
     let sim = profile::profile_sim(&d, procs, SizeClass::Tiny);
     let exec = profile::profile_exec(&d, procs, SizeClass::Tiny);
+    let net_prof = if net {
+        if !olden_net::loopback_available() {
+            eprintln!("oldenc: --net requires loopback TCP, unavailable here");
+            return ExitCode::from(3);
+        }
+        match self_worker_cmd() {
+            Ok(cmd) => Some(profile::profile_net(&d, procs, SizeClass::Tiny, cmd)),
+            Err(e) => {
+                eprintln!("oldenc: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
     let mut broken = 0usize;
-    for (which, bad) in [("sim", sim.reconcile()), ("exec", exec.reconcile())] {
+    let mut surfaces = vec![("sim", sim.reconcile()), ("exec", exec.reconcile())];
+    if let Some(n) = &net_prof {
+        surfaces.push(("net", n.reconcile()));
+    }
+    for (which, bad) in surfaces {
         for b in &bad {
             eprintln!(
                 "oldenc: {} {which} recording does not reconcile: {b}",
@@ -376,15 +551,23 @@ fn profile_cmd(bench: &str, trace: Option<&str>, procs: usize, width: usize) -> 
         return ExitCode::FAILURE;
     }
     println!(
-        "{} on {procs} procs: makespan {} cycles (sim), wall {:.2} ms (exec lockstep)",
+        "{} on {procs} procs: makespan {} cycles (sim), wall {:.2} ms (exec lockstep){}",
         d.name,
         sim.report.makespan,
-        exec.wall_ns as f64 / 1e6
+        exec.wall_ns as f64 / 1e6,
+        match &net_prof {
+            Some(n) => format!(", wall {:.2} ms (net lockstep)", n.wall_ns as f64 / 1e6),
+            None => String::new(),
+        }
     );
     println!(
-        "events: {} stored (sim) / {} stored (exec); counters reconcile on both backends",
+        "events: {} stored (sim) / {} stored (exec){}; counters reconcile on every backend",
         sim.recording.events_stored(),
-        exec.recording.events_stored()
+        exec.recording.events_stored(),
+        match &net_prof {
+            Some(n) => format!(" / {} stored (net)", n.recording.events_stored()),
+            None => String::new(),
+        }
     );
     let metrics = exec.recording.metrics();
     print!("{}", metrics.render());
@@ -398,9 +581,19 @@ fn profile_cmd(bench: &str, trace: Option<&str>, procs: usize, width: usize) -> 
         "{}",
         olden_obs::timeline::event_timeline(&exec.recording, width)
     );
+    if let Some(n) = &net_prof {
+        println!("-- net lane activity (wall time, per-process epochs) --");
+        print!(
+            "{}",
+            olden_obs::timeline::event_timeline(&n.recording, width)
+        );
+    }
     if let Some(path) = trace {
-        let text =
-            olden_obs::chrome::trace_json(&[("sim", &sim.recording), ("exec", &exec.recording)]);
+        let mut groups = vec![("sim", &sim.recording), ("exec", &exec.recording)];
+        if let Some(n) = &net_prof {
+            groups.push(("net", &n.recording));
+        }
+        let text = olden_obs::chrome::trace_json(&groups);
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("oldenc: cannot write {path}: {e}");
             return ExitCode::from(2);
@@ -418,16 +611,36 @@ fn bench_cmd(
     tolerance: f64,
     procs: usize,
     reps: usize,
+    net: bool,
 ) -> ExitCode {
-    let file = benchjson::measure(procs, SizeClass::Tiny, reps);
+    let net_cmd = if net {
+        if !olden_net::loopback_available() {
+            eprintln!("oldenc: --net requires loopback TCP, unavailable here");
+            return ExitCode::from(3);
+        }
+        match self_worker_cmd() {
+            Ok(cmd) => Some(cmd),
+            Err(e) => {
+                eprintln!("oldenc: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+    let file = benchjson::measure(procs, SizeClass::Tiny, reps, net_cmd.as_deref());
     println!(
         "{} benchmarks on {procs} procs, best of {reps}; calibration {:.2} ms",
         file.points.len(),
         file.calib_ns as f64 / 1e6
     );
     for p in &file.points {
+        let net_col = match p.net_wall_ns {
+            Some(ns) => format!("  net {:>9.3} ms", ns as f64 / 1e6),
+            None => String::new(),
+        };
         println!(
-            "  {:<10} {:>9.3} ms  migrations={} misses={} messages={}",
+            "  {:<10} {:>9.3} ms{net_col}  migrations={} misses={} messages={}",
             p.name,
             p.wall_ns as f64 / 1e6,
             p.counters["migrations"],
@@ -561,14 +774,36 @@ fn main() -> ExitCode {
             None => usage(),
         },
         Some("elide") if args.len() == 1 => elide(),
+        // Hidden: the net backend's worker processes re-enter this binary
+        // here. Spawned by the orchestrator, never typed by a user, so it
+        // stays out of usage().
+        Some("net-worker") if args.len() == 4 => {
+            let proc: u8 = args[1].parse().expect("net-worker: <proc> must be a u8");
+            let port: u16 = args[2]
+                .parse()
+                .expect("net-worker: <parent_port> must be a u16");
+            let record = match args[3].as_str() {
+                "0" => false,
+                "1" => true,
+                other => panic!("net-worker: <record> must be 0 or 1, got {other:?}"),
+            };
+            olden_net::worker::worker_main(proc, port, record);
+        }
         Some("chaos") => {
             let (mut seeds, mut golden, mut bless) = (32u64, None::<String>, false);
+            let mut stall = None;
             let mut rest = args[1..].iter();
             loop {
                 match rest.next().map(String::as_str) {
                     None => break,
                     Some("--seeds") => match rest.next().and_then(|s| s.parse().ok()) {
                         Some(n) if n > 0 => seeds = n,
+                        _ => return usage(),
+                    },
+                    Some("--stall-timeout") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(secs) if secs > 0.0 && secs <= 3600.0 => {
+                            stall = Some(std::time::Duration::from_secs_f64(secs));
+                        }
                         _ => return usage(),
                     },
                     Some("--golden") => match rest.next() {
@@ -582,13 +817,42 @@ fn main() -> ExitCode {
             if bless && golden.is_none() {
                 return usage();
             }
-            chaos(seeds, golden.as_deref(), bless)
+            chaos(seeds, stall, golden.as_deref(), bless)
+        }
+        Some("net") => {
+            let bench = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+            let flags_from = if bench.is_some() { 2 } else { 1 };
+            let (mut procs, mut seeds) = (4usize, 0u64);
+            let mut stall = None;
+            let mut rest = args[flags_from..].iter();
+            loop {
+                match rest.next().map(String::as_str) {
+                    None => break,
+                    Some("--procs") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if (1..=64).contains(&n) => procs = n,
+                        _ => return usage(),
+                    },
+                    Some("--seeds") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) => seeds = n,
+                        _ => return usage(),
+                    },
+                    Some("--stall-timeout") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(secs) if secs > 0.0 && secs <= 3600.0 => {
+                            stall = Some(std::time::Duration::from_secs_f64(secs));
+                        }
+                        _ => return usage(),
+                    },
+                    Some(_) => return usage(),
+                }
+            }
+            net_run_cmd(bench.as_deref(), procs, seeds, stall)
         }
         Some("profile") => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 return usage();
             };
             let (mut trace, mut procs, mut width) = (None::<String>, 8usize, 72usize);
+            let mut net = false;
             let mut rest = args[2..].iter();
             loop {
                 match rest.next().map(String::as_str) {
@@ -605,14 +869,16 @@ fn main() -> ExitCode {
                         Some(n) if n >= 8 => width = n,
                         _ => return usage(),
                     },
+                    Some("--net") => net = true,
                     Some(_) => return usage(),
                 }
             }
-            profile_cmd(bench, trace.as_deref(), procs, width)
+            profile_cmd(bench, trace.as_deref(), procs, width, net)
         }
         Some("bench") => {
             let (mut json, mut check_path) = (None::<String>, None::<String>);
             let (mut tolerance, mut procs, mut reps) = (0.35f64, 8usize, 3usize);
+            let mut net = false;
             let mut rest = args[1..].iter();
             loop {
                 match rest.next().map(String::as_str) {
@@ -637,6 +903,7 @@ fn main() -> ExitCode {
                         Some(n) if (1..=100).contains(&n) => reps = n,
                         _ => return usage(),
                     },
+                    Some("--net") => net = true,
                     Some(_) => return usage(),
                 }
             }
@@ -646,6 +913,7 @@ fn main() -> ExitCode {
                 tolerance,
                 procs,
                 reps,
+                net,
             )
         }
         Some("check") => check(&args[1..]),
@@ -688,7 +956,7 @@ mod tests {
     #[test]
     fn chaos_golden_file_is_current() {
         let want = include_str!("../../../../tests/golden/oldenc-chaos.txt");
-        let (report, divergent) = chaos_report(32);
+        let (report, divergent) = chaos_report(32, None);
         assert_eq!(divergent, 0, "chaotic runs diverged:\n{report}");
         assert_eq!(
             report, want,

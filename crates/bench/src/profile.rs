@@ -10,6 +10,7 @@
 
 use olden_benchmarks::{generic_run, Descriptor, SizeClass};
 use olden_exec::{run_exec, ExecConfig, ExecReport};
+use olden_net::{run_net, NetConfig};
 use olden_obs::{EventKind, Recording};
 use olden_runtime::{run, Config, RunReport};
 use std::time::Instant;
@@ -44,6 +45,35 @@ pub fn profile_exec(d: &Descriptor, procs: usize, size: SizeClass) -> ExecProfil
     let (value, mut report) = run_exec(ExecConfig::lockstep(procs).recorded(), move |ctx| {
         generic_run(name, ctx, size).expect("registry benchmark")
     });
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    assert_eq!(value, (d.reference)(size), "{}: value diverged", d.name);
+    let recording = report
+        .recording
+        .take()
+        .expect("recorded run yields a recording");
+    ExecProfile {
+        report,
+        recording,
+        wall_ns,
+    }
+}
+
+/// A recorded lockstep run on the multi-process net backend. The shape
+/// is `ExecProfile` — same report type, same reconciliation — but every
+/// event in the worker lanes was recorded in a different OS process and
+/// shipped home in that worker's shutdown report.
+pub fn profile_net(
+    d: &Descriptor,
+    procs: usize,
+    size: SizeClass,
+    worker_cmd: Vec<String>,
+) -> ExecProfile {
+    let name = d.name;
+    let t = Instant::now();
+    let (value, mut report) = run_net(
+        NetConfig::new(ExecConfig::lockstep(procs).recorded(), worker_cmd),
+        move |ctx| generic_run(name, ctx, size).expect("registry benchmark"),
+    );
     let wall_ns = t.elapsed().as_nanos() as u64;
     assert_eq!(value, (d.reference)(size), "{}: value diverged", d.name);
     let recording = report

@@ -28,7 +28,8 @@
 
 use crate::chaos::{ExecError, Verdict};
 use crate::frame::{CompleteOnDrop, FrameHandle};
-use crate::msg::{ArrivalKind, Envelope, LookupReply, Msg};
+use crate::msg::{ArrivalKind, Envelope, LookupReply, Reply, Request};
+use crate::transport::ClientConn;
 use crate::{ClientSlot, Mode, Shared, C_DONE, C_JOINING, C_RUNNING, C_WAITING_BODY};
 use olden_gptr::{GPtr, ProcId, Word, LINE_WORDS};
 use olden_obs::{EventKind, Recorder};
@@ -37,7 +38,6 @@ use olden_runtime::{
     VClock,
 };
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -120,6 +120,9 @@ pub struct ExecCtx {
     /// when the sanitizer is off.
     clock: VClock,
     slot: Arc<ClientSlot>,
+    /// This logical thread's connection to the worker fleet (mailbox
+    /// lanes in-process, TCP sockets under `olden-net`).
+    conn: Box<dyn ClientConn>,
     /// Per-sender logical sequence number (the exactly-once key); the
     /// next message will carry `seq + 1`.
     seq: u64,
@@ -140,6 +143,7 @@ impl ExecCtx {
 
     fn fresh(shared: Arc<Shared>, proc: ProcId) -> ExecCtx {
         let slot = shared.register_client(proc);
+        let conn = shared.link.connect(slot.id);
         let rec = shared.record.then(|| Recorder::exec(shared.epoch));
         let mut ctx = ExecCtx {
             shared,
@@ -152,6 +156,7 @@ impl ExecCtx {
             cacheable_writes: 0,
             clock: VClock::new(),
             slot,
+            conn,
             seq: 0,
             delayed: Vec::new(),
             rec,
@@ -243,14 +248,11 @@ impl ExecCtx {
         }
         for (dst, env) in std::mem::take(&mut self.delayed) {
             self.shared.transport.sends.fetch_add(1, Ordering::Relaxed);
-            self.shared.mailboxes[dst as usize]
-                .send(env)
-                .expect("worker mailbox closed mid-run");
+            self.conn.send(dst, &env);
         }
     }
 
-    /// One request/reply round trip to a worker's mailbox, through the
-    /// fault layer.
+    /// One request/reply round trip to a worker, through the fault layer.
     ///
     /// The reply doubles as the acknowledgement: a dropped transmission
     /// is re-sent after exponential backoff (the stand-in for an ack
@@ -259,16 +261,14 @@ impl ExecCtx {
     /// every allowed attempt is dropped fails the run with a typed
     /// [`ExecError::Starved`] — under [`FaultPlan`](crate::FaultPlan)'s
     /// liveness rule that can only happen to a 100%-dropped class.
-    fn req<R>(&mut self, proc: ProcId, build: impl FnOnce(Sender<R>) -> Msg) -> R {
+    fn req(&mut self, proc: ProcId, req: Request) -> Reply {
         self.flush_delayed();
-        let (tx, rx) = mpsc::channel();
-        let msg = build(tx);
-        let kind = msg.kind();
+        let kind = req.kind();
         self.seq += 1;
         let env = Envelope {
             src: self.slot.id,
             seq: self.seq,
-            msg,
+            req,
         };
         let plan = &self.shared.plan;
         let t = &self.shared.transport;
@@ -277,17 +277,12 @@ impl ExecCtx {
             match plan.verdict(kind, env.src, proc, env.seq, attempt) {
                 Verdict::Deliver => {
                     t.sends.fetch_add(1, Ordering::Relaxed);
-                    self.shared.mailboxes[proc as usize]
-                        .send(env)
-                        .expect("worker mailbox closed mid-run");
+                    self.conn.send(proc, &env);
                     break;
                 }
                 Verdict::Duplicate { delayed } => {
                     t.sends.fetch_add(1, Ordering::Relaxed);
-                    let copy = env.clone();
-                    self.shared.mailboxes[proc as usize]
-                        .send(env)
-                        .expect("worker mailbox closed mid-run");
+                    self.conn.send(proc, &env);
                     t.record(FaultEvent {
                         tag: if delayed {
                             FaultTag::DelayedDuplicate
@@ -295,18 +290,16 @@ impl ExecCtx {
                             FaultTag::Duplicated
                         },
                         msg: kind.name(),
-                        src: copy.src,
+                        src: env.src,
                         dst: proc,
-                        seq: copy.seq,
+                        seq: env.seq,
                         attempt,
                     });
                     if delayed {
-                        self.delayed.push((proc, copy));
+                        self.delayed.push((proc, env.clone()));
                     } else {
                         t.sends.fetch_add(1, Ordering::Relaxed);
-                        self.shared.mailboxes[proc as usize]
-                            .send(copy)
-                            .expect("worker mailbox closed mid-run");
+                        self.conn.send(proc, &env);
                     }
                     break;
                 }
@@ -344,28 +337,34 @@ impl ExecCtx {
                 }
             }
         }
-        let r = rx.recv().expect("worker dropped a reply");
+        let r = self.conn.recv_reply(proc);
         self.bump();
         r
     }
 
     fn read_home(&mut self, p: GPtr) -> Word {
         let clock = self.clock_for_msg();
-        self.req(p.proc(), |reply| Msg::ReadHome {
-            local: p.local(),
-            clock,
-            reply,
-        })
+        self.req(
+            p.proc(),
+            Request::ReadHome {
+                local: p.local(),
+                clock,
+            },
+        )
+        .expect_word()
     }
 
     fn write_home(&mut self, p: GPtr, value: Word) {
         let clock = self.clock_for_msg();
-        self.req(p.proc(), |reply| Msg::WriteHome {
-            local: p.local(),
-            value,
-            clock,
-            reply,
-        })
+        self.req(
+            p.proc(),
+            Request::WriteHome {
+                local: p.local(),
+                value,
+                clock,
+            },
+        )
+        .expect_unit()
     }
 
     /// A remote access under the cache mechanism: consult the current
@@ -383,16 +382,20 @@ impl ExecCtx {
         let (home, page, line) = (p.proc(), p.page(), p.line_in_page());
         let word = p.local() as usize % LINE_WORDS;
         let cur = self.cur_proc;
-        let reply = self.req(cur, |reply| Msg::CacheLookup {
-            home,
-            page,
-            line,
-            word,
-            write,
-            wval,
-            elide,
-            reply,
-        });
+        let reply = self
+            .req(
+                cur,
+                Request::CacheLookup {
+                    home,
+                    page,
+                    line,
+                    word,
+                    write,
+                    wval,
+                    elide,
+                },
+            )
+            .expect_lookup();
         match reply {
             LookupReply::Hit(w) | LookupReply::ElidedHit(w) => {
                 if !write {
@@ -402,12 +405,8 @@ impl ExecCtx {
                     // write-through that follows.) Elided hits are still
                     // real accesses, so they notify too.
                     if let Some(clock) = self.clock_for_msg() {
-                        self.req(home, |reply| Msg::SanitizeHit {
-                            page,
-                            line,
-                            clock,
-                            reply,
-                        })
+                        self.req(home, Request::SanitizeHit { page, line, clock })
+                            .expect_unit()
                     }
                 }
                 (w, matches!(reply, LookupReply::ElidedHit(_)))
@@ -419,22 +418,23 @@ impl ExecCtx {
                 // each simulator-side logged access maps to exactly one
                 // clocked message.
                 let clock = if write { None } else { self.clock_for_msg() };
-                let data = self.req(home, |reply| Msg::LineFetchReq {
-                    page,
-                    line,
-                    clock,
-                    reply,
-                });
-                let w = self.req(cur, |reply| Msg::CacheInstall {
-                    home,
-                    page,
-                    line,
-                    data,
-                    word,
-                    write,
-                    wval,
-                    reply,
-                });
+                let data = self
+                    .req(home, Request::LineFetchReq { page, line, clock })
+                    .expect_line();
+                let w = self
+                    .req(
+                        cur,
+                        Request::CacheInstall {
+                            home,
+                            page,
+                            line,
+                            data,
+                            word,
+                            write,
+                            wval,
+                        },
+                    )
+                    .expect_word();
                 (w, false)
             }
         }
@@ -468,10 +468,13 @@ impl ExecCtx {
         self.cur_proc = target;
         self.slot.proc.store(target, Ordering::Relaxed);
         self.clock_bump(target);
-        self.req(target, |reply| Msg::MigrateThread {
-            arrival: ArrivalKind::Call,
-            reply,
-        });
+        self.req(
+            target,
+            Request::MigrateThread {
+                arrival: ArrivalKind::Call,
+            },
+        )
+        .expect_unit();
         // The worker recorded the acquire's invalidation while servicing
         // the round trip, so this lands after it — same order as the
         // simulator's send → invalidate → receive.
@@ -492,10 +495,13 @@ impl ExecCtx {
 
     /// The return-stub / touched-value acquire at the current processor.
     fn arrive_return(&mut self, written: Vec<ProcId>) {
-        self.req(self.cur_proc, move |reply| Msg::MigrateThread {
-            arrival: ArrivalKind::Return(written),
-            reply,
-        });
+        self.req(
+            self.cur_proc,
+            Request::MigrateThread {
+                arrival: ArrivalKind::Return(written),
+            },
+        )
+        .expect_unit();
     }
 
     fn absorb(&mut self, stats: &RunStats, cacheable_reads: u64, cacheable_writes: u64) {
@@ -690,6 +696,8 @@ impl ExecCtx {
                 }
             }
             Mode::Parallel => {
+                let slot = self.shared.register_client(spawn_proc);
+                let conn = self.shared.link.connect(slot.id);
                 let mut child = ExecCtx {
                     shared: Arc::clone(&self.shared),
                     cur_proc: spawn_proc,
@@ -703,7 +711,8 @@ impl ExecCtx {
                     // The body continues the spawner's segment (no bump
                     // until it migrates), exactly as in the simulator.
                     clock: self.clock.clone(),
-                    slot: self.shared.register_client(spawn_proc),
+                    slot,
+                    conn,
                     // A fresh client id is a fresh sequence space.
                     seq: 0,
                     delayed: Vec::new(),
@@ -823,7 +832,11 @@ impl ExecCtx {
     }
 }
 
-pub(crate) struct ClientFinal {
+/// What the root logical thread hands back when the program completes:
+/// the client-side halves of the run's counters. Public so alternative
+/// orchestrators (`olden-net`'s parent process) can assemble an
+/// [`ExecReport`](crate::ExecReport) from it.
+pub struct ClientFinal {
     pub stats: RunStats,
     pub cacheable_reads: u64,
     pub cacheable_writes: u64,
@@ -856,7 +869,7 @@ impl Backend for ExecCtx {
             self.stats.allocs += 1;
             self.stats.words_allocated += words as u64;
         }
-        self.req(proc, |reply| Msg::Alloc { words, reply })
+        self.req(proc, Request::Alloc { words }).expect_ptr()
     }
 
     fn read(&mut self, ptr: GPtr, field: usize, mech: Mechanism) -> Word {
@@ -916,7 +929,7 @@ impl Backend for ExecCtx {
     fn race_violations(&mut self) -> Vec<RaceViolation> {
         let mut out = Vec::new();
         for p in 0..self.shared.procs {
-            out.extend(self.req(p as ProcId, |reply| Msg::RaceQuery { reply }));
+            out.extend(self.req(p as ProcId, Request::RaceQuery).expect_races());
         }
         out
     }

@@ -4,16 +4,16 @@
 //! Where `olden-runtime`'s `OldenCtx` *simulates* the paper's runtime —
 //! one sequential pass recording a task DAG — this crate *executes* it:
 //! one OS **worker thread per simulated processor**, each owning its heap
-//! section and its software cache, connected by `std::sync::mpsc`
-//! mailboxes carrying the typed messages of [`msg::Msg`]. Migrations,
-//! cache-line fetches, and local-knowledge invalidations really happen as
-//! messages between threads; future steals and touch joins really happen
-//! as thread wake-ups.
+//! section and its software cache, exchanging the typed messages of
+//! [`msg::Request`]/[`msg::Reply`] over a pluggable [`Transport`].
+//! Migrations, cache-line fetches, and local-knowledge invalidations
+//! really happen as messages between threads; future steals and touch
+//! joins really happen as thread wake-ups.
 //!
 //! The topology is a strict client–server star (see [`msg`]): logical
 //! Olden threads send requests, workers answer from local state, and
 //! workers never wait on anything — so no wait cycle can form and the
-//! mailbox system is deadlock-free by construction. Program-level hangs
+//! message system is deadlock-free by construction. Program-level hangs
 //! (a buggy kernel blocking forever) are caught by a watchdog that fails
 //! the run with a per-worker/per-client state dump instead of hanging the
 //! test suite.
@@ -24,18 +24,27 @@
 //! **parallel** spawns each future body on its own OS thread, turning
 //! migrations into genuine parallelism while keeping values — and the
 //! data-dependent migration/steal counters — deterministic.
+//!
+//! The protocol layer is transport-generic: [`try_run_exec`] wires the
+//! fleet over in-process [`MailboxTransport`] lanes, while `olden-net`
+//! reuses the same [`ExecCtx`], [`worker::Worker`] loop, chaos layer, and
+//! report assembly ([`drive_root`]/[`assemble_report`]) over
+//! length-prefixed TCP frames between OS processes.
 
 pub mod chaos;
+pub mod envelope;
 pub mod frame;
 pub mod msg;
+pub mod transport;
 pub mod worker;
 
 mod ctx;
 
 pub use chaos::{ExecError, FaultPlan, MsgKind, Verdict};
-pub use ctx::{ExecCtx, ExecHandle};
+pub use ctx::{ClientFinal, ExecCtx, ExecHandle};
+pub use transport::{ClientConn, MailboxTransport, Transport, WorkerPort};
 
-use crate::msg::{Envelope, Msg, WorkerReport, CONTROL_SRC};
+use crate::msg::{Envelope, Request, WorkerReport, CONTROL_SRC};
 use crate::worker::{Worker, WorkerSlot, W_EXITED, W_SERVING, W_WAITING};
 use olden_gptr::{ProcId, MAX_PROCS};
 use olden_obs::{Lane, Recorder, Recording};
@@ -44,7 +53,7 @@ use olden_runtime::{
 };
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -84,9 +93,9 @@ pub struct ExecConfig {
     /// access sites (the simulator's `Config::elide_checks`). Off by
     /// default; force overrides disable it regardless.
     pub elide_checks: bool,
-    /// Deterministic fault schedule for the mailbox transport. The
-    /// default ([`FaultPlan::none`]) injects nothing and the transport
-    /// behaves exactly as if the chaos layer did not exist.
+    /// Deterministic fault schedule for the transport. The default
+    /// ([`FaultPlan::none`]) injects nothing and the transport behaves
+    /// exactly as if the chaos layer did not exist.
     pub plan: FaultPlan,
     /// Capture an `olden-obs` event recording of the run: every logical
     /// thread and every worker keeps its own event buffer (no shared
@@ -161,7 +170,7 @@ impl ExecConfig {
 }
 
 /// Watchdog-readable state of one logical thread.
-pub(crate) struct ClientSlot {
+pub struct ClientSlot {
     pub id: u64,
     /// Operations performed (monotone).
     pub ops: AtomicU64,
@@ -170,18 +179,21 @@ pub(crate) struct ClientSlot {
     pub proc: AtomicU8,
 }
 
-pub(crate) const C_RUNNING: u8 = 0;
-pub(crate) const C_WAITING_BODY: u8 = 1;
-pub(crate) const C_JOINING: u8 = 2;
-pub(crate) const C_DONE: u8 = 3;
+pub const C_RUNNING: u8 = 0;
+pub const C_WAITING_BODY: u8 = 1;
+pub const C_JOINING: u8 = 2;
+pub const C_DONE: u8 = 3;
 
-/// Global transport accounting for one run, shared by every client and
-/// every worker. Senders bump `sends`/`drops`/`retries`; receivers bump
+/// Global transport accounting for one run. Senders bump
+/// `sends`/`drops`/`retries`; receivers bump
 /// `deliveries`/`dupes_suppressed`; the fault log records every injected
-/// fault. On a successful run the counters must satisfy
+/// fault. In-process fleets share one instance between every client and
+/// every worker; under `olden-net` each worker process holds its own,
+/// shipping the receiver-side values home in its shutdown report. On a
+/// successful run the assembled totals must satisfy
 /// [`TransportStats::conservation_violation`].
 #[derive(Default)]
-pub(crate) struct Transport {
+pub struct TransportCounters {
     pub sends: AtomicU64,
     pub deliveries: AtomicU64,
     pub drops: AtomicU64,
@@ -190,12 +202,12 @@ pub(crate) struct Transport {
     faults: Mutex<FaultLog>,
 }
 
-impl Transport {
-    pub(crate) fn record(&self, ev: FaultEvent) {
+impl TransportCounters {
+    pub fn record(&self, ev: FaultEvent) {
         self.faults.lock().unwrap().record(ev);
     }
 
-    pub(crate) fn snapshot(&self) -> TransportStats {
+    pub fn snapshot(&self) -> TransportStats {
         TransportStats {
             sends: self.sends.load(Ordering::Relaxed),
             deliveries: self.deliveries.load(Ordering::Relaxed),
@@ -205,21 +217,23 @@ impl Transport {
         }
     }
 
-    fn fault_log(&self) -> FaultLog {
+    pub fn fault_log(&self) -> FaultLog {
         self.faults.lock().unwrap().clone()
     }
 }
 
 /// State shared by every logical thread of one run.
-pub(crate) struct Shared {
+pub struct Shared {
     pub procs: usize,
     pub mode: Mode,
     pub force: Option<Mechanism>,
     pub sanitize: bool,
     pub elide_checks: bool,
     pub plan: FaultPlan,
-    pub transport: Arc<Transport>,
-    pub mailboxes: Vec<Sender<Envelope>>,
+    pub transport: Arc<TransportCounters>,
+    /// The run's link to its worker fleet; every client connection is
+    /// minted from it.
+    pub link: Arc<dyn Transport>,
     /// Bumped by every worker message and every client operation; the
     /// watchdog's only signal.
     pub progress: Arc<AtomicU64>,
@@ -241,6 +255,34 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// The client-side state of one run over `link`. `counters` is the
+    /// sender-side accounting instance (in-process runs hand the same
+    /// instance to the workers).
+    pub fn new(
+        cfg: &ExecConfig,
+        link: Arc<dyn Transport>,
+        counters: Arc<TransportCounters>,
+        progress: Arc<AtomicU64>,
+    ) -> Shared {
+        Shared {
+            procs: cfg.procs,
+            mode: cfg.mode,
+            force: cfg.force,
+            sanitize: cfg.sanitize,
+            elide_checks: cfg.elide_checks,
+            plan: cfg.plan,
+            transport: counters,
+            link,
+            progress,
+            clients: Mutex::new(Vec::new()),
+            ticks: (0..cfg.procs).map(|_| AtomicU64::new(0)).collect(),
+            record: cfg.record,
+            epoch: Instant::now(),
+            lanes: Mutex::new(Vec::new()),
+            next_client: AtomicU64::new(0),
+        }
+    }
+
     pub fn register_client(&self, proc: ProcId) -> Arc<ClientSlot> {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(ClientSlot {
@@ -271,15 +313,15 @@ pub struct ExecReport {
     /// Words held in the workers' heap sections at shutdown (includes
     /// uncharged allocations, unlike `stats.words_allocated`).
     pub section_words: u64,
-    /// Mailbox messages serviced across all workers.
+    /// Messages serviced across all workers.
     pub messages: u64,
     /// Logical threads that existed over the run (1 in lockstep mode).
     pub clients: u64,
     /// Happens-before violations found by the sanitizer, over all
     /// workers (empty unless `ExecConfig::sanitize` was set).
     pub races: Vec<RaceViolation>,
-    /// Mailbox-transport counters (sends, deliveries, drops, retries,
-    /// suppressed duplicates). On every successful run these satisfy the
+    /// Transport counters (sends, deliveries, drops, retries, suppressed
+    /// duplicates). On every successful run these satisfy the
     /// conservation law against `messages`; with a quiet
     /// [`FaultPlan`] they collapse to `sends == deliveries == messages`.
     pub transport: TransportStats,
@@ -290,21 +332,11 @@ pub struct ExecReport {
     pub recording: Option<Recording>,
 }
 
-fn dump_state(worker_slots: &[Arc<WorkerSlot>], shared: &Shared) -> String {
+/// The client half of the watchdog's state dump. Public so alternative
+/// orchestrators compose it with their own worker-side dump (a worker
+/// *process* has no in-memory [`WorkerSlot`] to read).
+pub fn dump_clients(shared: &Shared) -> String {
     let mut s = String::new();
-    for (p, w) in worker_slots.iter().enumerate() {
-        let st = match w.state.load(Ordering::Relaxed) {
-            W_WAITING => "waiting on mailbox",
-            W_SERVING => "servicing a message",
-            W_EXITED => "exited",
-            _ => "unknown",
-        };
-        let _ = writeln!(
-            s,
-            "  worker {p}: {st}, {} messages served",
-            w.served.load(Ordering::Relaxed)
-        );
-    }
     for c in shared.clients.lock().unwrap().iter() {
         let st = match c.state.load(Ordering::Relaxed) {
             C_RUNNING => "running",
@@ -324,70 +356,47 @@ fn dump_state(worker_slots: &[Arc<WorkerSlot>], shared: &Shared) -> String {
     s
 }
 
-/// Execute `program` on `cfg.procs` worker threads and report, returning
-/// failures as values.
+fn dump_state(worker_slots: &[Arc<WorkerSlot>], shared: &Shared) -> String {
+    let mut s = String::new();
+    for (p, w) in worker_slots.iter().enumerate() {
+        let st = match w.state.load(Ordering::Relaxed) {
+            W_WAITING => "waiting on mailbox",
+            W_SERVING => "servicing a message",
+            W_EXITED => "exited",
+            _ => "unknown",
+        };
+        let _ = writeln!(
+            s,
+            "  worker {p}: {st}, {} messages served",
+            w.served.load(Ordering::Relaxed)
+        );
+    }
+    s.push_str(&dump_clients(shared));
+    s
+}
+
+/// Run `program` as the root logical thread against an already-wired
+/// fleet, under the stall watchdog.
 ///
-/// Spawns the worker fleet, runs the program as the root logical thread,
-/// then performs a deterministic shutdown: a [`Msg::Shutdown`] to each
-/// worker in processor order, collecting each one's final statistics. The
-/// calling thread meanwhile acts as the watchdog — if the run's progress
-/// counter stalls for `cfg.stall_timeout`, it fails with
-/// [`ExecError::Stalled`] carrying a state dump of every worker and
-/// logical thread instead of hanging. A message class starved by the
-/// fault plan fails with [`ExecError::Starved`]. On either error the
-/// run's threads are abandoned (workers exit on their own once every
-/// mailbox sender is gone); a program panic that is not an [`ExecError`]
-/// still propagates as a panic.
-pub fn try_run_exec<T, F>(cfg: ExecConfig, program: F) -> Result<(T, ExecReport), ExecError>
+/// The calling thread blocks as the watchdog: if `shared.progress` stops
+/// moving for `stall_timeout`, the run fails with
+/// [`ExecError::Stalled`] carrying `dump()`'s state snapshot. A root
+/// panic whose payload is a typed [`ExecError`] (e.g. a starved message
+/// class) is returned as that error; any other panic is the program's
+/// own and propagates. Shared between [`try_run_exec`] (thread fleet)
+/// and `olden-net` (process fleet).
+pub fn drive_root<T, F>(
+    shared: &Arc<Shared>,
+    stall_timeout: Duration,
+    dump: impl Fn() -> String,
+    program: F,
+) -> Result<(T, ClientFinal), ExecError>
 where
     T: Send + 'static,
     F: FnOnce(&mut ExecCtx) -> T + Send + 'static,
 {
-    assert!(cfg.procs >= 1 && cfg.procs <= MAX_PROCS);
-    let progress = Arc::new(AtomicU64::new(0));
-    let transport = Arc::new(Transport::default());
-    let epoch = Instant::now();
-    let mut mailboxes = Vec::with_capacity(cfg.procs);
-    let mut worker_slots = Vec::with_capacity(cfg.procs);
-    let mut worker_joins = Vec::with_capacity(cfg.procs);
-    for p in 0..cfg.procs {
-        let (tx, rx) = mpsc::channel();
-        let slot = Arc::new(WorkerSlot::default());
-        let worker = Worker::new(
-            p as ProcId,
-            Arc::clone(&slot),
-            Arc::clone(&progress),
-            Arc::clone(&transport),
-            cfg.record.then(|| Recorder::exec(epoch)),
-        );
-        let jh = thread::Builder::new()
-            .name(format!("olden-worker-{p}"))
-            .spawn(move || worker.serve(rx))
-            .expect("spawn worker thread");
-        mailboxes.push(tx);
-        worker_slots.push(slot);
-        worker_joins.push(jh);
-    }
-    let shared = Arc::new(Shared {
-        procs: cfg.procs,
-        mode: cfg.mode,
-        force: cfg.force,
-        sanitize: cfg.sanitize,
-        elide_checks: cfg.elide_checks,
-        plan: cfg.plan,
-        transport: Arc::clone(&transport),
-        mailboxes,
-        progress: Arc::clone(&progress),
-        clients: Mutex::new(Vec::new()),
-        ticks: (0..cfg.procs).map(|_| AtomicU64::new(0)).collect(),
-        record: cfg.record,
-        epoch,
-        lanes: Mutex::new(Vec::new()),
-        next_client: AtomicU64::new(0),
-    });
-
     let (res_tx, res_rx) = mpsc::channel();
-    let root_shared = Arc::clone(&shared);
+    let root_shared = Arc::clone(shared);
     let root = thread::Builder::new()
         .name("olden-root".into())
         .spawn(move || {
@@ -399,26 +408,22 @@ where
 
     // Watchdog loop: wait for the result, checking the progress counter
     // at every tick. A run making any progress at all never trips it.
-    let tick = (cfg.stall_timeout / 8).max(Duration::from_millis(10));
-    let mut last = progress.load(Ordering::Relaxed);
+    let tick = (stall_timeout / 8).max(Duration::from_millis(10));
+    let mut last = shared.progress.load(Ordering::Relaxed);
     let mut stalled = Duration::ZERO;
     let outcome = loop {
         match res_rx.recv_timeout(tick) {
             Ok(out) => break Some(out),
             Err(RecvTimeoutError::Timeout) => {
-                let now = progress.load(Ordering::Relaxed);
+                let now = shared.progress.load(Ordering::Relaxed);
                 if now != last {
                     last = now;
                     stalled = Duration::ZERO;
                 } else {
                     stalled += tick;
-                    if stalled >= cfg.stall_timeout {
+                    if stalled >= stall_timeout {
                         return Err(ExecError::Stalled {
-                            dump: format!(
-                                "no progress for {:?}\n{}",
-                                cfg.stall_timeout,
-                                dump_state(&worker_slots, &shared)
-                            ),
+                            dump: format!("no progress for {stall_timeout:?}\n{}", dump()),
                         });
                     }
                 }
@@ -426,7 +431,7 @@ where
             Err(RecvTimeoutError::Disconnected) => break None,
         }
     };
-    let Some((value, client)) = outcome else {
+    let Some(out) = outcome else {
         // The root dropped its channel without sending a result: it
         // panicked. An `ExecError` payload (e.g. a starved message) is
         // this backend's own typed failure: return it. Anything else is
@@ -440,26 +445,21 @@ where
         }
     };
     root.join().expect("root client already sent its result");
+    Ok(out)
+}
 
-    // Deterministic shutdown: each worker reports and exits, in processor
-    // order. Control-plane envelopes bypass the fault layer but still
-    // count as transport traffic, keeping the conservation law exact.
-    let mut reports: Vec<WorkerReport> = Vec::with_capacity(cfg.procs);
-    for tx in &shared.mailboxes {
-        let (rtx, rrx) = mpsc::channel();
-        transport.sends.fetch_add(1, Ordering::Relaxed);
-        tx.send(Envelope {
-            src: CONTROL_SRC,
-            seq: 0,
-            msg: Msg::Shutdown { reply: rtx },
-        })
-        .expect("worker alive at shutdown");
-        reports.push(rrx.recv().expect("worker shutdown report"));
-    }
-    for jh in worker_joins {
-        jh.join().expect("worker exited cleanly");
-    }
-
+/// Aggregate one run's report from the root client's finals and the
+/// workers' shutdown reports, verifying the transport conservation law.
+/// Shared between [`try_run_exec`] and `olden-net`'s parent orchestrator
+/// (which assembles `transport` from its sender-side counters plus the
+/// reports' receiver-side sums).
+pub fn assemble_report(
+    shared: &Shared,
+    client: ClientFinal,
+    mut reports: Vec<WorkerReport>,
+    transport: TransportStats,
+    faults: FaultLog,
+) -> ExecReport {
     let mut cache = CacheStats {
         cacheable_reads: client.cacheable_reads,
         cacheable_writes: client.cacheable_writes,
@@ -482,20 +482,19 @@ where
     // Assemble the recording: client lanes parked in `shared.lanes` plus
     // each worker's lane from its shutdown report, sorted by label inside
     // `Recording::new` for determinism.
-    let recording = cfg.record.then(|| {
+    let recording = shared.record.then(|| {
         let mut lanes = std::mem::take(&mut *shared.lanes.lock().unwrap());
         lanes.extend(reports.iter_mut().filter_map(|r| r.lane.take()));
-        Recording::new(cfg.procs, lanes)
+        Recording::new(shared.procs, lanes)
     });
     let clients = shared.clients.lock().unwrap().len() as u64;
-    let stats = transport.snapshot();
     // Self-check the exactly-once machinery on every successful run:
     // nothing lost silently, nothing serviced twice.
-    if let Some(violation) = stats.conservation_violation(messages) {
+    if let Some(violation) = transport.conservation_violation(messages) {
         panic!("olden-exec transport conservation violated: {violation}");
     }
-    let report = ExecReport {
-        procs: cfg.procs,
+    ExecReport {
+        procs: shared.procs,
         stats: client.stats,
         cache,
         pages_cached,
@@ -503,10 +502,92 @@ where
         messages,
         clients,
         races,
-        transport: stats,
-        faults: transport.fault_log(),
+        transport,
+        faults,
         recording,
-    };
+    }
+}
+
+/// Execute `program` on `cfg.procs` worker threads and report, returning
+/// failures as values.
+///
+/// Spawns the worker fleet over an in-process [`MailboxTransport`], runs
+/// the program as the root logical thread, then performs a deterministic
+/// shutdown: a [`Request::Shutdown`] to each worker in processor order,
+/// collecting each one's final statistics. The calling thread meanwhile
+/// acts as the watchdog — if the run's progress counter stalls for
+/// `cfg.stall_timeout`, it fails with [`ExecError::Stalled`] carrying a
+/// state dump of every worker and logical thread instead of hanging. A
+/// message class starved by the fault plan fails with
+/// [`ExecError::Starved`]. On either error the run's threads are
+/// abandoned (workers exit on their own once every mailbox sender is
+/// gone); a program panic that is not an [`ExecError`] still propagates
+/// as a panic.
+pub fn try_run_exec<T, F>(cfg: ExecConfig, program: F) -> Result<(T, ExecReport), ExecError>
+where
+    T: Send + 'static,
+    F: FnOnce(&mut ExecCtx) -> T + Send + 'static,
+{
+    assert!(cfg.procs >= 1 && cfg.procs <= MAX_PROCS);
+    let progress = Arc::new(AtomicU64::new(0));
+    let counters = Arc::new(TransportCounters::default());
+    let (hub, ports) = MailboxTransport::new(cfg.procs);
+    let shared = Arc::new(Shared::new(
+        &cfg,
+        hub,
+        Arc::clone(&counters),
+        Arc::clone(&progress),
+    ));
+    let mut worker_slots = Vec::with_capacity(cfg.procs);
+    let mut worker_joins = Vec::with_capacity(cfg.procs);
+    for (p, port) in ports.into_iter().enumerate() {
+        let slot = Arc::new(WorkerSlot::default());
+        let worker = Worker::new(
+            p as ProcId,
+            Arc::clone(&slot),
+            Arc::clone(&progress),
+            Arc::clone(&counters),
+            cfg.record.then(|| Recorder::exec(shared.epoch)),
+        );
+        let jh = thread::Builder::new()
+            .name(format!("olden-worker-{p}"))
+            .spawn(move || worker.serve(port))
+            .expect("spawn worker thread");
+        worker_slots.push(slot);
+        worker_joins.push(jh);
+    }
+
+    let (value, client) = drive_root(
+        &shared,
+        cfg.stall_timeout,
+        || dump_state(&worker_slots, &shared),
+        program,
+    )?;
+
+    // Deterministic shutdown: each worker reports and exits, in processor
+    // order. Control-plane envelopes bypass the fault layer but still
+    // count as transport traffic, keeping the conservation law exact.
+    let mut control = shared.link.connect(CONTROL_SRC);
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(cfg.procs);
+    for p in 0..cfg.procs {
+        counters.sends.fetch_add(1, Ordering::Relaxed);
+        control.send(
+            p as ProcId,
+            &Envelope {
+                src: CONTROL_SRC,
+                seq: 0,
+                req: Request::Shutdown,
+            },
+        );
+        reports.push(*control.recv_reply(p as ProcId).expect_report());
+    }
+    for jh in worker_joins {
+        jh.join().expect("worker exited cleanly");
+    }
+
+    let stats = counters.snapshot();
+    let faults = counters.fault_log();
+    let report = assemble_report(&shared, client, reports, stats, faults);
     Ok((value, report))
 }
 

@@ -2,13 +2,20 @@
 //! each simulated processor.
 //!
 //! The topology is a strict client–server star: **only logical threads
-//! send requests, and only workers reply**, each reply on a fresh
-//! rendezvous channel carried inside the request. Workers service every
-//! message with purely local state (their heap section and their
-//! processor's software cache) and never wait on another worker, so no
-//! wait cycle can form and the system is deadlock-free by construction.
+//! send requests, and only workers reply**, one [`Reply`] per serviced
+//! [`Request`]. Workers service every message with purely local state
+//! (their heap section and their processor's software cache) and never
+//! wait on another worker, so no wait cycle can form and the system is
+//! deadlock-free by construction.
 //!
-//! Two of the protocol's events never appear on a mailbox because they
+//! Both enums are **pure data** — no channels, no callbacks — so the
+//! same protocol runs unchanged over in-process mailboxes and over the
+//! network backend's length-prefixed TCP frames (`olden-net`). The reply
+//! path belongs to the [`Transport`](crate::Transport): the mailbox
+//! transport routes replies over per-client channels, the socket
+//! transport writes them back on the connection the request arrived on.
+//!
+//! Two of the protocol's events never appear on a transport because they
 //! are in-process by nature: *StealNotify* (a migration vacating a
 //! processor wakes the continuations anchored there) and *TouchResult*
 //! (a touch joining a forked body) travel through
@@ -19,18 +26,15 @@ use crate::chaos::MsgKind;
 use olden_cache::CacheStats;
 use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS};
 use olden_runtime::{RaceViolation, VClock};
-use std::sync::mpsc::Sender;
 
-/// Sender id stamped on control-plane envelopes (shutdown), which carry
-/// no client sequence numbers and bypass receiver-side dedupe.
-pub const CONTROL_SRC: u64 = u64::MAX;
+pub use crate::envelope::{Envelope, CONTROL_SRC};
 
 /// One 64-byte line's payload, as moved by a fetch reply.
 pub type LineData = [Word; LINE_WORDS];
 
 /// How a thread arrives at a processor (the acquire of the release-
 /// consistency reduction; mirrors `olden_cache::Arrival`).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ArrivalKind {
     /// Forward migration into a procedure body: under local knowledge the
     /// whole cache is invalidated.
@@ -41,15 +45,16 @@ pub enum ArrivalKind {
     Return(Vec<ProcId>),
 }
 
-/// Reply to a [`Msg::CacheLookup`].
-#[derive(Clone, Copy, Debug)]
+/// Reply to a [`Request::CacheLookup`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LookupReply {
     /// Line valid in this worker's cache; the word read from (or, for a
     /// write, now updated in) the cached copy.
     Hit(Word),
     /// Line absent or invalid. The client performs the fetch round trip
-    /// ([`Msg::LineFetchReq`] to the home, then [`Msg::CacheInstall`]
-    /// back here); the miss has already been counted.
+    /// ([`Request::LineFetchReq`] to the home, then
+    /// [`Request::CacheInstall`] back here); the miss has already been
+    /// counted.
     Miss,
     /// The request carried a verified `elide` hint: the line was resident,
     /// so the worker answered from an *uncounted* probe — no table lookup
@@ -57,68 +62,48 @@ pub enum LookupReply {
     ElidedHit(Word),
 }
 
-/// What actually travels on a mailbox: a [`Msg`] stamped with its
-/// sender's identity and a per-sender sequence number.
-///
-/// The fault layer may transmit one logical message several times (a
-/// retry after a drop, or an injected duplicate); every copy carries the
-/// *same* `(src, seq)`, which is what lets the receiving worker service
-/// each logical message exactly once. `Msg` is `Clone` for exactly this
-/// purpose — a cloned reply `Sender` feeds the same rendezvous channel,
-/// and a suppressed copy simply drops its sender unused.
-#[derive(Clone)]
-pub struct Envelope {
-    /// Sending client's id ([`CONTROL_SRC`] for control messages).
-    pub src: u64,
-    /// Per-sender logical sequence number, starting at 1; retries and
-    /// duplicates of one logical message share it.
-    pub seq: u64,
-    pub msg: Msg,
-}
-
-/// Everything a worker can be asked to do.
-#[derive(Clone)]
-pub enum Msg {
-    /// `ALLOC(words)` in this worker's heap section.
-    Alloc { words: usize, reply: Sender<GPtr> },
+/// Everything a worker can be asked to do. Pure data: every variant is
+/// answered by exactly one [`Reply`] variant (see [`Request::kind`] for
+/// the fault-targeting class).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `ALLOC(words)` in this worker's heap section. → [`Reply::Ptr`].
+    Alloc { words: usize },
     /// Read the home copy of one word. `clock` (sanitizer runs only) is
     /// the accessing segment's vector clock, fed to this line's
-    /// happens-before state.
-    ReadHome {
-        local: u64,
-        clock: Option<VClock>,
-        reply: Sender<Word>,
-    },
+    /// happens-before state. → [`Reply::Word`].
+    ReadHome { local: u64, clock: Option<VClock> },
     /// Write the home copy of one word (the write-through of every heap
-    /// write, however its address was resolved).
+    /// write, however its address was resolved). → [`Reply::Unit`].
     WriteHome {
         local: u64,
         value: Word,
         clock: Option<VClock>,
-        reply: Sender<()>,
     },
     /// Home side of a cache miss: ship one line of this worker's section.
     /// `clock` is set for sanitized cache-read misses; cached writes
     /// leave it `None` (their write-through carries the clock).
+    /// → [`Reply::Line`].
     LineFetchReq {
         page: PageNum,
         line: LineInPage,
         clock: Option<VClock>,
-        reply: Sender<LineData>,
     },
     /// Sanitizer only: a cache **read hit** on a line homed here — the
     /// one access kind that otherwise never reaches the home worker,
     /// where the line's happens-before state lives. A round trip, so
-    /// mailbox arrival order stays a happens-before linearization.
+    /// transport arrival order stays a happens-before linearization.
+    /// → [`Reply::Unit`].
     SanitizeHit {
         page: PageNum,
         line: LineInPage,
         clock: VClock,
-        reply: Sender<()>,
     },
     /// Mid-run query of this worker's sanitizer findings.
-    RaceQuery { reply: Sender<Vec<RaceViolation>> },
+    /// → [`Reply::Races`].
+    RaceQuery,
     /// Consult this worker's software cache for a remotely homed word.
+    /// → [`Reply::Lookup`].
     CacheLookup {
         home: ProcId,
         page: PageNum,
@@ -134,10 +119,10 @@ pub enum Msg {
         /// ([`LookupReply::ElidedHit`]), fall back to the counted path
         /// otherwise.
         elide: bool,
-        reply: Sender<LookupReply>,
     },
     /// Install a line fetched from its home into this worker's cache and
     /// return the requested word (after applying `wval` for a write).
+    /// → [`Reply::Word`].
     CacheInstall {
         home: ProcId,
         page: PageNum,
@@ -146,39 +131,80 @@ pub enum Msg {
         word: usize,
         write: bool,
         wval: Option<Word>,
-        reply: Sender<Word>,
     },
     /// The logical thread arrives here by migration: perform the acquire
     /// (local-knowledge invalidation per [`ArrivalKind`]).
-    MigrateThread {
-        arrival: ArrivalKind,
-        reply: Sender<()>,
-    },
+    /// → [`Reply::Unit`].
+    MigrateThread { arrival: ArrivalKind },
     /// Deterministic shutdown: reply with the worker's final statistics
-    /// and exit the service loop.
-    Shutdown { reply: Sender<WorkerReport> },
+    /// and exit the service loop. → [`Reply::Report`].
+    Shutdown,
 }
 
-impl Msg {
+impl Request {
     /// The message's class, for fault targeting and error reporting.
     pub fn kind(&self) -> MsgKind {
         match self {
-            Msg::Alloc { .. } => MsgKind::Alloc,
-            Msg::ReadHome { .. } => MsgKind::ReadHome,
-            Msg::WriteHome { .. } => MsgKind::WriteHome,
-            Msg::LineFetchReq { .. } => MsgKind::LineFetch,
-            Msg::SanitizeHit { .. } => MsgKind::SanitizeHit,
-            Msg::RaceQuery { .. } => MsgKind::RaceQuery,
-            Msg::CacheLookup { .. } => MsgKind::CacheLookup,
-            Msg::CacheInstall { .. } => MsgKind::CacheInstall,
-            Msg::MigrateThread { .. } => MsgKind::Migrate,
-            Msg::Shutdown { .. } => MsgKind::Shutdown,
+            Request::Alloc { .. } => MsgKind::Alloc,
+            Request::ReadHome { .. } => MsgKind::ReadHome,
+            Request::WriteHome { .. } => MsgKind::WriteHome,
+            Request::LineFetchReq { .. } => MsgKind::LineFetch,
+            Request::SanitizeHit { .. } => MsgKind::SanitizeHit,
+            Request::RaceQuery => MsgKind::RaceQuery,
+            Request::CacheLookup { .. } => MsgKind::CacheLookup,
+            Request::CacheInstall { .. } => MsgKind::CacheInstall,
+            Request::MigrateThread { .. } => MsgKind::Migrate,
+            Request::Shutdown => MsgKind::Shutdown,
         }
     }
 }
 
-/// A worker's final accounting, returned in the [`Msg::Shutdown`] reply.
-#[derive(Clone, Debug, Default)]
+/// A worker's answer to one serviced [`Request`]. Each request class maps
+/// to exactly one reply variant; the `expect_*` accessors assert that
+/// mapping at the client call sites.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    Ptr(GPtr),
+    Word(Word),
+    Unit,
+    Line(LineData),
+    Races(Vec<RaceViolation>),
+    Lookup(LookupReply),
+    Report(Box<WorkerReport>),
+}
+
+macro_rules! expect_variant {
+    ($name:ident, $variant:ident, $ty:ty, $what:literal) => {
+        #[track_caller]
+        pub fn $name(self) -> $ty {
+            match self {
+                Reply::$variant(v) => v,
+                other => panic!(concat!("protocol: expected ", $what, ", got {:?}"), other),
+            }
+        }
+    };
+}
+
+impl Reply {
+    expect_variant!(expect_ptr, Ptr, GPtr, "Ptr");
+    expect_variant!(expect_word, Word, Word, "Word");
+    expect_variant!(expect_line, Line, LineData, "Line");
+    expect_variant!(expect_races, Races, Vec<RaceViolation>, "Races");
+    expect_variant!(expect_lookup, Lookup, LookupReply, "Lookup");
+    expect_variant!(expect_report, Report, Box<WorkerReport>, "Report");
+
+    #[track_caller]
+    pub fn expect_unit(self) {
+        match self {
+            Reply::Unit => {}
+            other => panic!("protocol: expected Unit, got {other:?}"),
+        }
+    }
+}
+
+/// A worker's final accounting, returned in the [`Request::Shutdown`]
+/// reply.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct WorkerReport {
     /// Cache-side statistics accumulated by this worker (hits, misses,
     /// remote reads/writes).
@@ -190,6 +216,12 @@ pub struct WorkerReport {
     pub words_allocated: u64,
     /// Messages serviced over the worker's lifetime.
     pub served: u64,
+    /// Envelopes delivered to this worker (serviced + suppressed). On
+    /// the network backend this is the worker process's only way to
+    /// report its receiver-side transport counters to the parent.
+    pub deliveries: u64,
+    /// Duplicate envelopes this worker suppressed.
+    pub dupes_suppressed: u64,
     /// Happens-before violations on lines homed here (sanitizer runs).
     pub races: Vec<RaceViolation>,
     /// The worker's event lane (recorded runs only): the worker-site

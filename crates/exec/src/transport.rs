@@ -1,0 +1,154 @@
+//! The [`Transport`] abstraction: how envelopes reach workers and how
+//! replies come back.
+//!
+//! The protocol layer above ([`ExecCtx::req`](crate::ExecCtx) and
+//! [`Worker::serve`](crate::worker::Worker::serve)) is written against
+//! two small traits, so the fault injection, retry/backoff, dedup, obs
+//! recording, and sanitizer machinery run *identically* whether the
+//! fleet is in-process threads or `olden-net`'s one-OS-process-per-
+//! processor TCP fleet:
+//!
+//! * [`ClientConn`] — one logical thread's outbound half: transmit an
+//!   [`Envelope`] to a worker, block for that worker's [`Reply`]. A
+//!   client has at most one request in flight (the reply doubles as the
+//!   acknowledgement), so the reply path needs no request matching.
+//! * [`WorkerPort`] — one worker's inbound half: receive the next
+//!   envelope from any client, send a reply back to a given client.
+//! * [`Transport`] — the factory that mints a [`ClientConn`] per client
+//!   id (fresh logical threads appear mid-run in parallel mode, and the
+//!   orchestrator's control plane is just the client id
+//!   [`CONTROL_SRC`](crate::msg::CONTROL_SRC)).
+//!
+//! The exactly-once contract the protocol relies on: a transport
+//! delivers every transmitted envelope (losses are *injected* by the
+//! chaos layer sender-side, never suffered), per-connection order is
+//! FIFO, and the worker answers each *serviced* envelope with exactly
+//! one reply (suppressed duplicates get none — the primary already
+//! answered).
+//!
+//! [`MailboxTransport`] is the in-process implementation backing
+//! [`try_run_exec`](crate::try_run_exec): an mpsc mailbox per worker and
+//! an mpsc reply lane per client, which together are exactly the typed
+//! channel pairs the pre-transport backend wired ad hoc.
+
+use crate::envelope::Envelope;
+use crate::msg::Reply;
+use olden_gptr::ProcId;
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// One logical thread's connection to the worker fleet.
+pub trait ClientConn: Send {
+    /// Transmit one envelope to worker `dst`. Fire-and-forget: the fault
+    /// layer calls this once per *copy* (primary, duplicate, delayed
+    /// duplicate); transmission must not wait for servicing.
+    fn send(&mut self, dst: ProcId, env: &Envelope);
+
+    /// Block for the reply to this client's outstanding request at
+    /// worker `dst`.
+    fn recv_reply(&mut self, dst: ProcId) -> Reply;
+}
+
+/// One worker's connection to its clients.
+pub trait WorkerPort: Send {
+    /// Next envelope from any client, in transport arrival order.
+    /// `None` means every client is gone and no shutdown will come: the
+    /// run aborted (e.g. a client panicked); the worker exits quietly.
+    fn recv(&mut self) -> Option<Envelope>;
+
+    /// Send `reply` to client `dst` (an envelope's `src`).
+    fn reply(&mut self, dst: u64, reply: Reply);
+}
+
+/// Factory for per-client connections; the run's link to its fleet.
+pub trait Transport: Send + Sync {
+    /// Open the connection for client id `client`. Called once per
+    /// logical thread (and once for the control plane).
+    fn connect(&self, client: u64) -> Box<dyn ClientConn>;
+}
+
+/// The in-process transport: one mpsc mailbox per worker thread, one
+/// mpsc reply lane per client.
+pub struct MailboxTransport {
+    mailboxes: Vec<Sender<Envelope>>,
+    /// Reply lanes by client id. A lock per reply is fine here — the
+    /// mailbox transport is the testing/parity fleet, not a throughput
+    /// play — and it keeps the worker loop free of per-client state.
+    replies: Mutex<HashMap<u64, Sender<Reply>>>,
+}
+
+impl MailboxTransport {
+    /// Build the transport for `procs` workers, returning the per-worker
+    /// ports to hand to each worker thread.
+    pub fn new(procs: usize) -> (Arc<MailboxTransport>, Vec<MailboxWorkerPort>) {
+        let mut mailboxes = Vec::with_capacity(procs);
+        let mut rxs = Vec::with_capacity(procs);
+        for _ in 0..procs {
+            let (tx, rx) = mpsc::channel();
+            mailboxes.push(tx);
+            rxs.push(rx);
+        }
+        let hub = Arc::new(MailboxTransport {
+            mailboxes,
+            replies: Mutex::new(HashMap::new()),
+        });
+        let ports = rxs
+            .into_iter()
+            .map(|rx| MailboxWorkerPort {
+                rx,
+                hub: Arc::clone(&hub),
+            })
+            .collect();
+        (hub, ports)
+    }
+}
+
+impl Transport for MailboxTransport {
+    fn connect(&self, client: u64) -> Box<dyn ClientConn> {
+        let (tx, rx) = mpsc::channel();
+        self.replies.lock().unwrap().insert(client, tx);
+        Box::new(MailboxConn {
+            mailboxes: self.mailboxes.clone(),
+            rx,
+        })
+    }
+}
+
+/// Client half of [`MailboxTransport`].
+pub struct MailboxConn {
+    mailboxes: Vec<Sender<Envelope>>,
+    rx: Receiver<Reply>,
+}
+
+impl ClientConn for MailboxConn {
+    fn send(&mut self, dst: ProcId, env: &Envelope) {
+        self.mailboxes[dst as usize]
+            .send(env.clone())
+            .expect("worker mailbox closed mid-run");
+    }
+
+    fn recv_reply(&mut self, _dst: ProcId) -> Reply {
+        self.rx.recv().expect("worker dropped a reply")
+    }
+}
+
+/// Worker half of [`MailboxTransport`].
+pub struct MailboxWorkerPort {
+    rx: Receiver<Envelope>,
+    hub: Arc<MailboxTransport>,
+}
+
+impl WorkerPort for MailboxWorkerPort {
+    fn recv(&mut self) -> Option<Envelope> {
+        self.rx.recv().ok()
+    }
+
+    fn reply(&mut self, dst: u64, reply: Reply) {
+        // A client that already exited simply misses its reply — the
+        // same shape as a dropped rendezvous sender before the refactor.
+        if let Some(tx) = self.hub.replies.lock().unwrap().get(&dst) {
+            let _ = tx.send(reply);
+        }
+    }
+}

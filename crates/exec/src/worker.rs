@@ -1,23 +1,30 @@
-//! The worker thread: owner of one simulated processor.
+//! The worker: owner of one simulated processor.
 //!
 //! Each worker holds the processor's heap section (the authoritative copy
 //! of every word homed there) and its software cache — the same
 //! translation table ([`olden_cache::ProcCache`]) the simulator's
 //! metadata-only cache system uses, here paired with the actual line
 //! data, under the local-knowledge protocol. The worker's service loop
-//! drains its mailbox until a [`Msg::Shutdown`] arrives; every request is
-//! serviced from local state only (see `msg` module docs for why that
-//! makes the system deadlock-free).
+//! drains its [`WorkerPort`] until a [`Request::Shutdown`] arrives; every
+//! request is serviced from local state only (see `msg` module docs for
+//! why that makes the system deadlock-free).
+//!
+//! The loop is generic over the transport: `olden-exec` runs it on an OS
+//! thread fed by an in-process mailbox, `olden-net` runs the very same
+//! loop in a worker *process* fed by TCP frames. Dedup, sanitizer
+//! feeding, obs recording, and the statistics it reports at shutdown are
+//! identical on both.
 
-use crate::msg::{ArrivalKind, Envelope, LineData, LookupReply, Msg, WorkerReport, CONTROL_SRC};
-use crate::Transport;
+use crate::envelope::{Dedup, CONTROL_SRC};
+use crate::msg::{ArrivalKind, LineData, LookupReply, Reply, Request, WorkerReport};
+use crate::transport::WorkerPort;
+use crate::TransportCounters;
 use olden_cache::{CacheStats, ProcCache};
 use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS, PAGE_WORDS};
 use olden_obs::{EventKind, Recorder};
 use olden_runtime::{LineKey, LineSanitizer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 
 /// Lock-free view of a worker's liveness for the watchdog's state dump
@@ -49,33 +56,35 @@ pub struct Worker {
     stats: CacheStats,
     /// Happens-before state of every line homed here. All accesses to a
     /// line reach its home worker (sanitized runs route cache read hits
-    /// here via [`Msg::SanitizeHit`]), and clients only send a request
-    /// after every happens-before predecessor's round trip completed, so
-    /// this worker's mailbox order is a valid feeding order.
+    /// here via [`Request::SanitizeHit`]), and clients only send a
+    /// request after every happens-before predecessor's round trip
+    /// completed, so this worker's arrival order is a valid feeding
+    /// order.
     san: LineSanitizer,
     slot: Arc<WorkerSlot>,
     progress: Arc<AtomicU64>,
-    /// Global transport counters (shared with every client and the
-    /// report): this worker bumps `deliveries` and `dupes_suppressed`.
-    transport: Arc<Transport>,
-    /// Receiver-side exactly-once state: highest sequence number yet
-    /// serviced from each sender. Sound as a dedupe filter because each
-    /// client blocks for the reply before its next logical message, so
-    /// its primaries arrive in increasing `seq` order and anything at or
-    /// below the high-water mark is a copy of an already-serviced
-    /// message.
-    seen: HashMap<u64, u64>,
+    /// Run-global transport counters. In-process fleets share one
+    /// instance with every client; a worker *process* holds its own,
+    /// whose receiver-side values travel home in the shutdown report.
+    transport: Arc<TransportCounters>,
+    /// Receiver-side exactly-once state (see [`Dedup`]).
+    dedup: Dedup,
+    /// This worker's own receiver-side counters, mirrored into the
+    /// shutdown report so the network backend can assemble run totals
+    /// across process boundaries.
+    deliveries: u64,
+    dupes_suppressed: u64,
     /// Event recorder (recorded runs only). Single-owner: only this
-    /// worker thread writes it; the lane leaves in the shutdown report.
+    /// worker writes it; the lane leaves in the shutdown report.
     rec: Option<Recorder>,
 }
 
 impl Worker {
-    pub(crate) fn new(
+    pub fn new(
         proc: ProcId,
         slot: Arc<WorkerSlot>,
         progress: Arc<AtomicU64>,
-        transport: Arc<Transport>,
+        transport: Arc<TransportCounters>,
         rec: Option<Recorder>,
     ) -> Worker {
         Worker {
@@ -88,7 +97,9 @@ impl Worker {
             slot,
             progress,
             transport,
-            seen: HashMap::new(),
+            dedup: Dedup::new(),
+            deliveries: 0,
+            dupes_suppressed: 0,
             rec,
         }
     }
@@ -101,95 +112,82 @@ impl Worker {
     }
 
     /// Service messages until shutdown.
-    pub fn serve(mut self, rx: Receiver<Envelope>) {
+    pub fn serve<P: WorkerPort>(mut self, mut port: P) {
         loop {
             self.slot.state.store(W_WAITING, Ordering::Relaxed);
-            let Ok(env) = rx.recv() else {
-                // All senders dropped without a shutdown: the run aborted
+            let Some(env) = port.recv() else {
+                // Every client gone without a shutdown: the run aborted
                 // (e.g. a client panicked); exit quietly.
                 break;
             };
             self.slot.state.store(W_SERVING, Ordering::Relaxed);
+            self.deliveries += 1;
             self.transport.deliveries.fetch_add(1, Ordering::Relaxed);
             self.progress.fetch_add(1, Ordering::Relaxed);
-            if env.src != CONTROL_SRC {
-                let high = self.seen.entry(env.src).or_insert(0);
-                if env.seq <= *high {
-                    // A retry's or injected duplicate's copy of a message
-                    // already serviced: discard it (its cloned reply
-                    // sender drops unused — the primary already answered).
-                    // Delivered but not *served*, so `ExecReport.messages`
-                    // stays byte-equal to the fault-free run.
-                    self.transport
-                        .dupes_suppressed
-                        .fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                *high = env.seq;
+            if !self.dedup.admit(env.src, env.seq) {
+                // A retry's or injected duplicate's copy of a message
+                // already serviced: discard it (the primary already
+                // answered). Delivered but not *served*, so
+                // `ExecReport.messages` stays byte-equal to the
+                // fault-free run.
+                self.dupes_suppressed += 1;
+                self.transport
+                    .dupes_suppressed
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
             }
             self.slot.served.fetch_add(1, Ordering::Relaxed);
-            if !self.handle(env.msg) {
+            let is_shutdown = matches!(env.req, Request::Shutdown);
+            debug_assert!(
+                !is_shutdown || env.src == CONTROL_SRC,
+                "shutdown is control-plane only"
+            );
+            let reply = self.handle(env.req);
+            port.reply(env.src, reply);
+            if is_shutdown {
                 break;
             }
         }
         self.slot.state.store(W_EXITED, Ordering::Relaxed);
     }
 
-    /// Returns false when the message was a shutdown.
-    fn handle(&mut self, msg: Msg) -> bool {
-        match msg {
-            Msg::Alloc { words, reply } => {
+    fn handle(&mut self, req: Request) -> Reply {
+        match req {
+            Request::Alloc { words } => {
                 assert!(words > 0, "zero-size allocation");
                 let base = self.section.len() as u64;
                 self.section.resize(self.section.len() + words, Word::ZERO);
-                let _ = reply.send(GPtr::new(self.proc, base));
+                Reply::Ptr(GPtr::new(self.proc, base))
             }
-            Msg::ReadHome {
-                local,
-                clock,
-                reply,
-            } => {
+            Request::ReadHome { local, clock } => {
                 if let Some(c) = clock {
                     self.san.access(self.line_of(local), false, &c);
                 }
-                let _ = reply.send(self.section[local as usize]);
+                Reply::Word(self.section[local as usize])
             }
-            Msg::WriteHome {
+            Request::WriteHome {
                 local,
                 value,
                 clock,
-                reply,
             } => {
                 if let Some(c) = clock {
                     self.san.access(self.line_of(local), true, &c);
                 }
                 self.section[local as usize] = value;
-                let _ = reply.send(());
+                Reply::Unit
             }
-            Msg::LineFetchReq {
-                page,
-                line,
-                clock,
-                reply,
-            } => {
+            Request::LineFetchReq { page, line, clock } => {
                 if let Some(c) = clock {
                     self.san.access((self.proc, page, line), false, &c);
                 }
-                let _ = reply.send(self.read_line(page, line));
+                Reply::Line(self.read_line(page, line))
             }
-            Msg::SanitizeHit {
-                page,
-                line,
-                clock,
-                reply,
-            } => {
+            Request::SanitizeHit { page, line, clock } => {
                 self.san.access((self.proc, page, line), false, &clock);
-                let _ = reply.send(());
+                Reply::Unit
             }
-            Msg::RaceQuery { reply } => {
-                let _ = reply.send(self.san.violations().to_vec());
-            }
-            Msg::CacheLookup {
+            Request::RaceQuery => Reply::Races(self.san.violations().to_vec()),
+            Request::CacheLookup {
                 home,
                 page,
                 line,
@@ -197,7 +195,6 @@ impl Worker {
                 write,
                 wval,
                 elide,
-                reply,
             } => {
                 debug_assert_ne!(home, self.proc, "local references bypass the cache");
                 if write {
@@ -223,8 +220,7 @@ impl Worker {
                         if write {
                             data[word] = wval.expect("write carries a value");
                         }
-                        let _ = reply.send(LookupReply::ElidedHit(data[word]));
-                        return true;
+                        return Reply::Lookup(LookupReply::ElidedHit(data[word]));
                     }
                 }
                 self.stats.checks_performed += 1;
@@ -241,16 +237,16 @@ impl Worker {
                     if write {
                         data[word] = wval.expect("write carries a value");
                     }
-                    let _ = reply.send(LookupReply::Hit(data[word]));
+                    Reply::Lookup(LookupReply::Hit(data[word]))
                 } else {
                     // The miss (one round trip to the home) is counted
                     // here; the client now performs that trip and installs
                     // the line.
                     self.stats.misses += 1;
-                    let _ = reply.send(LookupReply::Miss);
+                    Reply::Lookup(LookupReply::Miss)
                 }
             }
-            Msg::CacheInstall {
+            Request::CacheInstall {
                 home,
                 page,
                 line,
@@ -258,7 +254,6 @@ impl Worker {
                 word,
                 write,
                 wval,
-                reply,
             } => {
                 if write {
                     data[word] = wval.expect("write carries a value");
@@ -268,9 +263,9 @@ impl Worker {
                 let cp = self.cache.ensure(home, page);
                 cp.set_line(line);
                 self.lines.insert((home, page, line), data);
-                let _ = reply.send(data[word]);
+                Reply::Word(data[word])
             }
-            Msg::MigrateThread { arrival, reply } => {
+            Request::MigrateThread { arrival } => {
                 if let Some(r) = self.rec.as_mut() {
                     // Mirror the simulator's invalidate event exactly:
                     // `u64::MAX` = whole-cache call acquire, otherwise the
@@ -285,25 +280,22 @@ impl Worker {
                     ArrivalKind::Call => self.cache.clear_all(),
                     ArrivalKind::Return(written) => self.cache.clear_homes(&written),
                 }
-                let _ = reply.send(());
+                Reply::Unit
             }
-            Msg::Shutdown { reply } => {
-                let report = WorkerReport {
-                    cache: self.stats,
-                    pages_ever: self.cache.pages_ever(),
-                    words_allocated: (self.section.len() - LINE_WORDS) as u64,
-                    served: self.slot.served.load(Ordering::Relaxed),
-                    races: self.san.violations().to_vec(),
-                    lane: self
-                        .rec
-                        .take()
-                        .map(|r| r.into_lane(format!("worker{:02}", self.proc))),
-                };
-                let _ = reply.send(report);
-                return false;
-            }
+            Request::Shutdown => Reply::Report(Box::new(WorkerReport {
+                cache: self.stats,
+                pages_ever: self.cache.pages_ever(),
+                words_allocated: (self.section.len() - LINE_WORDS) as u64,
+                served: self.slot.served.load(Ordering::Relaxed),
+                deliveries: self.deliveries,
+                dupes_suppressed: self.dupes_suppressed,
+                races: self.san.violations().to_vec(),
+                lane: self
+                    .rec
+                    .take()
+                    .map(|r| r.into_lane(format!("worker{:02}", self.proc))),
+            })),
         }
-        true
     }
 
     /// Read one line of the home section, zero-padding past the

@@ -68,6 +68,19 @@ impl VClock {
         self.set(p, tick);
     }
 
+    /// The raw component vector (for wire serialization); missing
+    /// trailing components are zero.
+    pub fn components(&self) -> &[u64] {
+        &self.comps
+    }
+
+    /// Rebuild a clock from its raw components (the inverse of
+    /// [`VClock::components`], used by the network backend's
+    /// deserializer).
+    pub fn from_components(comps: Vec<u64>) -> VClock {
+        VClock { comps }
+    }
+
     /// Component-wise maximum (the join of two histories).
     pub fn join(&mut self, other: &VClock) {
         if other.comps.len() > self.comps.len() {

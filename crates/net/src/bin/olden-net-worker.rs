@@ -1,0 +1,27 @@
+//! Entry point for one network-backend worker process.
+//!
+//! Usage: `olden-net-worker <proc> <parent_port> <record:0|1>`
+//!
+//! Spawned by the parent orchestrator (`olden_net::try_run_net`), never
+//! run by hand; the argument list is the internal spawn protocol, not a
+//! user interface. `oldenc` re-exports the same entry point as a hidden
+//! `net-worker` subcommand so a single installed binary can serve as
+//! both driver and fleet.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 4 {
+        eprintln!("usage: olden-net-worker <proc> <parent_port> <record:0|1>");
+        std::process::exit(2);
+    }
+    let proc: u8 = args[1].parse().expect("worker: <proc> must be a u8");
+    let parent_port: u16 = args[2]
+        .parse()
+        .expect("worker: <parent_port> must be a u16");
+    let record = match args[3].as_str() {
+        "0" => false,
+        "1" => true,
+        other => panic!("worker: <record> must be 0 or 1, got {other:?}"),
+    };
+    olden_net::worker::worker_main(proc, parent_port, record);
+}

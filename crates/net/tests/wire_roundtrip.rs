@@ -1,0 +1,368 @@
+//! Serialization round-trip property tests: every variant of every
+//! data-plane enum survives `decode(encode(x)) == x` across seeded
+//! random instances, including the boundary shapes the protocol leans
+//! on — max-size line payloads, page-straddling fetches, clocks with
+//! zero and `MAX_PROCS` components, reports carrying full event lanes.
+//!
+//! Randomness comes from `olden-rng`'s SplitMix64 with fixed seeds, so a
+//! failure names a reproducible instance.
+
+use olden_exec::msg::{
+    ArrivalKind, Envelope, LookupReply, Reply, Request, WorkerReport, CONTROL_SRC,
+};
+use olden_gptr::{GPtr, Word, LINES_PER_PAGE, LINE_WORDS, LOCAL_MASK, MAX_PROCS};
+use olden_net::wire::{
+    decode_envelope, decode_hello, decode_reply, encode_envelope, encode_hello, encode_reply,
+};
+use olden_obs::{Event, EventKind, Lane, Phase, Recorder};
+use olden_rng::SplitMix64;
+use olden_runtime::{RaceViolation, VClock};
+
+const TRIALS: usize = 200;
+
+fn rt_env(env: &Envelope) -> Envelope {
+    decode_envelope(&encode_envelope(env)).expect("envelope decodes")
+}
+
+fn rt_reply(reply: &Reply) -> Reply {
+    decode_reply(&encode_reply(reply)).expect("reply decodes")
+}
+
+fn check_env(env: Envelope) {
+    assert_eq!(rt_env(&env), env, "envelope round trip");
+}
+
+fn check_reply(reply: Reply) {
+    assert_eq!(rt_reply(&reply), reply, "reply round trip");
+}
+
+fn rand_clock(rng: &mut SplitMix64) -> VClock {
+    let n = rng.range(0, MAX_PROCS + 1);
+    VClock::from_components((0..n).map(|_| rng.next_u64()).collect())
+}
+
+fn rand_opt_clock(rng: &mut SplitMix64) -> Option<VClock> {
+    rng.chance(0.5).then(|| rand_clock(rng))
+}
+
+fn rand_line(rng: &mut SplitMix64) -> [Word; LINE_WORDS] {
+    let mut data = [Word::ZERO; LINE_WORDS];
+    for w in &mut data {
+        *w = Word(rng.next_u64());
+    }
+    data
+}
+
+fn rand_race(rng: &mut SplitMix64) -> RaceViolation {
+    RaceViolation {
+        line: (
+            rng.below(256) as u8,
+            rng.next_u64(),
+            rng.below(LINES_PER_PAGE as u64) as u8,
+        ),
+        write: rng.chance(0.5),
+        prev_write: rng.chance(0.5),
+    }
+}
+
+fn envelope(req: Request, rng: &mut SplitMix64) -> Envelope {
+    // `req` first: its construction draws from the same rng the envelope
+    // header does, so it must be fully built before the header borrow.
+    Envelope {
+        src: rng.next_u64(),
+        seq: rng.next_u64(),
+        req,
+    }
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    let mut rng = SplitMix64::new(0x0522_1995);
+    for _ in 0..TRIALS {
+        check_env(envelope(
+            Request::Alloc {
+                words: rng.next_u64() as usize,
+            },
+            &mut rng,
+        ));
+        check_env(envelope(
+            Request::ReadHome {
+                local: rng.next_u64() & LOCAL_MASK,
+                clock: rand_opt_clock(&mut rng),
+            },
+            &mut rng,
+        ));
+        check_env(envelope(
+            Request::WriteHome {
+                local: rng.next_u64() & LOCAL_MASK,
+                value: Word(rng.next_u64()),
+                clock: rand_opt_clock(&mut rng),
+            },
+            &mut rng,
+        ));
+        check_env(envelope(
+            Request::LineFetchReq {
+                page: rng.next_u64(),
+                line: rng.below(LINES_PER_PAGE as u64) as u8,
+                clock: rand_opt_clock(&mut rng),
+            },
+            &mut rng,
+        ));
+        check_env(envelope(
+            Request::SanitizeHit {
+                page: rng.next_u64(),
+                line: rng.below(LINES_PER_PAGE as u64) as u8,
+                clock: rand_clock(&mut rng),
+            },
+            &mut rng,
+        ));
+        check_env(envelope(Request::RaceQuery, &mut rng));
+        check_env(envelope(
+            Request::CacheLookup {
+                home: rng.below(256) as u8,
+                page: rng.next_u64(),
+                line: rng.below(LINES_PER_PAGE as u64) as u8,
+                word: rng.range(0, LINE_WORDS),
+                write: rng.chance(0.5),
+                wval: rng.chance(0.5).then(|| Word(rng.next_u64())),
+                elide: rng.chance(0.5),
+            },
+            &mut rng,
+        ));
+        check_env(envelope(
+            Request::CacheInstall {
+                home: rng.below(256) as u8,
+                page: rng.next_u64(),
+                line: rng.below(LINES_PER_PAGE as u64) as u8,
+                data: rand_line(&mut rng),
+                word: rng.range(0, LINE_WORDS),
+                write: rng.chance(0.5),
+                wval: rng.chance(0.5).then(|| Word(rng.next_u64())),
+            },
+            &mut rng,
+        ));
+        let arrival = if rng.chance(0.5) {
+            ArrivalKind::Call
+        } else {
+            let n = rng.range(0, MAX_PROCS + 1);
+            ArrivalKind::Return((0..n).map(|_| rng.below(256) as u8).collect())
+        };
+        check_env(envelope(Request::MigrateThread { arrival }, &mut rng));
+        check_env(Envelope {
+            src: CONTROL_SRC,
+            seq: 0,
+            req: Request::Shutdown,
+        });
+    }
+}
+
+#[test]
+fn every_reply_variant_round_trips() {
+    let mut rng = SplitMix64::new(0x6f6c_64656e);
+    for _ in 0..TRIALS {
+        let (proc, local) = (
+            rng.below(MAX_PROCS as u64) as u8,
+            rng.next_u64() & LOCAL_MASK,
+        );
+        check_reply(Reply::Ptr(GPtr::new(proc, local)));
+        check_reply(Reply::Word(Word(rng.next_u64())));
+        check_reply(Reply::Unit);
+        check_reply(Reply::Line(rand_line(&mut rng)));
+        let n = rng.range(0, 64);
+        check_reply(Reply::Races((0..n).map(|_| rand_race(&mut rng)).collect()));
+        check_reply(Reply::Lookup(match rng.below(3) {
+            0 => LookupReply::Hit(Word(rng.next_u64())),
+            1 => LookupReply::Miss,
+            _ => LookupReply::ElidedHit(Word(rng.next_u64())),
+        }));
+    }
+}
+
+/// A cache line whose every word is at the extremes of the encoding:
+/// the largest frame the data plane produces per direction.
+#[test]
+fn max_size_line_payloads_round_trip() {
+    let full = [Word(u64::MAX); LINE_WORDS];
+    check_reply(Reply::Line(full));
+    check_env(Envelope {
+        src: u64::MAX - 1,
+        seq: u64::MAX,
+        req: Request::CacheInstall {
+            home: u8::MAX,
+            page: u64::MAX,
+            line: (LINES_PER_PAGE - 1) as u8,
+            data: full,
+            word: LINE_WORDS - 1,
+            write: true,
+            wval: Some(Word(u64::MAX)),
+        },
+    });
+}
+
+/// Fetches that walk across a page boundary — last line of page `p`,
+/// then line 0 of page `p + 1` — keep their distinct (page, line)
+/// coordinates through the wire; a packing bug that shared bits between
+/// the fields would collapse them.
+#[test]
+fn page_straddling_fetches_round_trip() {
+    let mut rng = SplitMix64::new(42);
+    for _ in 0..TRIALS {
+        let page = rng.next_u64() & (LOCAL_MASK >> 8);
+        let before = Envelope {
+            src: 7,
+            seq: 1,
+            req: Request::LineFetchReq {
+                page,
+                line: (LINES_PER_PAGE - 1) as u8,
+                clock: None,
+            },
+        };
+        let after = Envelope {
+            src: 7,
+            seq: 2,
+            req: Request::LineFetchReq {
+                page: page + 1,
+                line: 0,
+                clock: None,
+            },
+        };
+        let (b, a) = (rt_env(&before), rt_env(&after));
+        assert_eq!(b, before);
+        assert_eq!(a, after);
+        match (b.req, a.req) {
+            (
+                Request::LineFetchReq {
+                    page: bp, line: bl, ..
+                },
+                Request::LineFetchReq {
+                    page: ap, line: al, ..
+                },
+            ) => {
+                assert_eq!((bp, bl), (page, (LINES_PER_PAGE - 1) as u8));
+                assert_eq!((ap, al), (page + 1, 0));
+            }
+            other => panic!("variant changed in flight: {other:?}"),
+        }
+    }
+}
+
+fn rand_lane(rng: &mut SplitMix64, label: &str) -> Lane {
+    let kinds = EventKind::ALL;
+    let n = rng.range(0, 512);
+    let mut counts = [0u64; 10];
+    let events: Vec<Event> = (0..n)
+        .map(|_| {
+            let kind = kinds[rng.range(0, kinds.len())];
+            counts[kind.index()] += 1;
+            Event {
+                kind,
+                phase: match rng.below(3) {
+                    0 => Phase::Begin,
+                    1 => Phase::End,
+                    _ => Phase::Instant,
+                },
+                proc: rng.below(256) as u8,
+                ts: rng.next_u64(),
+                arg: rng.next_u64(),
+            }
+        })
+        .collect();
+    Lane::from_parts(
+        label.to_string(),
+        rng.chance(0.5),
+        events,
+        rng.below(1 << 20),
+        counts,
+    )
+}
+
+#[test]
+fn shutdown_reports_round_trip_with_and_without_lanes() {
+    let mut rng = SplitMix64::new(0xdead_beef);
+    for trial in 0..64 {
+        let mut rep = WorkerReport::default();
+        rep.cache.hits = rng.next_u64();
+        rep.cache.misses = rng.next_u64();
+        rep.cache.remote_reads = rng.next_u64();
+        rep.cache.remote_writes = rng.next_u64();
+        rep.cache.revalidations = rng.next_u64();
+        rep.cache.invalidations_sent = rng.next_u64();
+        rep.cache.invalidations_spurious = rng.next_u64();
+        rep.cache.write_track_cycles = rng.next_u64();
+        rep.cache.checks_performed = rng.next_u64();
+        rep.cache.checks_elided = rng.next_u64();
+        rep.cache.cacheable_reads = rng.next_u64();
+        rep.cache.cacheable_writes = rng.next_u64();
+        rep.pages_ever = rng.next_u64();
+        rep.words_allocated = rng.next_u64();
+        rep.served = rng.next_u64();
+        rep.deliveries = rng.next_u64();
+        rep.dupes_suppressed = rng.next_u64();
+        rep.races = (0..rng.range(0, 16)).map(|_| rand_race(&mut rng)).collect();
+        rep.lane = rng
+            .chance(0.5)
+            .then(|| rand_lane(&mut rng, &format!("worker{trial:02}")));
+        check_reply(Reply::Report(Box::new(rep)));
+    }
+}
+
+/// A lane built by a real `Recorder` (not synthesized parts) survives
+/// the wire with its per-kind counts intact.
+#[test]
+fn recorder_lane_round_trips_exactly() {
+    let mut rec = Recorder::sim();
+    rec.begin(EventKind::FutureBody, 3, 17);
+    rec.end(EventKind::FutureBody, 3);
+    rec.instant(EventKind::Invalidate, 1, 9);
+    let lane = rec.into_lane("worker03".into());
+    let mut rep = WorkerReport {
+        lane: Some(lane.clone()),
+        ..WorkerReport::default()
+    };
+    rep.served = 3;
+    let back = rt_reply(&Reply::Report(Box::new(rep)));
+    let rep = match back {
+        Reply::Report(r) => r,
+        other => panic!("expected report, got {other:?}"),
+    };
+    let got = rep.lane.expect("lane survives");
+    assert_eq!(got, lane);
+    for kind in EventKind::ALL {
+        assert_eq!(got.count(kind), lane.count(kind), "{kind:?} count");
+    }
+}
+
+#[test]
+fn hello_round_trips() {
+    for proc in [0u8, 1, 127, 255] {
+        for port in [1u16, 1024, 54321, u16::MAX] {
+            let buf = encode_hello(proc, port);
+            assert_eq!(decode_hello(&buf).unwrap(), (proc, port));
+        }
+    }
+}
+
+/// Truncated and trailing-garbage frames are rejected, never misread.
+#[test]
+fn corrupt_frames_are_rejected() {
+    let env = Envelope {
+        src: 3,
+        seq: 9,
+        req: Request::Alloc { words: 5 },
+    };
+    let good = encode_envelope(&env);
+    for cut in 0..good.len() {
+        assert!(
+            decode_envelope(&good[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+    let mut padded = good.clone();
+    padded.push(0);
+    assert!(
+        decode_envelope(&padded).is_err(),
+        "trailing bytes must fail"
+    );
+    assert!(decode_reply(&[99]).is_err(), "unknown reply tag must fail");
+    assert!(decode_envelope(&[]).is_err(), "empty frame must fail");
+}

@@ -265,7 +265,7 @@ impl Recorder {
 }
 
 /// One thread's worth of events in a finished [`Recording`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Lane {
     /// Stable display name; lanes sort by it, so `clientNNNN` /
     /// `workerNN` labels give a deterministic lane order.
@@ -284,6 +284,26 @@ impl Lane {
     /// events dropped past the cap.
     pub fn count(&self, kind: EventKind) -> u64 {
         self.counts[kind.index()]
+    }
+
+    /// Reassemble a lane from its serialized parts (the network backend
+    /// ships worker lanes between processes); `counts` is the per-kind
+    /// table in [`EventKind::ALL`] order, as produced by
+    /// [`Lane::count`] over all kinds.
+    pub fn from_parts(
+        label: String,
+        nanos: bool,
+        events: Vec<Event>,
+        dropped: u64,
+        counts: [u64; EventKind::ALL.len()],
+    ) -> Lane {
+        Lane {
+            label,
+            nanos,
+            events,
+            dropped,
+            counts,
+        }
     }
 }
 

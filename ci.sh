@@ -34,6 +34,12 @@ stage "oldenc lint (benchmark DSL race surface vs golden)" \
 stage "oldenc opt (optimizer verdict surface vs golden)" \
     oldenc opt --golden tests/golden/oldenc-opt.txt
 
+stage "oldenc select (mechanism-selection surface vs golden)" \
+    oldenc select --golden tests/golden/oldenc-select.txt
+
+stage "oldenc predict (static cost model over all benchmarks)" \
+    oldenc predict
+
 stage "oldenc elide (annotated benchmarks must elide checks at runtime)" \
     oldenc elide
 

@@ -144,6 +144,22 @@ fn assigns(stmts: &[Stmt], var: &str) -> bool {
     found
 }
 
+/// Visit `dst = src` assignments in `stmts`, descending into `if`
+/// branches but *not* into nested `while` loops — a nested loop's own
+/// induction update is not a re-seeding by the enclosing iteration.
+fn immediate_assigns(stmts: &[Stmt], f: &mut impl FnMut(&str, &Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { dst, src, .. } => f(dst, src),
+            Stmt::If { then_, else_, .. } => {
+                immediate_assigns(then_, f);
+                immediate_assigns(else_, f);
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Run the full three-step selection over a program.
 pub fn select(prog: &Program) -> Selection {
     let loops = find_control_loops(prog);
@@ -216,7 +232,9 @@ pub fn select(prog: &Program) -> Selection {
             pm.updates(base) || assigns(&parent.body, base)
         };
 
-        // (a) Directly nested loops in the same function.
+        // (a) Directly nested loops in the same function. Only seed
+        // assignments *outside* nested loop bodies count — the child's
+        // own `p = p->next` is not a re-seeding by the parent iteration.
         for (ci, child) in loops.iter().enumerate() {
             if child.parent != Some(parent.id) {
                 continue;
@@ -224,24 +242,23 @@ pub fn select(prog: &Program) -> Selection {
             let Some(var) = choices[ci].migration_var().map(str::to_string) else {
                 continue;
             };
-            // Seed: the variable itself, or what it is assigned from in
-            // the parent body before the loop.
-            let mut fresh = seed_is_fresh(&var);
-            if !fresh {
-                // Look for `var = expr` in the parent body; the seed base
-                // being fresh is enough.
-                crate::ast::walk_stmts(&parent.body, &mut |s| {
-                    if let Stmt::Assign { dst, src, .. } = s {
-                        if dst == &var {
-                            if let Some((base, _)) = src.as_path() {
-                                if base != var && seed_is_fresh(base) {
-                                    fresh = true;
-                                }
-                            }
-                        }
-                    }
-                });
-            }
+            let mut seeds: Vec<Option<String>> = Vec::new();
+            immediate_assigns(&parent.body, &mut |dst, src| {
+                if dst == var {
+                    seeds.push(src.as_path().map(|(b, _)| b.to_string()));
+                }
+            });
+            let fresh = if seeds.is_empty() {
+                // Never re-seeded between iterations: fresh only when the
+                // parent's own update advances it (an inherited induction
+                // variable).
+                pm.updates(&var)
+            } else {
+                seeds.iter().any(|seed| match seed.as_deref() {
+                    Some(b) => b == var || seed_is_fresh(b),
+                    None => true, // unknown seed (call result): no claim
+                })
+            };
             if !fresh {
                 demote.push(child.id);
             }
@@ -428,6 +445,75 @@ mod tests {
         let inner = &s.for_func("f")[1];
         assert!(inner.inherited);
         assert_eq!(inner.migration_var(), Some("a"));
+    }
+
+    #[test]
+    fn parent_without_migration_var_leaves_inner_unselected() {
+        // The inheritance rule's other edge: the parent *caches* (70 %
+        // list walk), so an induction-free inner loop has nothing to
+        // inherit and selects no variable at all.
+        let s = sel(r#"
+            struct list { list *next; };
+            void f(list *l, int n) {
+                while (l) {
+                    int i = 0;
+                    while (i < n) { i = consume(l, i); }
+                    l = l->next;
+                }
+            }
+        "#);
+        let inner = &s.for_func("f")[1];
+        assert!(!inner.inherited, "nothing to inherit");
+        assert!(inner.selected.is_none());
+        assert_eq!(inner.migration_var(), None);
+    }
+
+    #[test]
+    fn nested_walk_of_shared_structure_demoted_in_parallel_loop() {
+        // Pass-2 case (a), the inline WalkAndTraverse shape: the inner
+        // while would migrate on `c` (95 %), but its seed `g` is the same
+        // for every parallel iteration — every thread would serialize on
+        // g's processor. Demote to caching.
+        let s = sel(r#"
+            struct list { list *next; work *item; };
+            struct work { int x; };
+            struct chain { chain *hop @ 95; };
+            void f(list *l, chain *g) {
+                while (l) {
+                    futurecall Do(l->item);
+                    chain *c = g;
+                    while (c) { c = c->hop; }
+                    l = l->next;
+                }
+            }
+        "#);
+        let inner = &s.for_func("f")[1];
+        assert!(inner.bottleneck, "shared seed g must demote");
+        assert_eq!(inner.mech("c"), Mech::Cache);
+        assert_eq!(inner.migration_var(), None);
+    }
+
+    #[test]
+    fn nested_walk_keeps_migration_when_seed_advances_with_parent() {
+        // Same shape, but the seed hangs off the parent's induction
+        // variable: every iteration walks a *different* chain, so the
+        // pass-1 migration choice stands.
+        let s = sel(r#"
+            struct list { list *next; work *item; chain *start; };
+            struct work { int x; };
+            struct chain { chain *hop @ 95; };
+            void f(list *l) {
+                while (l) {
+                    futurecall Do(l->item);
+                    chain *c = l->start;
+                    while (c) { c = c->hop; }
+                    l = l->next;
+                }
+            }
+        "#);
+        let inner = &s.for_func("f")[1];
+        assert!(!inner.bottleneck);
+        assert_eq!(inner.migration_var(), Some("c"));
     }
 
     const FIG5: &str = r#"

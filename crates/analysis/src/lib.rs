@@ -33,6 +33,7 @@
 
 pub mod ast;
 pub mod cfg;
+pub mod cost;
 pub mod dataflow;
 pub mod diag;
 pub mod heuristic;
@@ -41,9 +42,11 @@ pub mod opt;
 pub mod parser;
 pub mod racecheck;
 pub mod update;
+pub mod verdicts;
 
 pub use ast::{Expr, FieldDef, FuncDef, Program, Stmt, StructDef};
 pub use cfg::{lower, lower_program, Cfg};
+pub use cost::{loop_key, loop_keys, predict, Prediction};
 pub use dataflow::{solve, Analysis, Direction, Solution};
 pub use diag::{Diagnostic, Severity, Span};
 pub use heuristic::{select, LoopChoice, Selection};
@@ -52,6 +55,7 @@ pub use opt::{optimize, optimize_src, OptReport, SiteReport, TouchKind, TouchRep
 pub use parser::{parse, ParseError};
 pub use racecheck::racecheck;
 pub use update::{update_matrix, UpdateMatrix};
+pub use verdicts::{mech_table, MechTable, SiteVerdict};
 
 /// Default path-affinity for unannotated pointer fields (§4.3: 70 %).
 pub const DEFAULT_AFFINITY: f64 = 0.70;

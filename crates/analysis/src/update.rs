@@ -26,25 +26,30 @@ use crate::ast::{Expr, Program, Stmt};
 use crate::loops::{ControlLoop, LoopKind};
 use std::collections::HashMap;
 
-/// The update matrix of one control loop: `(s, t) → affinity`.
+/// The update matrix of one control loop: `(s, t) → affinity`, stored as
+/// row maps so lookups borrow instead of building owned key tuples.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct UpdateMatrix {
-    pub entries: HashMap<(String, String), f64>,
+    rows: HashMap<String, HashMap<String, f64>>,
 }
 
 impl UpdateMatrix {
     /// Affinity of the `(s, t)` entry, if present.
     pub fn get(&self, s: &str, t: &str) -> Option<f64> {
-        self.entries.get(&(s.to_string(), t.to_string())).copied()
+        self.rows.get(s).and_then(|r| r.get(t)).copied()
+    }
+
+    /// Record the `(s, t)` entry.
+    pub fn insert(&mut self, s: String, t: String, affinity: f64) {
+        self.rows.entry(s).or_default().insert(t, affinity);
     }
 
     /// Variables updated by themselves — the induction variables.
     pub fn induction_vars(&self) -> Vec<(&str, f64)> {
         let mut v: Vec<(&str, f64)> = self
-            .entries
+            .rows
             .iter()
-            .filter(|((s, t), _)| s == t)
-            .map(|((s, _), &a)| (s.as_str(), a))
+            .filter_map(|(s, r)| r.get(s).map(|&a| (s.as_str(), a)))
             .collect();
         // Deterministic order: strongest affinity first, then name.
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
@@ -53,16 +58,28 @@ impl UpdateMatrix {
 
     /// Every variable appearing as an updated (row) variable.
     pub fn row_vars(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.entries.keys().map(|(s, _)| s.as_str()).collect();
+        let mut v: Vec<&str> = self.rows.keys().map(String::as_str).collect();
         v.sort_unstable();
-        v.dedup();
         v
     }
 
     /// True if `var` has any update entry (used by the bottleneck pass to
     /// ask "is this variable updated in the parent loop?").
     pub fn updates(&self, var: &str) -> bool {
-        self.entries.keys().any(|(s, _)| s == var)
+        self.rows.contains_key(var)
+    }
+
+    /// Locality of `s`'s fresh value each iteration: the diagonal entry
+    /// if `s` is an induction variable, else the strongest update in its
+    /// row (deterministic: highest affinity, ties by column name).
+    pub fn row_affinity(&self, s: &str) -> Option<f64> {
+        let r = self.rows.get(s)?;
+        if let Some(&a) = r.get(s) {
+            return Some(a);
+        }
+        r.iter()
+            .max_by(|(ta, aa), (tb, ab)| aa.partial_cmp(ab).unwrap().then(tb.cmp(ta)))
+            .map(|(_, &a)| a)
     }
 }
 
@@ -278,7 +295,7 @@ pub fn update_matrix(prog: &Program, cl: &ControlLoop) -> UpdateMatrix {
                     assigned: true,
                 } = sym
                 {
-                    m.entries.insert((var, base), affinity);
+                    m.insert(var, base, affinity);
                 }
             }
         }
@@ -315,8 +332,7 @@ pub fn update_matrix(prog: &Program, cl: &ControlLoop) -> UpdateMatrix {
                 // §4.2 case 2: both (all) updates execute; the combined
                 // affinity is the probability at least one stays local.
                 let p_all_remote: f64 = sites.iter().map(|s| 1.0 - s.as_ref().unwrap().1).product();
-                m.entries
-                    .insert((param.clone(), first_base), 1.0 - p_all_remote);
+                m.insert(param.clone(), first_base, 1.0 - p_all_remote);
             }
         }
     }
@@ -407,6 +423,41 @@ mod tests {
             (m.get("t", "t").unwrap() - 0.80).abs() < 1e-12,
             "avg(90,70)"
         );
+    }
+
+    #[test]
+    fn join_averages_across_different_field_paths_on_same_base() {
+        // §4.2 case 1 with *unequal paths*: both branches assign `t` from
+        // `t`'s entry value, but one descends one field (0.90) and the
+        // other two (0.7 × 0.9 = 0.63). Same base + both assigned ⇒ the
+        // rule still averages the accumulated affinities: 0.765.
+        let (_, m) = matrix_of(
+            r#"
+            struct tree { tree *left @ 90; tree *right @ 70; int val; };
+            void rotate(tree *t, int x) {
+                while (t) {
+                    if (x < t->val) { t = t->left; }
+                    else { t = t->right->left; }
+                }
+            }
+            "#,
+            0,
+        );
+        assert!(
+            (m.get("t", "t").unwrap() - 0.765).abs() < 1e-12,
+            "avg(0.90, 0.63), got {:?}",
+            m.get("t", "t")
+        );
+    }
+
+    #[test]
+    fn row_affinity_prefers_diagonal_then_strongest() {
+        let (_, m) = matrix_of(FIG3, 0);
+        // s is an induction variable: diagonal wins.
+        assert!((m.row_affinity("s").unwrap() - 0.90).abs() < 1e-12);
+        // u has only the off-diagonal u ← s entry.
+        assert!((m.row_affinity("u").unwrap() - 0.63).abs() < 1e-12);
+        assert!(m.row_affinity("zzz").is_none());
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! olden-select: the §4 heuristic as a whole-program decision surface.
+//!
+//! [`crate::heuristic::select`] decides mechanisms per *control loop and
+//! variable*; this module lowers that selection onto the program text,
+//! producing one [`SiteVerdict`] per pointer-check site — the same site
+//! granularity the CFG lowering and the runtime use (a path
+//! `base->f1->…->fk` is `k` sites). Each verdict records the chosen
+//! [`Mech`] and *why*: the pass-1 affinity against the 90 % threshold,
+//! parallel-loop forcing, inheritance, or a pass-2 bottleneck demotion.
+//!
+//! The table is the conformance surface for the benchmark descriptors:
+//! `Descriptor::selected_mechanisms` pins these keys byte-for-byte, and a
+//! test checks the kernels' hard-coded `Mechanism` arguments agree (see
+//! `tests/select_parity.rs`).
+
+use crate::ast::{Expr, Program, Stmt};
+use crate::diag::Span;
+use crate::heuristic::{select, LoopChoice, Selection};
+use crate::loops::LoopKind;
+use crate::{Mech, MIGRATION_THRESHOLD};
+
+/// The verdict for one pointer-check site.
+#[derive(Clone, Debug)]
+pub struct SiteVerdict {
+    /// Function the site belongs to.
+    pub func: String,
+    /// Source location of the dereference expression.
+    pub span: Span,
+    /// `base->f1->…->field` rendering (one verdict per arrow of a path).
+    pub site: String,
+    /// The pointer variable the path starts from.
+    pub base: String,
+    /// Index into [`Selection::loops`] of the innermost enclosing control
+    /// loop, if any.
+    pub loop_idx: Option<usize>,
+    /// Fields navigated before the accessed one (empty for `base->f`).
+    pub prefix: Vec<String>,
+    /// True when the site is the final step of a store.
+    pub is_store: bool,
+    /// The mechanism the heuristic chose for dereferences of `base` here.
+    pub mech: Mech,
+    /// Why pass 1 / pass 2 chose it.
+    pub reason: String,
+}
+
+impl SiteVerdict {
+    /// Stable annotation key: `"{func} {span} {site} -> {mech}"` — the
+    /// format `Descriptor::selected_mechanisms` pins.
+    pub fn key(&self) -> String {
+        format!(
+            "{} {} {} -> {}",
+            self.func,
+            self.span,
+            self.site,
+            self.mech.name()
+        )
+    }
+}
+
+/// The whole-program verdict table.
+#[derive(Clone, Debug)]
+pub struct MechTable {
+    pub sites: Vec<SiteVerdict>,
+    pub selection: Selection,
+}
+
+impl MechTable {
+    /// All site keys, in source (evaluation) order.
+    pub fn keys(&self) -> Vec<String> {
+        self.sites.iter().map(|s| s.key()).collect()
+    }
+
+    /// Human-readable listing: the per-loop selection summary followed by
+    /// one line per site (the `oldenc select` surface).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for l in &self.selection.loops {
+            let kind = match &l.kind {
+                LoopKind::While { cond } => format!("while ({cond})"),
+                LoopKind::Recursion => "recursion".to_string(),
+            };
+            let sel = match (&l.selected, l.affinity) {
+                (Some(v), Some(a)) => format!("{v} @ {}", pct(a)),
+                (Some(v), None) => format!("{v} (inherited)"),
+                _ => "-".to_string(),
+            };
+            let mech = l
+                .selected
+                .as_deref()
+                .map(|v| l.mech(v).name())
+                .unwrap_or("-");
+            let _ = writeln!(
+                out,
+                "loop {}: {} [{}{}] selected={} -> {}",
+                l.func,
+                kind,
+                if l.parallel { "parallel" } else { "serial" },
+                if l.bottleneck { ", bottleneck" } else { "" },
+                sel,
+                mech,
+            );
+        }
+        for s in &self.sites {
+            let _ = writeln!(out, "{} ({})", s.key(), s.reason);
+        }
+        out
+    }
+}
+
+/// Render an affinity as a percentage with one decimal (deterministic,
+/// and does not round 99.75 % up to a misleading "100%").
+fn pct(a: f64) -> String {
+    format!("{:.1}%", a * 100.0)
+}
+
+/// Compute the per-site verdict table for a program.
+pub fn mech_table(prog: &Program) -> MechTable {
+    let selection = select(prog);
+    let mut sites = Vec::new();
+    for f in &prog.funcs {
+        // This function's loops, as indices into `selection.loops`, in
+        // discovery order: the recursion loop first (if any), then the
+        // `while` loops in the same pre-order traversal the walker below
+        // performs — so consuming them sequentially at each `while`
+        // reproduces the loop ids exactly.
+        let func_loops: Vec<usize> = selection
+            .loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.func == f.name)
+            .map(|(i, _)| i)
+            .collect();
+        let mut w = Walker {
+            selection: &selection,
+            func: &f.name,
+            func_loops: &func_loops,
+            next_loop: 0,
+            stack: Vec::new(),
+            out: &mut sites,
+        };
+        if let Some(&first) = func_loops.first() {
+            if matches!(selection.loops[first].kind, LoopKind::Recursion) {
+                w.next_loop = 1;
+                w.stack.push(first);
+            }
+        }
+        w.stmts(&f.body);
+    }
+    MechTable { sites, selection }
+}
+
+/// AST walker mirroring the CFG lowering's evaluation order, with a live
+/// stack of enclosing control loops.
+struct Walker<'a> {
+    selection: &'a Selection,
+    func: &'a str,
+    func_loops: &'a [usize],
+    next_loop: usize,
+    stack: Vec<usize>,
+    out: &'a mut Vec<SiteVerdict>,
+}
+
+impl Walker<'_> {
+    fn stmts(&mut self, ss: &[Stmt]) {
+        for s in ss {
+            match s {
+                Stmt::Assign { src, .. } => self.expr(src),
+                Stmt::Store {
+                    base,
+                    fields,
+                    src,
+                    span,
+                } => {
+                    // Evaluation order matches the CFG: the stored value
+                    // first, then the destination path's check sites.
+                    self.expr(src);
+                    self.path(base, fields, *span, true);
+                }
+                Stmt::If { cond, then_, else_ } => {
+                    self.expr(cond);
+                    self.stmts(then_);
+                    self.stmts(else_);
+                }
+                Stmt::While { cond, body } => {
+                    let li = self.func_loops[self.next_loop];
+                    self.next_loop += 1;
+                    self.stack.push(li);
+                    // The condition re-evaluates every iteration: its
+                    // sites belong to the loop.
+                    self.expr(cond);
+                    self.stmts(body);
+                    self.stack.pop();
+                }
+                Stmt::ExprStmt(e) => self.expr(e),
+                Stmt::Return(Some(e)) => self.expr(e),
+                Stmt::Touch { .. } | Stmt::Return(None) => {}
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Path { base, fields, span } => self.path(base, fields, *span, false),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Unary { arg, .. } => self.expr(arg),
+            Expr::Int(_) | Expr::Null | Expr::Var(_) => {}
+        }
+    }
+
+    /// Emit one verdict per arrow of `base->f1->…->fk`.
+    fn path(&mut self, base: &str, fields: &[String], span: Span, is_store: bool) {
+        let (mech, reason) = self.resolve(base);
+        let mut site = base.to_string();
+        for (j, f) in fields.iter().enumerate() {
+            site.push_str("->");
+            site.push_str(f);
+            self.out.push(SiteVerdict {
+                func: self.func.to_string(),
+                span,
+                site: site.clone(),
+                base: base.to_string(),
+                loop_idx: self.stack.last().copied(),
+                prefix: fields[..j].to_vec(),
+                is_store: is_store && j == fields.len() - 1,
+                mech,
+                reason: reason.clone(),
+            });
+        }
+    }
+
+    /// Mechanism and rationale for dereferences of `base` at the current
+    /// loop nesting.
+    fn resolve(&self, base: &str) -> (Mech, String) {
+        let Some(&li) = self.stack.last() else {
+            // §4.3 only speaks about control loops; straight-line code
+            // runs once, so the cheap mechanism (no thread movement) wins.
+            return (Mech::Cache, "outside any control loop".to_string());
+        };
+        let c: &LoopChoice = &self.selection.loops[li];
+        let mech = c.mech(base);
+        let reason = if c.selected.as_deref() == Some(base) {
+            if c.bottleneck {
+                "demoted by pass 2: migration here would serialize on a shared root".to_string()
+            } else if c.inherited {
+                "no induction variable: migration inherited from the parent loop".to_string()
+            } else {
+                // A selected, non-inherited variable always has an
+                // affinity from pass 1.
+                let a = c.affinity.unwrap_or(crate::DEFAULT_AFFINITY);
+                match mech {
+                    Mech::Migrate if a >= MIGRATION_THRESHOLD => {
+                        format!(
+                            "affinity {} >= threshold {}",
+                            pct(a),
+                            pct(MIGRATION_THRESHOLD)
+                        )
+                    }
+                    Mech::Migrate => {
+                        format!("parallel loop forces migration (affinity {})", pct(a))
+                    }
+                    Mech::Cache => {
+                        format!(
+                            "affinity {} < threshold {}",
+                            pct(a),
+                            pct(MIGRATION_THRESHOLD)
+                        )
+                    }
+                }
+            }
+        } else {
+            "not the selected traversal variable".to_string()
+        };
+        (mech, reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn table(src: &str) -> MechTable {
+        mech_table(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn sites_match_cfg_lowering() {
+        // The walker must agree with the CFG about what a site is: same
+        // count, same renderings, same order, same store flags.
+        let src = r#"
+            struct node { node *next @ 95; node *peer; int val; };
+            void f(node *a) {
+                while (a) {
+                    node *b = a->peer->next;
+                    b->val = a->val;
+                    a = a->next;
+                }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let t = mech_table(&prog);
+        let cfgs = crate::cfg::lower_program(&prog);
+        let cfg_sites: Vec<(String, bool)> = cfgs
+            .iter()
+            .flat_map(|c| c.sites.iter().map(|s| (s.render(), s.is_store)))
+            .collect();
+        let tbl_sites: Vec<(String, bool)> = t
+            .sites
+            .iter()
+            .map(|s| (s.site.clone(), s.is_store))
+            .collect();
+        assert_eq!(tbl_sites, cfg_sites);
+    }
+
+    #[test]
+    fn treeadd_shape_migrates_everywhere() {
+        let t = table(
+            r#"
+            struct tree { tree *left; tree *right; int val; };
+            int T(tree *t) {
+                if (t == null) { return 0; }
+                else { return T(t->left) + T(t->right) + t->val; }
+            }
+        "#,
+        );
+        assert_eq!(t.sites.len(), 3);
+        for s in &t.sites {
+            assert_eq!(s.mech, Mech::Migrate, "{}", s.site);
+            assert!(s.reason.contains("91.0%"), "{}", s.reason);
+        }
+    }
+
+    #[test]
+    fn non_traversal_variable_caches_with_reason() {
+        let t = table(
+            r#"
+            struct node { node *next @ 95; node *peer; int x; };
+            void f(node *a) {
+                while (a) {
+                    node *b = a->peer;
+                    int y = b->x;
+                    a = a->next;
+                }
+            }
+        "#,
+        );
+        let b_site = t.sites.iter().find(|s| s.base == "b").unwrap();
+        assert_eq!(b_site.mech, Mech::Cache);
+        assert_eq!(b_site.reason, "not the selected traversal variable");
+        let a_next = t.sites.iter().find(|s| s.site == "a->next").unwrap();
+        assert_eq!(a_next.mech, Mech::Migrate);
+    }
+
+    #[test]
+    fn bottleneck_demotion_reaches_the_sites() {
+        // Figure 5's WalkAndTraverse: Traverse's sites cache, with the
+        // pass-2 reason attached.
+        let t = table(
+            r#"
+            struct list { list *next; };
+            struct tree { tree *left; tree *right; };
+            void Traverse(tree *t) {
+                if (t == null) { return; }
+                else { Traverse(t->left); Traverse(t->right); }
+            }
+            void WalkAndTraverse(list *l, tree *t) {
+                while (l) {
+                    futurecall Traverse(t);
+                    l = l->next;
+                }
+            }
+        "#,
+        );
+        for s in t.sites.iter().filter(|s| s.func == "Traverse") {
+            assert_eq!(s.mech, Mech::Cache);
+            assert!(s.reason.contains("pass 2"), "{}", s.reason);
+        }
+    }
+
+    #[test]
+    fn sites_outside_loops_cache() {
+        let t = table(
+            r#"
+            struct node { node *next @ 95; node *child @ 95; };
+            int f(node *x) {
+                node *l = x->child;
+                while (l != null) { l = l->next; }
+                return 0;
+            }
+        "#,
+        );
+        let child = t.sites.iter().find(|s| s.site == "x->child").unwrap();
+        assert_eq!(child.mech, Mech::Cache);
+        assert_eq!(child.reason, "outside any control loop");
+        assert_eq!(child.loop_idx, None);
+        let next = t.sites.iter().find(|s| s.site == "l->next").unwrap();
+        assert_eq!(next.mech, Mech::Migrate);
+        assert!(next.loop_idx.is_some());
+    }
+
+    #[test]
+    fn keys_are_stable_and_unique() {
+        let t = table(
+            r#"
+            struct node { node *a; node *b; };
+            void f(node *n) { while (n) { n = n->a->b; } }
+        "#,
+        );
+        let keys = t.keys();
+        assert_eq!(keys.len(), 2, "two arrows, two sites");
+        assert!(keys[0].ends_with("n->a -> cache"), "{}", keys[0]);
+        assert!(keys[1].ends_with("n->a->b -> cache"), "{}", keys[1]);
+        let mut dedup = keys.clone();
+        dedup.dedup();
+        assert_eq!(dedup, keys);
+    }
+
+    #[test]
+    fn render_mentions_loops_and_sites() {
+        let t = table(
+            r#"
+            struct tree { tree *left; tree *right; };
+            void T(tree *t) {
+                if (t == null) { return; }
+                else { T(t->left); T(t->right); }
+            }
+        "#,
+        );
+        let r = t.render();
+        assert!(r.contains("loop T: recursion"));
+        assert!(r.contains("t->left -> migrate"));
+    }
+}

@@ -13,6 +13,20 @@
 //!   benchmark's per-site verdicts (site, span, mechanism, verdict,
 //!   reason) plus touch findings. `--golden` pins the surface exactly
 //!   like `lint` does.
+//! * `oldenc select [BENCH] [--golden PATH]` runs the §4 mechanism-
+//!   selection heuristic over the DSL renditions and prints each
+//!   benchmark's whole-program decision surface: the per-control-loop
+//!   selection summary (induction variable, affinity vs the 90 %
+//!   threshold, parallel/bottleneck flags) and one verdict line per
+//!   dereference site. `--golden` pins the surface; the descriptors'
+//!   `selected_mechanisms` lists are cross-checked against the same
+//!   table by `select_parity`.
+//! * `oldenc predict [BENCH] [--json]` runs the static cost model over
+//!   the same DSL renditions: per benchmark, the size-derived trip
+//!   counts it consumed and the predicted dynamic counters (migrations,
+//!   line fetches, invalidations, remote touches) at the Tiny size on 8
+//!   processors — the numbers `select_parity` holds within each
+//!   descriptor's accepted ratio bands of both backends' measurements.
 //! * `oldenc elide` runs every optimizer-annotated benchmark on the
 //!   simulator with elision enabled and prints the runtime check
 //!   counters. Exit 1 if any annotated benchmark elides zero checks —
@@ -62,6 +76,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!("usage: oldenc lint [--golden PATH [--bless]]");
     eprintln!("       oldenc opt [--golden PATH [--bless]]");
+    eprintln!("       oldenc select [BENCH] [--golden PATH [--bless]]");
+    eprintln!("       oldenc predict [BENCH] [--json]");
     eprintln!("       oldenc elide");
     eprintln!("       oldenc chaos [--seeds N] [--stall-timeout SECS] [--golden PATH [--bless]]");
     eprintln!("       oldenc profile BENCH [--trace PATH] [--procs N] [--width N] [--net]");
@@ -114,6 +130,114 @@ fn opt_report() -> String {
         }
     }
     out
+}
+
+/// The `select` report: each benchmark's whole-program mechanism table —
+/// the per-loop selection summary followed by one verdict line per
+/// dereference site — under a `== name ==` header, in registry order.
+/// [`olden_analysis::MechTable::render`] is deterministic, so the
+/// surface pins bit-for-bit.
+fn select_report(bench: Option<&str>) -> String {
+    use olden_analysis::{mech_table, parse};
+    let mut out = String::new();
+    for d in olden_benchmarks::all() {
+        if bench.is_some_and(|b| !d.name.eq_ignore_ascii_case(b)) {
+            continue;
+        }
+        let _ = writeln!(out, "== {} ==", d.name);
+        match parse(d.dsl) {
+            Ok(prog) => out.push_str(&mech_table(&prog).render()),
+            Err(e) => {
+                let _ = writeln!(out, "parse error: {e}");
+            }
+        }
+    }
+    out
+}
+
+fn select_cmd(bench: Option<&str>, golden: Option<&str>, bless: bool) -> ExitCode {
+    if let Some(b) = bench {
+        if olden_benchmarks::by_name(b).is_none() {
+            eprintln!("oldenc: unknown benchmark {b:?}; known:");
+            for d in olden_benchmarks::all() {
+                eprintln!("  {}", d.name);
+            }
+            return ExitCode::from(2);
+        }
+    }
+    let regen = match bench {
+        Some(b) => format!("select {b}"),
+        None => "select".to_string(),
+    };
+    golden_check("select", &regen, &select_report(bench), golden, bless)
+}
+
+/// `oldenc predict`: the static cost model (§4 affinities pushed through
+/// the selected mechanisms and size-derived trip counts) evaluated at
+/// the same point `select_parity` measures — `SizeClass::Tiny` on 8
+/// processors — so the printed numbers are exactly the ones the parity
+/// gate compares against both backends.
+fn predict_cmd(bench: Option<&str>, json: bool) -> ExitCode {
+    use olden_analysis::{mech_table, parse, predict};
+    const PROCS: usize = 8;
+    if let Some(b) = bench {
+        if olden_benchmarks::by_name(b).is_none() {
+            eprintln!("oldenc: unknown benchmark {b:?}; known:");
+            for d in olden_benchmarks::all() {
+                eprintln!("  {}", d.name);
+            }
+            return ExitCode::from(2);
+        }
+    }
+    let mut out = String::new();
+    let mut objects = Vec::new();
+    for d in olden_benchmarks::all() {
+        if bench.is_some_and(|b| !d.name.eq_ignore_ascii_case(b)) {
+            continue;
+        }
+        let prog = match parse(d.dsl) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("oldenc: {} DSL: {e}", d.name);
+                return ExitCode::from(2);
+            }
+        };
+        let table = mech_table(&prog);
+        let trips = (d.trips)(SizeClass::Tiny, PROCS);
+        let p = predict(&prog, &table, &trips, PROCS);
+        if json {
+            let trips_json: Vec<String> =
+                trips.iter().map(|(k, n)| format!("\"{k}\": {n}")).collect();
+            let counters_json: Vec<String> = p
+                .counters()
+                .iter()
+                .map(|(k, n)| format!("\"{k}\": {n}"))
+                .collect();
+            objects.push(format!(
+                "  {{\"name\": \"{}\", \"procs\": {PROCS}, \"trips\": {{{}}}, \
+                 \"predicted\": {{{}}}}}",
+                d.name,
+                trips_json.join(", "),
+                counters_json.join(", ")
+            ));
+        } else {
+            let _ = writeln!(out, "== {} ==", d.name);
+            let trip_cols: Vec<String> = trips.iter().map(|(k, n)| format!("{k}={n}")).collect();
+            let _ = writeln!(out, "trips ({PROCS} procs): {}", trip_cols.join(" "));
+            let counter_cols: Vec<String> = p
+                .counters()
+                .iter()
+                .map(|(k, n)| format!("{k}={n}"))
+                .collect();
+            let _ = writeln!(out, "predicted: {}", counter_cols.join(" "));
+        }
+    }
+    if json {
+        println!("[\n{}\n]", objects.join(",\n"));
+    } else {
+        print!("{out}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// Compare `report` to the golden file (or, with `--bless`, re-record
@@ -773,6 +897,26 @@ fn main() -> ExitCode {
             Some((golden, bless)) => opt(golden.as_deref(), bless),
             None => usage(),
         },
+        Some("select") => {
+            let bench = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+            let flags_from = if bench.is_some() { 2 } else { 1 };
+            match golden_flags(&args[flags_from..]) {
+                Some((golden, bless)) => select_cmd(bench.as_deref(), golden.as_deref(), bless),
+                None => usage(),
+            }
+        }
+        Some("predict") => {
+            let bench = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+            let flags_from = if bench.is_some() { 2 } else { 1 };
+            let mut json = false;
+            for a in &args[flags_from..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    _ => return usage(),
+                }
+            }
+            predict_cmd(bench.as_deref(), json)
+        }
         Some("elide") if args.len() == 1 => elide(),
         // Hidden: the net backend's worker processes re-enter this binary
         // here. Spawned by the orchestrator, never typed by a user, so it
@@ -976,6 +1120,43 @@ mod tests {
             assert_eq!(
                 recorded, live,
                 "{}: descriptor elided_sites diverge from the optimizer",
+                d.name
+            );
+        }
+    }
+
+    /// Same pinning for the selection surface:
+    /// `tests/golden/oldenc-select.txt` is exactly what `oldenc select`
+    /// prints today.
+    #[test]
+    fn select_golden_file_is_current() {
+        let want = include_str!("../../../../tests/golden/oldenc-select.txt");
+        assert_eq!(
+            select_report(None),
+            want,
+            "benchmark selection surface drifted; re-record tests/golden/oldenc-select.txt"
+        );
+    }
+
+    /// Every descriptor's recorded `selected_mechanisms` list is
+    /// byte-equal to what the live heuristic decides on its DSL — same
+    /// discipline as `elided_sites`. (`select_parity` re-asserts this
+    /// plus kernel conformance; this keeps `cargo test -p olden-bench`
+    /// self-contained.)
+    #[test]
+    fn descriptor_selected_mechanisms_match_heuristic() {
+        use olden_analysis::{mech_table, parse};
+        for d in olden_benchmarks::all() {
+            let prog = parse(d.dsl).unwrap_or_else(|e| panic!("{} DSL: {e}", d.name));
+            let live = mech_table(&prog).keys();
+            let recorded: Vec<String> = d
+                .selected_mechanisms
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert_eq!(
+                recorded, live,
+                "{}: descriptor selected_mechanisms diverge from the heuristic",
                 d.name
             );
         }

@@ -545,6 +545,30 @@ pub fn reference(size: SizeClass) -> u64 {
 /// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
 pub const ELIDED_SITES: &[&str] = &["Walk 13:14 t->c1"];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &[
+    "Gravity 7:17 b->next -> migrate",
+    "Walk 12:14 t->c0 -> cache",
+    "Walk 13:14 t->c1 -> cache",
+];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[
+    ("Gravity", "b", Mechanism::Migrate),
+    ("Walk", "t", Mechanism::Cache),
+];
+
+/// Static trip counts for the cost model: per step, the gravity pass
+/// walks the body list once and each body's force walk visits O(n) tree
+/// cells in the worst case.
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    let n = bodies(size) as u64;
+    let s = STEPS as u64;
+    vec![("Gravity#0", s * n), ("Walk#0", s * n * n)]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "Barnes-Hut",
     description: "Solves the N-body problem using hierarchical methods",
@@ -553,6 +577,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: true,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(0.1, 1.5), (0.5, 2.0), (0.08, 1.0), (0.02, 1.5)],
     run,
     reference,
 };

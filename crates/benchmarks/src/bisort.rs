@@ -377,6 +377,37 @@ pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
 /// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
 pub const ELIDED_SITES: &[&str] = &["Bisort 16:47 root->value", "Bisort 18:24 root->right"];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &[
+    "SpineSearch 6:22 pl->left -> cache",
+    "SpineSearch 7:22 pr->left -> cache",
+    "SpineSearch 9:22 pl->right -> cache",
+    "SpineSearch 10:22 pr->right -> cache",
+    "Bisort 16:35 root->left -> migrate",
+    "Bisort 16:47 root->value -> migrate",
+    "Bisort 18:24 root->right -> migrate",
+];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[
+    ("Bisort", "root", Mechanism::Migrate),
+    ("SpineSearch", "pl", Mechanism::Cache),
+    ("SpineSearch", "pr", Mechanism::Cache),
+];
+
+/// Static trip counts for the cost model: the spine comparison visits
+/// each level of each subtree (~`2^L * L`) and the merge recursion
+/// touches every node of the tree (~`2 * (2^L - 1)` calls).
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    let l = levels(size) as u64;
+    vec![
+        ("SpineSearch#0", (1u64 << l) * l),
+        ("Bisort#0", 2 * ((1u64 << l) - 1)),
+    ]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "Bisort",
     description: "Sort by creating two disjoint bitonic sequences and then merging them",
@@ -385,6 +416,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: false,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(0.08, 1.0), (0.5, 2.5), (0.1, 1.0), (0.2, 1.2)],
     run,
     reference,
 };

@@ -272,6 +272,29 @@ pub const ELIDED_SITES: &[&str] = &[
     "ComputeE 8:17 n->next",
 ];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &[
+    "ComputeE 6:24 n->nbr -> migrate",
+    "ComputeE 7:22 n->val -> migrate",
+    "ComputeE 7:31 h->val -> cache",
+    "ComputeE 7:13 n->val -> migrate",
+    "ComputeE 8:17 n->next -> migrate",
+];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[
+    ("ComputeE", "n", Mechanism::Migrate),
+    ("ComputeE", "h", Mechanism::Cache),
+];
+
+/// Static trip counts for the cost model: each of the `STEPS` phases
+/// relaxes both halves of the bipartite graph, one list visit per node.
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    vec![("ComputeE#0", (STEPS * 2 * nodes(size)) as u64)]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "EM3D",
     description: "Simulates the propagation of electro-magnetic waves in a 3D object",
@@ -280,6 +303,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: false,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(0.2, 1.5), (0.6, 3.0), (0.15, 1.0), (0.008, 0.8)],
     run,
     reference,
 };

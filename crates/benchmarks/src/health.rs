@@ -351,6 +351,34 @@ pub fn reference(size: SizeClass) -> u64 {
 /// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
 pub const ELIDED_SITES: &[&str] = &["Step 7:25 v->c1", "Step 8:22 v->list"];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &[
+    "Step 6:25 v->c0 -> migrate",
+    "Step 7:25 v->c1 -> migrate",
+    "Step 8:22 v->list -> migrate",
+    "Step 11:17 p->next -> cache",
+];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+// The patient-list walk is omitted: the kernel encodes the heuristic's
+// "cache" verdict for `p` as plain local reads of the village-resident
+// list (`alloc_near` keeps patients on their village's processor), so
+// there is no per-dereference mechanism argument to cross-check.
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[("Step", "v", Mechanism::Migrate)];
+
+/// Static trip counts for the cost model: each of the `STEPS` ticks
+/// visits every village once (4-ary tree, `(4^L - 1) / 3` villages) and
+/// walks the waiting list of each of the `4^(L-1)` leaf villages.
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    let l = levels(size) as u64;
+    let villages = ((1u64 << (2 * l)) - 1) / 3;
+    let leaves = 1u64 << (2 * (l - 1));
+    let s = STEPS as u64;
+    vec![("Step#0", villages * s), ("Step#1", leaves * s)]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "Health",
     description: "Simulates the Columbian health care system",
@@ -359,6 +387,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: true,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(0.03, 0.8), (1.5, 12.0), (0.05, 0.8), (0.08, 1.0)],
     run,
     reference,
 };

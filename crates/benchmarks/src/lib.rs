@@ -36,7 +36,7 @@ pub mod voronoi;
 /// downstream crates keep addressing it as `olden_benchmarks::rng`).
 pub use olden_rng as rng;
 
-use olden_runtime::{Backend, OldenCtx};
+use olden_runtime::{Backend, Mechanism, OldenCtx};
 
 /// Split a processor range `[lo, hi)` into its `k`-th quarter (k in
 /// 0..4), degrading gracefully when the range is smaller than four: every
@@ -94,6 +94,35 @@ pub struct Descriptor {
     /// by a test, so a heuristic or optimizer change that shifts a
     /// verdict shows up as a diff here, not as silent drift.
     pub elided_sites: &'static [&'static str],
+    /// The heuristic's verdict for *every* dereference site of `dsl`, as
+    /// stable `"{func} {span} {site} -> {mech}"` keys
+    /// (`SiteVerdict::key`). Recorded from `oldenc select` output and
+    /// cross-checked against the live heuristic by `select_parity`, the
+    /// same discipline as `elided_sites`.
+    pub selected_mechanisms: &'static [&'static str],
+    /// `(func, var, mechanism)` triples naming the principal traversal
+    /// variables of the DSL rendition and the [`Mechanism`] the
+    /// hand-written kernel hard-codes for their dereferences.
+    /// `select_parity` asserts the live heuristic agrees with each — the
+    /// conformance gate tying the static selection to what the kernels
+    /// actually execute.
+    pub kernel_mechs: &'static [(&'static str, &'static str, Mechanism)],
+    /// Static per-loop trip-count summaries for the cost model: how many
+    /// iterations each DSL control loop (keyed `"{func}#{ordinal}"`, see
+    /// `olden_analysis::loop_key`) executes at a given size class and
+    /// processor count. Derived from the benchmark's size parameters,
+    /// not measured.
+    pub trips: fn(SizeClass, usize) -> Vec<(&'static str, u64)>,
+    /// Accepted `(lo, hi)` ratio bands for predicted vs measured dynamic
+    /// counters, in the order `[migrations, line_fetches, invalidations,
+    /// remote_touches]`. The comparison is
+    /// `(predicted + 1) / (measured + 1)` at `SizeClass::Tiny` on 8
+    /// processors; `select_parity`
+    /// asserts each ratio lands in its band and that every band is
+    /// non-vacuous (`hi < 1000 × lo`, and a 1000× prediction fails).
+    /// Wide bands are honest gaps between the DSL abstraction and the
+    /// kernel (see EXPERIMENTS.md), not tolerances.
+    pub bands: [(f64, f64); 4],
     /// Run the benchmark under the simulator context; returns a checksum
     /// that must equal `reference` for the same size. (The kernels are
     /// generic over [`Backend`]; this field is their `OldenCtx`

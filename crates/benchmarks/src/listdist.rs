@@ -119,6 +119,20 @@ pub fn reference(size: SizeClass) -> u64 {
 /// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
 pub const ELIDED_SITES: &[&str] = &[];
 
+/// Heuristic verdicts for every dereference site of `DSL_DEFAULT` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] =
+    &["Walk 6:25 l->val -> cache", "Walk 7:17 l->next -> cache"];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[("Walk", "l", Mechanism::Cache)];
+
+/// Static trip counts for the cost model: one visit per element.
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    vec![("Walk#0", elements(size) as u64)]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "ListDist",
     description: "Figure 2 list-distribution micro-workload",
@@ -127,6 +141,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: false,
     dsl: DSL_DEFAULT,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(0.01, 2.0), (0.01, 2.0), (0.01, 2.0), (0.01, 2.0)],
     run,
     reference,
 };

@@ -213,6 +213,34 @@ pub const ELIDED_SITES: &[&str] = &[
     "ScanBlock 18:17 v->next",
 ];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &[
+    "SweepBlocks 7:42 b->head -> migrate",
+    "SweepBlocks 10:17 b->next -> migrate",
+    "ScanBlock 17:17 v->mindist -> migrate",
+    "ScanBlock 17:45 v->mindist -> migrate",
+    "ScanBlock 18:17 v->next -> migrate",
+];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[
+    ("SweepBlocks", "b", Mechanism::Migrate),
+    ("ScanBlock", "v", Mechanism::Migrate),
+];
+
+/// Static trip counts for the cost model: each of the `n - 1` Prim
+/// rounds sweeps all `procs` blocks, and the per-block vertex scans sum
+/// to the shrinking frontier (~`n(n-1)/2` visits overall).
+pub fn trips(size: SizeClass, procs: usize) -> Vec<(&'static str, u64)> {
+    let n = vertices(size) as u64;
+    vec![
+        ("SweepBlocks#0", (n - 1) * procs as u64),
+        ("ScanBlock#0", n * (n - 1) / 2),
+    ]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "MST",
     description: "Computes the minimum spanning tree of a graph",
@@ -221,6 +249,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: false,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(0.2, 1.5), (0.5, 2.0), (0.2, 1.5), (0.15, 1.2)],
     run,
     reference,
 };

@@ -313,6 +313,35 @@ pub const ELIDED_SITES: &[&str] = &[
     "Perimeter 8:27 t->se",
 ];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &[
+    "Perimeter 5:38 t->nw -> migrate",
+    "Perimeter 6:38 t->ne -> migrate",
+    "Perimeter 7:38 t->sw -> migrate",
+    "Perimeter 8:27 t->se -> migrate",
+    "NorthNeighbor 17:17 q->parent -> cache",
+];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[
+    ("Perimeter", "t", Mechanism::Migrate),
+    ("NorthNeighbor", "q", Mechanism::Cache),
+];
+
+/// Static trip counts for the cost model: the quad-tree has ~`4/3` as
+/// many nodes as leaves, and each leaf's neighbor probes climb at most
+/// `log2(image_size)` levels.
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    let s = image_size(size) as u64;
+    let leaves = s * s / 4;
+    vec![
+        ("Perimeter#0", 4 * leaves / 3),
+        ("NorthNeighbor#0", leaves * s.ilog2() as u64),
+    ]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "Perimeter",
     description: "Computes the perimeter of a set of quad-tree encoded raster images",
@@ -321,6 +350,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: false,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(1.0, 5.0), (0.5, 2.0), (1.5, 8.0), (2.5, 15.0)],
     run,
     reference,
 };

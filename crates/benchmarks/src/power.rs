@@ -270,6 +270,25 @@ pub fn reference(size: SizeClass) -> u64 {
 /// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
 pub const ELIDED_SITES: &[&str] = &[];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &[
+    "ComputeFeeder 5:19 f->child -> cache",
+    "ComputeFeeder 10:17 l->next -> migrate",
+];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[("ComputeFeeder", "l", Mechanism::Migrate)];
+
+/// Static trip counts for the cost model: the DSL abstracts only the
+/// feeder-level lateral walk; the full kernel recurses two levels
+/// further (hence the wide `bands`).
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    let (f, l, _, _) = shape(size);
+    vec![("ComputeFeeder#0", (f * l) as u64)]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "Power",
     description: "Solves the Power System Optimization problem",
@@ -278,6 +297,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: true,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(0.008, 0.8), (0.5, 2.0), (0.006, 0.6), (0.008, 0.8)],
     run,
     reference,
 };

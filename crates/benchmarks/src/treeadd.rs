@@ -123,6 +123,24 @@ pub fn reference(size: SizeClass) -> u64 {
 /// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
 pub const ELIDED_SITES: &[&str] = &["TreeAdd 7:30 t->right", "TreeAdd 9:30 t->val"];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &[
+    "TreeAdd 6:41 t->left -> migrate",
+    "TreeAdd 7:30 t->right -> migrate",
+    "TreeAdd 9:30 t->val -> migrate",
+];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[("TreeAdd", "t", Mechanism::Migrate)];
+
+/// Static trip counts for the cost model: the recursion touches every
+/// tree node once.
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    vec![("TreeAdd#0", (1u64 << levels(size)) - 1)]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "TreeAdd",
     description: "Adds the values in a tree",
@@ -131,6 +149,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: false,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(1.2, 5.0), (0.5, 2.0), (1.2, 5.0), (1.2, 5.0)],
     run,
     reference,
 };

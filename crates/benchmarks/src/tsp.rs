@@ -301,6 +301,21 @@ pub fn reference(size: SizeClass) -> u64 {
 /// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
 pub const ELIDED_SITES: &[&str] = &[];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &["ScanTour 9:17 c->next -> migrate"];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[("ScanTour", "c", Mechanism::Migrate)];
+
+/// Static trip counts for the cost model: each merge level rescans the
+/// tour, so the scan loop runs ~`n log2(n / LEAF_CITIES)` times total.
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    let n = cities(size) as u64;
+    vec![("ScanTour#0", n * (n / LEAF_CITIES as u64).ilog2() as u64)]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "TSP",
     description: "Computes an estimate of the best hamiltonian circuit",
@@ -309,6 +324,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: false,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(0.04, 1.0), (0.5, 2.0), (0.04, 1.0), (0.02, 1.5)],
     run,
     reference,
 };

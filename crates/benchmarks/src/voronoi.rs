@@ -720,6 +720,24 @@ pub fn run<B: Backend>(ctx: &mut B, size: SizeClass) -> u64 {
 /// Optimizer-proven redundant check sites of `DSL` (see `Descriptor::elided_sites`).
 pub const ELIDED_SITES: &[&str] = &[];
 
+/// Heuristic verdicts for every dereference site of `DSL` (see
+/// `Descriptor::selected_mechanisms`).
+pub const SELECTED_MECHANISMS: &[&str] = &[
+    "MergeWalk 6:25 basel->onext -> cache",
+    "MergeWalk 8:25 basel->oprev -> cache",
+];
+
+/// Principal traversal variables and the mechanisms the kernel
+/// hard-codes for them (see `Descriptor::kernel_mechs`).
+pub const KERNEL_MECHS: &[(&str, &str, Mechanism)] = &[("MergeWalk", "basel", Mechanism::Cache)];
+
+/// Static trip counts for the cost model: the divide-and-conquer merge
+/// walks each edge-ring boundary a small constant number of times, ~3
+/// ring steps per input point overall.
+pub fn trips(size: SizeClass, _procs: usize) -> Vec<(&'static str, u64)> {
+    vec![("MergeWalk#0", 3 * point_count(size) as u64)]
+}
+
 pub const DESCRIPTOR: Descriptor = Descriptor {
     name: "Voronoi",
     description: "Computes the Voronoi Diagram of a set of points",
@@ -728,6 +746,10 @@ pub const DESCRIPTOR: Descriptor = Descriptor {
     whole_program: false,
     dsl: DSL,
     elided_sites: ELIDED_SITES,
+    selected_mechanisms: SELECTED_MECHANISMS,
+    kernel_mechs: KERNEL_MECHS,
+    trips,
+    bands: [(0.05, 2.0), (0.1, 1.5), (0.02, 1.0), (0.05, 2.0)],
     run,
     reference,
 };

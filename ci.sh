@@ -31,6 +31,20 @@ oldenc() {
 stage "oldenc lint (benchmark DSL race surface vs golden)" \
     oldenc lint --golden tests/golden/oldenc-benchmarks.txt
 
+stage "oldenc typecheck (TC0xx front gate over benchmarks + racy corpus)" \
+    oldenc typecheck
+
+stage "oldenc gen (seeded program-generator surface vs golden)" \
+    oldenc gen --seed 0 --count 5 --golden tests/golden/oldenc-gen.txt
+
+# Fuzz smoke: 500 seeds through every oracle — round-trip, typecheck,
+# pass totality, cross-pass consistency, metamorphic invariance — plus
+# the non-vacuity gate (every seeded ill-typed mutation class must be
+# rejected with its matching TC0xx code). Deterministic: a failure
+# shrinks to a reproducer under tests/corpus/ and replays in cargo test.
+stage "oldenc fuzz (metamorphic verification sweep, 500 seeds)" \
+    oldenc fuzz --seeds 500
+
 stage "oldenc opt (optimizer verdict surface vs golden)" \
     oldenc opt --golden tests/golden/oldenc-opt.txt
 

@@ -11,10 +11,47 @@
 use crate::diag::Span;
 use std::collections::HashMap;
 
+/// A declared type annotation: a base type name (`int`, `void`, or a
+/// struct name) plus pointer-ness. The parser records these from the
+/// surface syntax; the typechecker ([`crate::typeck`]) resolves and
+/// enforces them. The untyped analyses (racecheck/opt/select) ignore
+/// them entirely.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeAnn {
+    pub name: String,
+    pub is_pointer: bool,
+}
+
+impl TypeAnn {
+    pub fn int() -> TypeAnn {
+        TypeAnn {
+            name: "int".into(),
+            is_pointer: false,
+        }
+    }
+
+    pub fn void() -> TypeAnn {
+        TypeAnn {
+            name: "void".into(),
+            is_pointer: false,
+        }
+    }
+
+    pub fn ptr(name: impl Into<String>) -> TypeAnn {
+        TypeAnn {
+            name: name.into(),
+            is_pointer: true,
+        }
+    }
+}
+
 /// A structure field.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FieldDef {
     pub name: String,
+    /// Declared base type name (`int` for scalars, the target struct
+    /// name for pointers).
+    pub ty: String,
     /// True for pointer fields (the only ones that carry affinities).
     pub is_pointer: bool,
     /// Path-affinity hint in [0, 1]; `None` means the 70 % default.
@@ -194,6 +231,10 @@ pub fn contains_future(stmts: &[Stmt]) -> bool {
 pub struct FuncDef {
     pub name: String,
     pub params: Vec<String>,
+    /// Declared parameter types, parallel to `params`.
+    pub param_tys: Vec<TypeAnn>,
+    /// Declared return type.
+    pub ret: TypeAnn,
     pub body: Vec<Stmt>,
 }
 
@@ -246,16 +287,19 @@ mod tests {
                 fields: vec![
                     FieldDef {
                         name: "left".into(),
+                        ty: "tree".into(),
                         is_pointer: true,
                         affinity: Some(0.9),
                     },
                     FieldDef {
                         name: "right".into(),
+                        ty: "tree".into(),
                         is_pointer: true,
                         affinity: Some(0.7),
                     },
                     FieldDef {
                         name: "val".into(),
+                        ty: "int".into(),
                         is_pointer: false,
                         affinity: None,
                     },

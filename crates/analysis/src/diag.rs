@@ -78,6 +78,41 @@ pub mod codes {
     /// A future is still in flight when its function returns — its body
     /// is ordered only by the caller's implicit join.
     pub const UNTOUCHED_FUTURE: &str = "RC003";
+
+    // ----- typechecker codes ([`crate::typeck`]) ------------------------
+
+    /// A declared type (field, parameter, return) names no known type:
+    /// pointers must target a declared struct, scalars must be `int`.
+    pub const UNKNOWN_TYPE: &str = "TC001";
+    /// A path step names a field the struct does not have.
+    pub const UNKNOWN_FIELD: &str = "TC002";
+    /// `->` applied to something that is not a pointer.
+    pub const NON_POINTER_DEREF: &str = "TC003";
+    /// A call passes the wrong number of arguments.
+    pub const CALL_ARITY: &str = "TC004";
+    /// A call argument's type does not match the parameter declaration.
+    pub const ARG_TYPE: &str = "TC005";
+    /// `touch x` where `x` does not hold a future.
+    pub const TOUCH_NON_FUTURE: &str = "TC006";
+    /// A future handle is touched twice on some path.
+    pub const DOUBLE_TOUCH: &str = "TC007";
+    /// An un-touched future handle is used (or overwritten) — the value
+    /// does not exist until the `touch` joins the body.
+    pub const FUTURE_UNTOUCHED_USE: &str = "TC008";
+    /// A variable has irreconcilable types on merging control paths
+    /// (branch join or loop back edge), or a store's value type does not
+    /// match the field — the loop induction-variable discipline.
+    pub const TYPE_CONFLICT: &str = "TC009";
+    /// An operand has an invalid type for the operator (void value used,
+    /// pointer arithmetic).
+    pub const INVALID_OPERAND: &str = "TC010";
+    /// A `return` does not match the declared return type.
+    pub const RETURN_MISMATCH: &str = "TC011";
+    /// A variable is used but never a parameter or assigned anywhere in
+    /// the function.
+    pub const UNDEFINED_VAR: &str = "TC012";
+    /// Two structs, functions, fields, or parameters share a name.
+    pub const DUPLICATE_DEF: &str = "TC013";
 }
 
 /// One finding, with enough structure for golden-file comparison.
@@ -179,5 +214,67 @@ mod tests {
     fn severity_order() {
         assert!(Severity::Note < Severity::Warning);
         assert!(Severity::Warning < Severity::Error);
+    }
+
+    /// The multi-line `Display` form keeps one `note:` line per note, in
+    /// insertion order, after the `-->` span line — the shape `oldenc
+    /// check` prints for multi-location findings.
+    #[test]
+    fn multi_note_rendering_keeps_order() {
+        let d = Diagnostic::new(
+            codes::SIBLING_FUTURES,
+            Severity::Warning,
+            Span::new(12, 9),
+            "sibling futures conflict on `t->val`",
+        )
+        .with_note("first future spawned at 10:13")
+        .with_note("second future spawned at 11:13");
+        let text = d.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].starts_with("warning[RC002]"));
+        assert_eq!(lines[1].trim(), "--> 12:9");
+        assert_eq!(lines[2].trim(), "note: first future spawned at 10:13");
+        assert_eq!(lines[3].trim(), "note: second future spawned at 11:13");
+    }
+
+    /// Spans on constructs that span multiple source lines point at the
+    /// construct's first token, and dummy spans render as `0:0` without
+    /// claiming to be real.
+    #[test]
+    fn dummy_span_renders_but_is_not_real() {
+        let d = Diagnostic::new(
+            codes::TYPE_CONFLICT,
+            Severity::Error,
+            Span::DUMMY,
+            "synthesized node",
+        );
+        assert_eq!(d.one_line(), "error[TC009] 0:0: synthesized node");
+        assert!(!d.span.is_real());
+    }
+
+    /// TC codes are distinct from each other and from the RC codes.
+    #[test]
+    fn codes_are_unique() {
+        let all = [
+            codes::FUTURE_VS_CONTINUATION,
+            codes::SIBLING_FUTURES,
+            codes::UNTOUCHED_FUTURE,
+            codes::UNKNOWN_TYPE,
+            codes::UNKNOWN_FIELD,
+            codes::NON_POINTER_DEREF,
+            codes::CALL_ARITY,
+            codes::ARG_TYPE,
+            codes::TOUCH_NON_FUTURE,
+            codes::DOUBLE_TOUCH,
+            codes::FUTURE_UNTOUCHED_USE,
+            codes::TYPE_CONFLICT,
+            codes::INVALID_OPERAND,
+            codes::RETURN_MISMATCH,
+            codes::UNDEFINED_VAR,
+            codes::DUPLICATE_DEF,
+        ];
+        let set: std::collections::HashSet<&str> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len());
     }
 }

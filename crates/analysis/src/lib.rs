@@ -36,26 +36,32 @@ pub mod cfg;
 pub mod cost;
 pub mod dataflow;
 pub mod diag;
+pub mod gen;
 pub mod heuristic;
 pub mod loops;
 pub mod opt;
 pub mod parser;
 pub mod racecheck;
+pub mod typeck;
 pub mod update;
 pub mod verdicts;
+pub mod verify;
 
-pub use ast::{Expr, FieldDef, FuncDef, Program, Stmt, StructDef};
+pub use ast::{Expr, FieldDef, FuncDef, Program, Stmt, StructDef, TypeAnn};
 pub use cfg::{lower, lower_program, Cfg};
 pub use cost::{loop_key, loop_keys, predict, Prediction};
 pub use dataflow::{solve, Analysis, Direction, Solution};
 pub use diag::{Diagnostic, Severity, Span};
+pub use gen::{gen_program, gen_source, render, strip_spans};
 pub use heuristic::{select, LoopChoice, Selection};
 pub use loops::{find_control_loops, ControlLoop, LoopId, LoopKind};
 pub use opt::{optimize, optimize_src, OptReport, SiteReport, TouchKind, TouchReport, Verdict};
 pub use parser::{parse, ParseError};
 pub use racecheck::racecheck;
+pub use typeck::{typecheck, typecheck_src};
 pub use update::{update_matrix, UpdateMatrix};
 pub use verdicts::{mech_table, MechTable, SiteVerdict};
+pub use verify::{shrink, source_fails, verify_seed, verify_source, Coverage, Failure};
 
 /// Default path-affinity for unannotated pointer fields (§4.3: 70 %).
 pub const DEFAULT_AFFINITY: f64 = 0.70;

@@ -18,7 +18,7 @@
 //! to plain assignments — the analysis is untyped and infers pointer-ness
 //! from use.
 
-use crate::ast::{Expr, FieldDef, FuncDef, Program, Stmt, StructDef};
+use crate::ast::{Expr, FieldDef, FuncDef, Program, Stmt, StructDef, TypeAnn};
 use crate::diag::Span;
 
 /// A parse failure, with a human-readable message, the offending token
@@ -318,7 +318,7 @@ impl Parser {
         while !self.at_sym("}") {
             // `type` is one or two identifiers (e.g. `struct tree` is not
             // supported inside fields — use the bare struct name).
-            let _ty = self.eat_ident()?;
+            let ty = self.eat_ident()?;
             let mut is_pointer = false;
             while self.at_sym("*") {
                 self.bump();
@@ -348,6 +348,7 @@ impl Parser {
             self.eat_sym(";")?;
             fields.push(FieldDef {
                 name: fname,
+                ty,
                 is_pointer,
                 affinity,
             });
@@ -360,20 +361,32 @@ impl Parser {
     }
 
     fn func_def(&mut self) -> Result<FuncDef, ParseError> {
-        let _ret_ty = self.eat_ident()?;
+        let ret_name = self.eat_ident()?;
+        let mut ret = TypeAnn {
+            name: ret_name,
+            is_pointer: false,
+        };
         while self.at_sym("*") {
             self.bump();
+            ret.is_pointer = true;
         }
         let name = self.eat_ident()?;
         self.eat_sym("(")?;
         let mut params = Vec::new();
+        let mut param_tys = Vec::new();
         if !self.at_sym(")") {
             loop {
-                let _ty = self.eat_ident()?;
+                let ty_name = self.eat_ident()?;
+                let mut ann = TypeAnn {
+                    name: ty_name,
+                    is_pointer: false,
+                };
                 while self.at_sym("*") {
                     self.bump();
+                    ann.is_pointer = true;
                 }
                 params.push(self.eat_ident()?);
+                param_tys.push(ann);
                 if self.at_sym(",") {
                     self.bump();
                 } else {
@@ -383,7 +396,13 @@ impl Parser {
         }
         self.eat_sym(")")?;
         let body = self.block()?;
-        Ok(FuncDef { name, params, body })
+        Ok(FuncDef {
+            name,
+            params,
+            param_tys,
+            ret,
+            body,
+        })
     }
 
     // ----- statements ---------------------------------------------------
@@ -816,6 +835,46 @@ mod tests {
         let err = parse("void f() {\n  return $;\n}").unwrap_err();
         assert_eq!(err.span, crate::diag::Span::new(2, 10));
         assert!(err.to_string().contains("2:10"), "{err}");
+    }
+
+    /// Truncated input fails cleanly at the `<eof>` token instead of
+    /// panicking or looping — the parser's position clamp keeps `bump`
+    /// total at end of stream.
+    #[test]
+    fn truncated_input_fails_at_eof() {
+        for src in [
+            "struct tree {",
+            "struct tree { tree *left",
+            "int f(tree *t) {",
+            "int f(tree *t) { return t->",
+            "int f(tree *t) { if (t ==",
+        ] {
+            let err = parse(src).unwrap_err();
+            assert_eq!(err.near, "<eof>", "{src:?}: {err}");
+            assert!(err.span.is_real(), "{src:?}: {err}");
+        }
+    }
+
+    /// A stray token mid-statement is reported at its own position with
+    /// the offending text in `near`.
+    #[test]
+    fn stray_token_is_located() {
+        let err = parse("int f(tree *t) {\n  return 1 + ;\n}").unwrap_err();
+        assert_eq!(err.near, ";");
+        assert_eq!(err.span, crate::diag::Span::new(2, 14));
+        let err = parse("int f(tree *t) { touch 3; }").unwrap_err();
+        assert_eq!(err.near, "3");
+        assert!(err.message.contains("identifier"), "{err}");
+    }
+
+    /// An unknown token inside a field declaration points at the field,
+    /// not at end of struct.
+    #[test]
+    fn bad_field_declaration_is_located() {
+        let err = parse("struct s {\n  tree *left @@ 90;\n};").unwrap_err();
+        assert_eq!(err.span.line, 2, "{err}");
+        let err = parse("struct s { 3 x; };").unwrap_err();
+        assert_eq!(err.near, "3");
     }
 
     #[test]

@@ -1,13 +1,35 @@
 //! `oldenc` — the static race linter over the Olden DSL.
 //!
-//! Two subcommands:
+//! Subcommands:
 //!
-//! * `oldenc lint [--golden PATH]` runs the release-consistency race
-//!   analysis over the DSL renditions of all ten Table-1 benchmarks and
-//!   prints one line per finding (or `name: clean`). With `--golden` the
-//!   output must match the recorded file exactly; any drift — a new
+//! * `oldenc lint [--json | --golden PATH]` runs the release-consistency
+//!   race analysis over the DSL renditions of all ten Table-1 benchmarks
+//!   and prints one line per finding (or `name: clean`). With `--golden`
+//!   the output must match the recorded file exactly; any drift — a new
 //!   warning or a silently vanished one — fails the run. CI pins the
-//!   benchmark lint surface this way.
+//!   benchmark lint surface this way. `--json` emits the same findings
+//!   machine-readably (the text surface stays byte-identical).
+//! * `oldenc typecheck [FILE...] [--json]` runs the TC0xx front gate —
+//!   struct/field/pointer types, future-handle touch discipline, loop
+//!   induction variables, call arity — over the given files, or with no
+//!   files over the registry benchmarks plus the racy corpus (all of
+//!   which must be type-clean: races are a scheduling property, not a
+//!   typing one). Exit 1 on any diagnostic.
+//! * `oldenc gen [--seed S] [--count N] [--golden PATH]` prints N
+//!   well-typed DSL programs from consecutive seeds, each under a
+//!   `// seed S` header. A pure function of the seeds, so the surface
+//!   pins with `--golden` like the other report subcommands.
+//! * `oldenc fuzz [--seeds N] [--start S]` runs the metamorphic
+//!   verification sweep from `olden_analysis::verify` over N consecutive
+//!   seeds: per generated program, pretty-print→reparse round-trip, a
+//!   clean typecheck, totality and cross-pass consistency of every
+//!   analysis, metamorphic invariance (α-rename, dead-statement insert,
+//!   touch insert, trip monotonicity), and rejection of seeded ill-typed
+//!   mutations with the matching TC0xx code. A failing seed is
+//!   delta-debugged to a minimal reproducer saved under `tests/corpus/`
+//!   (replayed forever by the `corpus_repros_replay_clean` test). At 100
+//!   seeds or more, every mutation class must have fired — the
+//!   non-vacuity gate. The CI fuzz-smoke stage runs 500 seeds.
 //! * `oldenc opt [--golden PATH]` runs the check-elision and touch-
 //!   placement optimizer over the same DSL renditions and prints each
 //!   benchmark's per-site verdicts (site, span, mechanism, verdict,
@@ -66,15 +88,22 @@
 //! Every golden-backed subcommand takes `--bless` to re-record its golden
 //! file in place, and a mismatch prints the exact command to do so.
 
+use olden_analysis::gen::gen_source;
 use olden_analysis::optimize_src;
 use olden_analysis::racecheck::racecheck_src;
+use olden_analysis::typeck::typecheck_src;
+use olden_analysis::verify::{shrink, source_fails, verify_seed, Coverage};
 use olden_bench::{benchjson, profile};
 use olden_benchmarks::SizeClass;
+use olden_obs::json::Json;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: oldenc lint [--golden PATH [--bless]]");
+    eprintln!("usage: oldenc lint [--json | --golden PATH [--bless]]");
+    eprintln!("       oldenc typecheck [FILE...] [--json]");
+    eprintln!("       oldenc gen [--seed S] [--count N] [--golden PATH [--bless]]");
+    eprintln!("       oldenc fuzz [--seeds N] [--start S]");
     eprintln!("       oldenc opt [--golden PATH [--bless]]");
     eprintln!("       oldenc select [BENCH] [--golden PATH [--bless]]");
     eprintln!("       oldenc predict [BENCH] [--json]");
@@ -113,6 +142,168 @@ fn lint_report() -> String {
         }
     }
     out
+}
+
+/// One diagnostic as a JSON object: stable code, severity name, 1-based
+/// position, and the rendered message.
+fn diag_json(d: &olden_analysis::diag::Diagnostic) -> Json {
+    Json::Obj(vec![
+        ("code".into(), Json::str(d.code)),
+        ("severity".into(), Json::str(d.severity.name())),
+        ("line".into(), Json::u64(u64::from(d.span.line))),
+        ("col".into(), Json::u64(u64::from(d.span.col))),
+        ("message".into(), Json::str(d.message.clone())),
+    ])
+}
+
+/// The `lint --json` report: the same racecheck sweep as [`lint_report`]
+/// rendered machine-readably — one object per benchmark with its
+/// diagnostics array. The text surface stays golden-pinned and
+/// byte-identical; this is the programmatic view of the same data.
+fn lint_json_report() -> Result<String, String> {
+    let mut rows = Vec::new();
+    for d in olden_benchmarks::all() {
+        let diags = racecheck_src(d.dsl).map_err(|e| format!("{} DSL: {e}", d.name))?;
+        rows.push(Json::Obj(vec![
+            ("name".into(), Json::str(d.name)),
+            (
+                "diagnostics".into(),
+                Json::Arr(diags.iter().map(diag_json).collect()),
+            ),
+        ]));
+    }
+    Ok(Json::Arr(rows).render())
+}
+
+/// `oldenc typecheck [FILE...] [--json]`: the TC0xx front gate. With no
+/// files it sweeps the registry benchmarks plus the racy corpus, all of
+/// which must be type-clean (races are a scheduling property, not a
+/// typing one); with files it checks each one. Exit 1 on any
+/// diagnostic, 2 on read or parse errors.
+fn typecheck_cmd(files: &[String], json: bool) -> ExitCode {
+    let mut units: Vec<(String, String)> = Vec::new();
+    if files.is_empty() {
+        for d in olden_benchmarks::all() {
+            units.push((d.name.to_string(), d.dsl.to_string()));
+        }
+        for s in olden_benchmarks::racy::seeds() {
+            units.push((format!("racy/{}", s.name), s.dsl.to_string()));
+        }
+    } else {
+        for path in files {
+            match std::fs::read_to_string(path) {
+                Ok(src) => units.push((path.clone(), src)),
+                Err(e) => {
+                    eprintln!("oldenc: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    let mut findings = 0usize;
+    let mut rows = Vec::new();
+    for (name, src) in &units {
+        let diags = match typecheck_src(src) {
+            Ok(diags) => diags,
+            Err(e) => {
+                eprintln!("{name}: parse error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        findings += diags.len();
+        if json {
+            rows.push(Json::Obj(vec![
+                ("name".into(), Json::str(name.clone())),
+                (
+                    "diagnostics".into(),
+                    Json::Arr(diags.iter().map(diag_json).collect()),
+                ),
+            ]));
+        } else if diags.is_empty() {
+            println!("{name}: clean");
+        } else {
+            for d in &diags {
+                println!("{name}: {}", d.one_line());
+            }
+        }
+    }
+    if json {
+        println!("{}", Json::Arr(rows).render());
+    }
+    if findings == 0 {
+        if !json {
+            eprintln!("oldenc: {} unit(s) type-clean", units.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("oldenc: {findings} type error(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// The `gen` report: `count` well-typed programs from consecutive seeds
+/// starting at `seed`, each under a `// seed N` header. A pure function
+/// of the seeds, so the surface pins with `--golden`.
+fn gen_report(seed: u64, count: u64) -> String {
+    let mut out = String::new();
+    for s in seed..seed.saturating_add(count) {
+        let _ = writeln!(out, "// seed {s}");
+        out.push_str(&gen_source(s));
+    }
+    out
+}
+
+fn gen_cmd(seed: u64, count: u64, golden: Option<&str>, bless: bool) -> ExitCode {
+    let regen = format!("gen --seed {seed} --count {count}");
+    golden_check("gen", &regen, &gen_report(seed, count), golden, bless)
+}
+
+/// The mutation classes `verify_seed` seeds into generated programs;
+/// each must be rejected with its matching TC0xx code somewhere in any
+/// sweep of at least [`NON_VACUITY_SEEDS`] seeds.
+const MUTATION_CLASSES: [&str; 5] = [
+    "drop-touch",
+    "break-arity",
+    "retype-arg",
+    "retype-field",
+    "double-touch",
+];
+
+/// Sweep length from which the non-vacuity gate is enforced: every
+/// class provably fires within any 100 consecutive seeds starting at 0
+/// (pinned by `every_mutation_class_is_exercised`).
+const NON_VACUITY_SEEDS: u64 = 100;
+
+/// `oldenc fuzz`: the metamorphic verification sweep as a CLI gate. A
+/// failing seed is delta-debugged to a minimal reproducer written under
+/// `tests/corpus/`, where the `corpus_repros_replay_clean` test replays
+/// it on every future `cargo test`.
+fn fuzz_cmd(seeds: u64, start: u64) -> ExitCode {
+    let mut cov = Coverage::default();
+    for seed in start..start.saturating_add(seeds) {
+        if let Err(f) = verify_seed(seed, &mut cov) {
+            eprintln!("oldenc: {f}");
+            let small = shrink(&f.source, &source_fails);
+            let path = format!("tests/corpus/fail-seed{seed}.dsl");
+            match std::fs::write(&path, &small) {
+                Ok(()) => eprintln!("oldenc: shrunken reproducer written to {path}"),
+                Err(e) => {
+                    eprintln!("oldenc: cannot write {path}: {e}; reproducer:\n{small}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{}", cov.render());
+    if seeds >= NON_VACUITY_SEEDS {
+        for class in MUTATION_CLASSES {
+            if cov.mutations.get(class).copied().unwrap_or(0) == 0 {
+                eprintln!("oldenc: mutation class `{class}` never fired over {seeds} seed(s)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// The `opt` report: each benchmark's full elision report under a
@@ -889,10 +1080,79 @@ fn golden_flags(args: &[String]) -> Option<(Option<String>, bool)> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("lint") if args.len() == 2 && args[1] == "--json" => match lint_json_report() {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("oldenc: {e}");
+                ExitCode::from(2)
+            }
+        },
         Some("lint") => match golden_flags(&args[1..]) {
             Some((golden, bless)) => lint(golden.as_deref(), bless),
             None => usage(),
         },
+        Some("typecheck") => {
+            let mut json = false;
+            let mut files = Vec::new();
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    f if !f.starts_with("--") => files.push(f.to_string()),
+                    _ => return usage(),
+                }
+            }
+            typecheck_cmd(&files, json)
+        }
+        Some("gen") => {
+            let (mut seed, mut count) = (0u64, 1u64);
+            let (mut golden, mut bless) = (None::<String>, false);
+            let mut rest = args[1..].iter();
+            loop {
+                match rest.next().map(String::as_str) {
+                    None => break,
+                    Some("--seed") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) => seed = n,
+                        _ => return usage(),
+                    },
+                    Some("--count") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if (1..=10_000).contains(&n) => count = n,
+                        _ => return usage(),
+                    },
+                    Some("--golden") => match rest.next() {
+                        Some(p) => golden = Some(p.clone()),
+                        None => return usage(),
+                    },
+                    Some("--bless") => bless = true,
+                    Some(_) => return usage(),
+                }
+            }
+            if bless && golden.is_none() {
+                return usage();
+            }
+            gen_cmd(seed, count, golden.as_deref(), bless)
+        }
+        Some("fuzz") => {
+            let (mut seeds, mut start) = (NON_VACUITY_SEEDS, 0u64);
+            let mut rest = args[1..].iter();
+            loop {
+                match rest.next().map(String::as_str) {
+                    None => break,
+                    Some("--seeds") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if n > 0 => seeds = n,
+                        _ => return usage(),
+                    },
+                    Some("--start") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) => start = n,
+                        _ => return usage(),
+                    },
+                    Some(_) => return usage(),
+                }
+            }
+            fuzz_cmd(seeds, start)
+        }
         Some("opt") => match golden_flags(&args[1..]) {
             Some((golden, bless)) => opt(golden.as_deref(), bless),
             None => usage(),
@@ -1092,6 +1352,50 @@ mod tests {
             want,
             "benchmark opt surface drifted; re-record tests/golden/oldenc-opt.txt"
         );
+    }
+
+    /// The generator surface pins too: `tests/golden/oldenc-gen.txt` is
+    /// exactly what `oldenc gen --seed 0 --count 5` prints today. Any
+    /// grammar or seeding change to `olden_analysis::gen` shows up here
+    /// as a reviewable diff rather than silently shifting every fuzz
+    /// seed.
+    #[test]
+    fn gen_golden_file_is_current() {
+        let want = include_str!("../../../../tests/golden/oldenc-gen.txt");
+        assert_eq!(
+            gen_report(0, 5),
+            want,
+            "generator surface drifted; re-record tests/golden/oldenc-gen.txt"
+        );
+    }
+
+    /// `lint --json` parses back through the same hand-rolled JSON layer
+    /// and carries one row per registry benchmark.
+    #[test]
+    fn lint_json_round_trips() {
+        let report = lint_json_report().unwrap();
+        let parsed = Json::parse(&report).unwrap();
+        let rows = parsed.as_arr().unwrap();
+        assert_eq!(rows.len(), olden_benchmarks::all().len());
+        for row in rows {
+            assert!(row.get("name").and_then(Json::as_str).is_some());
+            assert!(row.get("diagnostics").and_then(Json::as_arr).is_some());
+        }
+    }
+
+    /// The default `typecheck` sweep units — registry benchmarks and the
+    /// racy corpus — are all type-clean: the TC0xx front gate must never
+    /// reject a program the later passes are specified over.
+    #[test]
+    fn typecheck_sweep_units_are_clean() {
+        for d in olden_benchmarks::all() {
+            let diags = typecheck_src(d.dsl).unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            assert!(diags.is_empty(), "{}: {}", d.name, diags[0].one_line());
+        }
+        for s in olden_benchmarks::racy::seeds() {
+            let diags = typecheck_src(s.dsl).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(diags.is_empty(), "{}: {}", s.name, diags[0].one_line());
+        }
     }
 
     /// The chaos surface pins too: fault totals are pure functions of

@@ -1,0 +1,24 @@
+// Seed repro corpus: a list walk with an in-loop spawn/touch (the MST
+// sweep shape) plus a release through the spine.
+struct block {
+    block *next @ 95;
+    int weight;
+};
+
+int Scan(block *b) {
+    return b->weight;
+}
+
+int Sweep(block *b) {
+    int best = 0;
+    while (b != null) {
+        int m = futurecall Scan(b);
+        touch m;
+        if (m < best) {
+            best = m;
+        }
+        b->weight = best;
+        b = b->next;
+    }
+    return best;
+}

@@ -1,0 +1,26 @@
+// Seed repro corpus: nested control loops over two structures with a
+// multi-field path product — the update-matrix multi-base case.
+struct row {
+    row *down @ 80;
+    cell *first @ 60;
+    int id;
+};
+
+struct cell {
+    cell *next @ 85;
+    int val;
+};
+
+int Sum(row *r) {
+    int total = 0;
+    while (r != null) {
+        cell *c = r->first;
+        while (c != null) {
+            total = total + c->val;
+            c = c->next;
+        }
+        total = total + r->first->val;
+        r = r->down;
+    }
+    return total;
+}

@@ -1,0 +1,18 @@
+// Seed repro corpus: the Figure 4 shape (spawn one arm as a future,
+// recurse the other, touch, combine). Replayed by
+// crates/exec/tests/verify_fuzz.rs to pin the source-level oracles.
+struct tree {
+    tree *left @ 90;
+    tree *right @ 70;
+    int val;
+};
+
+int TreeAdd(tree *t) {
+    if (t == null) {
+        return 0;
+    }
+    int lv = futurecall TreeAdd(t->left);
+    int rv = TreeAdd(t->right);
+    touch lv;
+    return lv + rv + t->val;
+}

@@ -60,6 +60,16 @@ stage "oldenc elide (annotated benchmarks must elide checks at runtime)" \
 stage "oldenc chaos (fault-injected exec runs vs fault-free simulator, surface vs golden)" \
     oldenc chaos --seeds 32 --golden tests/golden/oldenc-chaos.txt
 
+# Differential fuzz: 200 generated programs typechecked, mechanism-
+# selected, lowered to the executable IR, and executed on the simulator
+# vs the lockstep thread backend — byte-equal values, trips, and
+# counters; every 8th seed also under fault injection; cost-model band
+# conformance per seed. Deterministic: a divergence shrinks to a
+# reproducer under tests/corpus/ and the surface pins against the
+# golden (re-record with --bless).
+stage "oldenc difftest (whole-stack differential fuzz, 200 seeds, surface vs golden)" \
+    oldenc difftest --seeds 200 --golden tests/golden/oldenc-difftest.txt
+
 # Net parity: every benchmark re-run across real worker processes over
 # loopback TCP, counters byte-equal to the simulator, plus seeded chaos
 # schedules over the sockets. Exit 3 means the sandbox denies loopback;

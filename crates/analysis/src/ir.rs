@@ -1,0 +1,254 @@
+//! The executable IR: flattened basic blocks over gptr loads and stores.
+//!
+//! [`crate::lower::lower_ir`] lowers a type-checked DSL program into this
+//! form; `olden_runtime::interp` executes it against any `Backend`. The
+//! IR is deliberately tiny — a register machine whose only memory
+//! operations are the DSL's pointer-path loads and stores, plus
+//! `futurecall`/`touch` — because the whole point is that every heap
+//! access goes through a *check site* carrying the live olden-select
+//! verdict for that dereference.
+//!
+//! Two invariants tie the IR to the analysis stack:
+//!
+//! 1. **Site identity.** `IrFunc::sites` lists one [`IrSite`] per pointer
+//!    check, *in evaluation order*, and each carries the exact
+//!    [`crate::SiteVerdict::key`] string of the corresponding
+//!    `MechTable` verdict. Lowering fails rather than guess if its site
+//!    stream ever disagrees with the table's — the same order the CFG
+//!    lowering and the optimizer use.
+//! 2. **Trip identity.** Loop-head blocks carry the
+//!    [`crate::cost::loop_key`] of their control loop, and recursive
+//!    functions carry their recursion loop's key, so an interpreter can
+//!    measure the per-loop trip counts the static cost model
+//!    ([`crate::predict`]) takes as input — making predictions and
+//!    executions directly comparable.
+
+use crate::Mech;
+
+/// A virtual register (per-function, dynamically typed at run time).
+pub type Reg = usize;
+
+/// A basic-block index within an [`IrFunc`].
+pub type BlockId = usize;
+
+/// Static type of a function parameter: what the heap builder must
+/// construct for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IrTy {
+    /// An integer (also the fallback for `Unknown`-typed parameters).
+    Int,
+    /// A pointer to instances of `structs[idx]`.
+    Ptr(usize),
+}
+
+/// One field of a lowered structure.
+#[derive(Clone, Debug)]
+pub struct IrField {
+    pub name: String,
+    /// Word offset within the object. Field names are global (as in the
+    /// paper's examples), so offsets are assigned program-wide: two
+    /// structs sharing a field name share its slot.
+    pub word: usize,
+    pub is_pointer: bool,
+    /// Index of the pointed-to struct, when declared and resolvable.
+    pub target: Option<usize>,
+    /// Path-affinity the heap builder should realize for this edge.
+    pub affinity: f64,
+}
+
+/// A lowered structure: its heap footprint and fields.
+#[derive(Clone, Debug)]
+pub struct IrStruct {
+    pub name: String,
+    /// Allocation size in words (max field slot + 1).
+    pub words: usize,
+    pub fields: Vec<IrField>,
+}
+
+/// One pointer-check site: a single arrow of a `base->f1->…->fk` path.
+#[derive(Clone, Debug)]
+pub struct IrSite {
+    /// The `MechTable` verdict key this site executes under:
+    /// `"{func} {span} {site} -> {mech}"`.
+    pub key: String,
+    /// The mechanism olden-select chose for this dereference.
+    pub mech: Mech,
+    /// Word offset of the accessed field.
+    pub field: usize,
+    /// True when the field is pointer-typed (the loaded word is a gptr).
+    pub loads_ptr: bool,
+    /// True when this site is the final arrow of a store.
+    pub is_store: bool,
+}
+
+/// Binary operators (the parser's full set; `&&`/`||` are strict, like
+/// the CFG lowering, which evaluates both operands unconditionally).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn parse(op: &str) -> Option<BinOp> {
+        Some(match op {
+            "+" => BinOp::Add,
+            "-" => BinOp::Sub,
+            "*" => BinOp::Mul,
+            "/" => BinOp::Div,
+            "%" => BinOp::Rem,
+            "==" => BinOp::Eq,
+            "!=" => BinOp::Ne,
+            "<" => BinOp::Lt,
+            ">" => BinOp::Gt,
+            "<=" => BinOp::Le,
+            ">=" => BinOp::Ge,
+            "&&" => BinOp::And,
+            "||" => BinOp::Or,
+            _ => return None,
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Instructions. `Load`/`Store` are the only heap operations; `site`
+/// indexes the enclosing function's [`IrFunc::sites`].
+#[derive(Clone, Debug)]
+pub enum Inst {
+    /// `dst = n`.
+    ConstInt { dst: Reg, val: i64 },
+    /// `dst = null`.
+    ConstNull { dst: Reg },
+    /// `dst = src`.
+    Copy { dst: Reg, src: Reg },
+    /// `dst = op arg`.
+    Un { dst: Reg, op: UnOp, arg: Reg },
+    /// `dst = lhs op rhs`.
+    Bin {
+        dst: Reg,
+        op: BinOp,
+        lhs: Reg,
+        rhs: Reg,
+    },
+    /// `dst = base->field` through check site `site`. A null (or
+    /// non-pointer) base yields the field type's zero without touching
+    /// the heap — the guard the DSL's `if (p == null)` idiom relies on.
+    Load { dst: Reg, base: Reg, site: usize },
+    /// `base->field = src` through check site `site`; a null base is a
+    /// no-op.
+    Store { base: Reg, src: Reg, site: usize },
+    /// `dst = funcs[func](args…)` under a procedure-call boundary.
+    Call {
+        dst: Reg,
+        func: usize,
+        args: Vec<Reg>,
+    },
+    /// `dst = futurecall funcs[func](args…)`: `dst` holds the pending
+    /// future until a `Touch` of the same register claims it.
+    FutureCall {
+        dst: Reg,
+        func: usize,
+        args: Vec<Reg>,
+    },
+    /// A call to an undefined (extern) function: a deterministic pure
+    /// function of the callee name and argument values.
+    ExternCall {
+        dst: Reg,
+        name: String,
+        args: Vec<Reg>,
+    },
+    /// `touch reg`: claim the future pending in `reg` (no-op if `reg`
+    /// holds a plain value).
+    Touch { reg: Reg },
+}
+
+/// Block terminators.
+#[derive(Clone, Debug)]
+pub enum Term {
+    Jump(BlockId),
+    Branch {
+        cond: Reg,
+        then_: BlockId,
+        else_: BlockId,
+    },
+    Ret(Option<Reg>),
+}
+
+/// One basic block.
+#[derive(Clone, Debug)]
+pub struct IrBlock {
+    pub insts: Vec<Inst>,
+    pub term: Term,
+    /// Set on the body-entry block of a `while`: index into
+    /// [`IrProgram::trip_keys`] to bump once per iteration.
+    pub trip_slot: Option<usize>,
+}
+
+/// A lowered function.
+#[derive(Clone, Debug)]
+pub struct IrFunc {
+    pub name: String,
+    /// Parameter types (the heap builder constructs one value each);
+    /// parameters occupy registers `0..params.len()`.
+    pub params: Vec<IrTy>,
+    /// True when the declared return type is non-void (the checksum
+    /// folds the value in).
+    pub returns_value: bool,
+    pub nregs: usize,
+    /// Entry is block 0.
+    pub blocks: Vec<IrBlock>,
+    /// Check sites in evaluation order, keyed to the `MechTable`.
+    pub sites: Vec<IrSite>,
+    /// Index into [`IrProgram::trip_keys`] of this function's recursion
+    /// control loop, bumped once per invocation (present iff the
+    /// function is directly recursive).
+    pub rec_slot: Option<usize>,
+}
+
+/// A whole lowered program.
+#[derive(Clone, Debug)]
+pub struct IrProgram {
+    pub structs: Vec<IrStruct>,
+    pub funcs: Vec<IrFunc>,
+    /// Every control-loop key ([`crate::cost::loop_key`]) in discovery
+    /// order; trip counters are indexed by position.
+    pub trip_keys: Vec<String>,
+}
+
+impl IrProgram {
+    /// Index of the named function.
+    pub fn func(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+
+    /// Total check sites across all functions.
+    pub fn site_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.sites.len()).sum()
+    }
+
+    /// All site keys in program order — by construction byte-equal to
+    /// [`crate::MechTable::keys`].
+    pub fn site_keys(&self) -> Vec<String> {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.sites.iter().map(|s| s.key.clone()))
+            .collect()
+    }
+}

@@ -38,7 +38,9 @@ pub mod dataflow;
 pub mod diag;
 pub mod gen;
 pub mod heuristic;
+pub mod ir;
 pub mod loops;
+pub mod lower;
 pub mod opt;
 pub mod parser;
 pub mod racecheck;
@@ -54,7 +56,9 @@ pub use dataflow::{solve, Analysis, Direction, Solution};
 pub use diag::{Diagnostic, Severity, Span};
 pub use gen::{gen_program, gen_source, render, strip_spans};
 pub use heuristic::{select, LoopChoice, Selection};
+pub use ir::{IrBlock, IrField, IrFunc, IrProgram, IrSite, IrStruct, IrTy};
 pub use loops::{find_control_loops, ControlLoop, LoopId, LoopKind};
+pub use lower::{compile, lower_ir};
 pub use opt::{optimize, optimize_src, OptReport, SiteReport, TouchKind, TouchReport, Verdict};
 pub use parser::{parse, ParseError};
 pub use racecheck::racecheck;

@@ -20,6 +20,7 @@ pub mod backend;
 pub mod config;
 pub mod ctx;
 pub mod heap;
+pub mod interp;
 pub mod report;
 pub mod sanitize;
 
@@ -27,6 +28,7 @@ pub use backend::Backend;
 pub use config::{Check, Config, Mechanism};
 pub use ctx::{FutureHandle, OldenCtx};
 pub use heap::DistributedHeap;
+pub use interp::{run_ir, RunOutcome, Value, DEFAULT_FUEL};
 pub use olden_cache::{Access, CacheStats, Protocol};
 pub use olden_gptr::{GPtr, ProcId, Word};
 pub use olden_machine::{

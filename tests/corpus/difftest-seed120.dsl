@@ -1,0 +1,25 @@
+// Shrunk by `oldenc difftest` from generated seed 120: with input data
+// built per-function (interleaved with execution), g2's root was
+// allocated after g1's reads had cached a line, and on the thread
+// backend's heap layout — unlike the simulator's — the new object
+// shared that line, so g2's cached read saw the stale pre-build
+// snapshot and returned null where the simulator returned a pointer.
+// Fixed by building every function's inputs before any function runs
+// (interp's build phase); kept as a differential regression anchor.
+struct s0 {
+    s0 *f0;
+    int v0;
+};
+
+int g0(s0 *p0) {
+}
+
+s0 *g1(s0 *p0) {
+    p0 = p0->f0;
+    l1 = p0->v0;
+}
+
+s0 *g2(s0 *p0, s0 *p1) {
+    p0 = p0->f0;
+    return p0->f0;
+}

@@ -1,40 +1,93 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: format, lint, build, test, golden surfaces, perf smoke —
 # all offline. Each stage reports its wall time; the trailer totals them.
+#
+#   ./ci.sh                 run every stage
+#   ./ci.sh --list          print the stage names and exit
+#   ./ci.sh --only NAME     run one stage (repeatable; order preserved)
 set -euo pipefail
 IFS=$'\n\t'
 cd "$(dirname "$0")"
 
-# stage <name> <cmd...> — run one CI stage, timing it.
+# Stage selection: empty = all. `--only` may be passed multiple times.
+LIST_ONLY=0
+declare -a ONLY=()
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+    --list)
+        LIST_ONLY=1
+        ;;
+    --only)
+        [ "$#" -ge 2 ] || {
+            echo "ci.sh: --only needs a stage name (see --list)" >&2
+            exit 2
+        }
+        ONLY+=("$2")
+        shift
+        ;;
+    *)
+        echo "ci.sh: unknown argument $1 (try --list)" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+# stage <name> <cmd...> — run one CI stage, timing it. With --list, just
+# print the name; with --only, skip stages not selected.
+RAN=0
 stage() {
     local name=$1
     shift
+    if [ "$LIST_ONLY" -eq 1 ]; then
+        echo "$name"
+        return 0
+    fi
+    if [ "${#ONLY[@]}" -gt 0 ]; then
+        local selected=0 want
+        for want in "${ONLY[@]}"; do
+            [ "$want" = "$name" ] && selected=1
+        done
+        [ "$selected" -eq 1 ] || return 0
+    fi
+    RAN=$((RAN + 1))
     echo "==> ${name}"
     local t0=$SECONDS
     "$@"
     echo "    (${name}: $((SECONDS - t0))s)"
 }
 
-stage "cargo fmt --check" cargo fmt --all -- --check
+# Shellcheck gate on this script itself. Skips loudly when the tool is
+# not installed (local boxes); CI images have it.
+shellcheck_ci() {
+    if ! command -v shellcheck >/dev/null 2>&1; then
+        echo "    SKIP: shellcheck not installed; install it to lint ci.sh locally"
+        return 0
+    fi
+    shellcheck ci.sh
+}
 
-stage "cargo clippy -D warnings" \
-    cargo clippy --workspace --all-targets -- -D warnings
+stage "shellcheck" shellcheck_ci
 
-stage "cargo build --release" cargo build --workspace --release
+stage "fmt" cargo fmt --all -- --check
 
-stage "cargo test -q" cargo test --workspace -q
+stage "clippy" cargo clippy --workspace --all-targets -- -D warnings
+
+stage "build" cargo build --workspace --release
+
+stage "test" cargo test --workspace -q
 
 oldenc() {
     cargo run --release -q -p olden-bench --bin oldenc -- "$@"
 }
 
-stage "oldenc lint (benchmark DSL race surface vs golden)" \
+stage "lint-golden" \
     oldenc lint --golden tests/golden/oldenc-benchmarks.txt
 
-stage "oldenc typecheck (TC0xx front gate over benchmarks + racy corpus)" \
+stage "typecheck" \
     oldenc typecheck
 
-stage "oldenc gen (seeded program-generator surface vs golden)" \
+stage "gen-golden" \
     oldenc gen --seed 0 --count 5 --golden tests/golden/oldenc-gen.txt
 
 # Fuzz smoke: 500 seeds through every oracle — round-trip, typecheck,
@@ -42,22 +95,25 @@ stage "oldenc gen (seeded program-generator surface vs golden)" \
 # the non-vacuity gate (every seeded ill-typed mutation class must be
 # rejected with its matching TC0xx code). Deterministic: a failure
 # shrinks to a reproducer under tests/corpus/ and replays in cargo test.
-stage "oldenc fuzz (metamorphic verification sweep, 500 seeds)" \
+stage "fuzz-smoke" \
     oldenc fuzz --seeds 500
 
-stage "oldenc opt (optimizer verdict surface vs golden)" \
+stage "opt-golden" \
     oldenc opt --golden tests/golden/oldenc-opt.txt
 
-stage "oldenc select (mechanism-selection surface vs golden)" \
+stage "select-golden" \
     oldenc select --golden tests/golden/oldenc-select.txt
 
-stage "oldenc predict (static cost model over all benchmarks)" \
+stage "scheme-golden" \
+    oldenc scheme --golden tests/golden/oldenc-scheme.txt
+
+stage "predict" \
     oldenc predict
 
-stage "oldenc elide (annotated benchmarks must elide checks at runtime)" \
+stage "elide" \
     oldenc elide
 
-stage "oldenc chaos (fault-injected exec runs vs fault-free simulator, surface vs golden)" \
+stage "chaos-golden" \
     oldenc chaos --seeds 32 --golden tests/golden/oldenc-chaos.txt
 
 # Differential fuzz: 200 generated programs typechecked, mechanism-
@@ -67,29 +123,55 @@ stage "oldenc chaos (fault-injected exec runs vs fault-free simulator, surface v
 # conformance per seed. Deterministic: a divergence shrinks to a
 # reproducer under tests/corpus/ and the surface pins against the
 # golden (re-record with --bless).
-stage "oldenc difftest (whole-stack differential fuzz, 200 seeds, surface vs golden)" \
+stage "difftest" \
     oldenc difftest --seeds 200 --golden tests/golden/oldenc-difftest.txt
+
+# Scheme matrix: the same 200-seed differential sweep under the other
+# two Appendix-A coherence schemes, each against its own blessed golden.
+# Together with the difftest stage above, every generated program is
+# byte-equal across sim and exec under all three protocols.
+scheme_matrix() {
+    oldenc difftest --seeds 200 --protocol global \
+        --golden tests/golden/oldenc-difftest-global.txt
+    oldenc difftest --seeds 200 --protocol bilateral \
+        --golden tests/golden/oldenc-difftest-bilateral.txt
+}
+
+stage "scheme-matrix" scheme_matrix
 
 # Net parity: every benchmark re-run across real worker processes over
 # loopback TCP, counters byte-equal to the simulator, plus seeded chaos
-# schedules over the sockets. Exit 3 means the sandbox denies loopback;
-# skip gracefully rather than fail.
+# schedules over the sockets and a global-knowledge pass so the
+# coherence frames cross real sockets in CI too. Exit 3 means the
+# sandbox denies loopback; skip gracefully rather than fail.
 net_parity() {
     local rc=0
     oldenc net --procs 4 --seeds 2 || rc=$?
     if [ "$rc" -eq 3 ]; then
         echo "    (net parity skipped: loopback TCP unavailable)"
+        return 0
     elif [ "$rc" -ne 0 ]; then
+        return "$rc"
+    fi
+    oldenc net --procs 4 --protocol global || rc=$?
+    if [ "$rc" -ne 0 ] && [ "$rc" -ne 3 ]; then
         return "$rc"
     fi
 }
 
-stage "oldenc net (multi-process parity over loopback TCP)" net_parity
+stage "net-parity" net_parity
 
 # Perf smoke: counters must equal the committed baseline exactly; wall
 # times may drift up to 35% after calibration-normalizing host speed.
-stage "oldenc bench (perf smoke vs BENCH_baseline.json)" \
+stage "perf-smoke" \
     oldenc bench --json /tmp/bench.json \
     --check BENCH_baseline.json --tolerance 0.35
 
-echo "CI green in ${SECONDS}s."
+if [ "$LIST_ONLY" -eq 1 ]; then
+    exit 0
+fi
+if [ "${#ONLY[@]}" -gt 0 ] && [ "$RAN" -eq 0 ]; then
+    echo "ci.sh: no stage matched ${ONLY[*]} (see --list)" >&2
+    exit 2
+fi
+echo "CI green in ${SECONDS}s (${RAN} stage(s))."

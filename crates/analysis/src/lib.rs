@@ -44,6 +44,7 @@ pub mod lower;
 pub mod opt;
 pub mod parser;
 pub mod racecheck;
+pub mod scheme;
 pub mod typeck;
 pub mod update;
 pub mod verdicts;
@@ -62,6 +63,7 @@ pub use lower::{compile, lower_ir};
 pub use opt::{optimize, optimize_src, OptReport, SiteReport, TouchKind, TouchReport, Verdict};
 pub use parser::{parse, ParseError};
 pub use racecheck::racecheck;
+pub use scheme::{select_scheme, select_scheme_src, Scheme, SchemeSignals, SchemeVerdict};
 pub use typeck::{typecheck, typecheck_src};
 pub use update::{update_matrix, UpdateMatrix};
 pub use verdicts::{mech_table, MechTable, SiteVerdict};

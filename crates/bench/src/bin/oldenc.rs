@@ -43,6 +43,17 @@
 //!   dereference site. `--golden` pins the surface; the descriptors'
 //!   `selected_mechanisms` lists are cross-checked against the same
 //!   table by `select_parity`.
+//! * `oldenc scheme [BENCH] [--golden PATH]` runs the Appendix-A
+//!   coherence-scheme selection pass over the DSL renditions and prints
+//!   each benchmark's verdict: the signals it was derived from
+//!   (migration density, cached write-set size, parallel fan-out,
+//!   shared-root bottlenecks, race findings) and the chosen scheme with
+//!   reasons. `--golden` pins the surface like `select` does.
+//! * `oldenc run BENCH [--procs N] [--protocol P]` executes one
+//!   benchmark on the thread backend under the given coherence scheme
+//!   (`local`, `global`, `bilateral`, or `auto` — the default — which
+//!   asks the scheme pass), holds the run byte-equal to the simulator,
+//!   and prints the value plus the Table-3 counter block.
 //! * `oldenc predict [BENCH] [--json]` runs the static cost model over
 //!   the same DSL renditions: per benchmark, the size-derived trip
 //!   counts it consumed and the predicted dynamic counters (migrations,
@@ -60,29 +71,35 @@
 //!   deterministic summary line per benchmark (fault totals are pure
 //!   functions of the seeds, so the surface pins with `--golden`). Exit
 //!   1 on any divergence.
-//! * `oldenc difftest [--seeds N] [--golden PATH]` differentially fuzzes
-//!   the whole stack: N generated programs, each type-checked, mechanism-
-//!   selected, lowered to the executable IR, and executed on the
-//!   simulator and the lockstep thread backend from the same input seed
-//!   — byte-equal in checksum, per-loop trips, and every counter. Every
-//!   8th seed re-runs under fault injection; per seed, the static cost
-//!   model at the measured trips must bracket the executed counters.
-//!   Any divergence is delta-debugged to a minimal reproducer under
-//!   `tests/corpus/`. Exit 1 on any divergence or band miss.
+//! * `oldenc difftest [--seeds N] [--protocol P] [--golden PATH]`
+//!   differentially fuzzes the whole stack: N generated programs, each
+//!   type-checked, mechanism-selected, lowered to the executable IR, and
+//!   executed on the simulator and the lockstep thread backend from the
+//!   same input seed — byte-equal in checksum, per-loop trips, and every
+//!   counter. `--protocol` runs both sides under one Appendix-A
+//!   coherence scheme (default `local`); the CI scheme-matrix stage
+//!   sweeps all three against per-scheme goldens. Every 8th seed re-runs
+//!   under fault injection; per seed, the static cost model at the
+//!   measured trips must bracket the executed counters. Any divergence
+//!   is delta-debugged to a minimal reproducer under `tests/corpus/`.
+//!   Exit 1 on any divergence or band miss.
 //! * `oldenc profile <bench> [--trace out.json]` runs one benchmark
 //!   recorded on both backends, reconciles each recording's exact event
 //!   counts against the run's own counters (exit 1 on any mismatch), and
 //!   prints per-processor utilization timelines. `--trace` additionally
 //!   writes a Chrome `trace_event` JSON file — open it at
 //!   `chrome://tracing` or <https://ui.perfetto.dev>.
-//! * `oldenc net [BENCH] [--procs N] [--seeds N] [--stall-timeout SECS]`
-//!   runs benchmarks on the network backend — one worker OS process per
-//!   simulated processor, loopback TCP — and holds each run's value and
-//!   full counter set byte-equal to the simulator; `--seeds` additionally
-//!   sweeps that many chaos schedules per benchmark over the real
-//!   sockets. Exit 1 on any divergence. The CI net-parity gate. (The
-//!   worker processes re-enter this binary through a hidden `net-worker`
-//!   subcommand, so a single installed `oldenc` is the whole fleet.)
+//! * `oldenc net [BENCH] [--procs N] [--seeds N] [--protocol P]
+//!   [--stall-timeout SECS]` runs benchmarks on the network backend —
+//!   one worker OS process per simulated processor, loopback TCP — and
+//!   holds each run's value and full counter set byte-equal to the
+//!   simulator; `--seeds` additionally sweeps that many chaos schedules
+//!   per benchmark over the real sockets, and `--protocol` runs the
+//!   whole fleet under one coherence scheme (the name travels to each
+//!   worker process on its command line). Exit 1 on any divergence. The
+//!   CI net-parity gate. (The worker processes re-enter this binary
+//!   through a hidden `net-worker` subcommand, so a single installed
+//!   `oldenc` is the whole fleet.)
 //! * `oldenc bench [--json PATH] [--check BASE --tolerance F]` measures
 //!   every benchmark on the thread backend (wall time + all deterministic
 //!   counters) and optionally compares against a committed baseline:
@@ -115,12 +132,15 @@ fn usage() -> ExitCode {
     eprintln!("       oldenc fuzz [--seeds N] [--start S]");
     eprintln!("       oldenc opt [--golden PATH [--bless]]");
     eprintln!("       oldenc select [BENCH] [--golden PATH [--bless]]");
+    eprintln!("       oldenc scheme [BENCH] [--golden PATH [--bless]]");
+    eprintln!("       oldenc run BENCH [--procs N] [--protocol local|global|bilateral|auto]");
     eprintln!("       oldenc predict [BENCH] [--json]");
     eprintln!("       oldenc elide");
     eprintln!("       oldenc chaos [--seeds N] [--stall-timeout SECS] [--golden PATH [--bless]]");
-    eprintln!("       oldenc difftest [--seeds N] [--golden PATH [--bless]]");
+    eprintln!("       oldenc difftest [--seeds N] [--protocol P] [--golden PATH [--bless]]");
     eprintln!("       oldenc profile BENCH [--trace PATH] [--procs N] [--width N] [--net]");
-    eprintln!("       oldenc net [BENCH] [--procs N] [--seeds N] [--stall-timeout SECS]");
+    eprintln!("       oldenc net [BENCH] [--procs N] [--seeds N] [--protocol P]");
+    eprintln!("                  [--stall-timeout SECS]");
     eprintln!("       oldenc bench [--json PATH] [--check BASE] [--tolerance F]");
     eprintln!("                    [--procs N] [--reps N] [--net]");
     eprintln!("       oldenc check FILE...");
@@ -371,6 +391,109 @@ fn select_cmd(bench: Option<&str>, golden: Option<&str>, bless: bool) -> ExitCod
         None => "select".to_string(),
     };
     golden_check("select", &regen, &select_report(bench), golden, bless)
+}
+
+/// The `scheme` report: each benchmark's coherence-scheme verdict — the
+/// signal summary and the chosen Appendix-A scheme with reasons — under
+/// a `== name ==` header, in registry order.
+/// [`olden_analysis::SchemeVerdict::render`] is deterministic, so the
+/// surface pins bit-for-bit.
+fn scheme_report(bench: Option<&str>) -> String {
+    use olden_analysis::select_scheme_src;
+    let mut out = String::new();
+    for d in olden_benchmarks::all() {
+        if bench.is_some_and(|b| !d.name.eq_ignore_ascii_case(b)) {
+            continue;
+        }
+        let _ = writeln!(out, "== {} ==", d.name);
+        match select_scheme_src(d.dsl) {
+            Ok(v) => out.push_str(&v.render()),
+            Err(e) => {
+                let _ = writeln!(out, "parse error: {e}");
+            }
+        }
+    }
+    out
+}
+
+fn scheme_cmd(bench: Option<&str>, golden: Option<&str>, bless: bool) -> ExitCode {
+    if let Some(b) = bench {
+        if olden_benchmarks::by_name(b).is_none() {
+            eprintln!("oldenc: unknown benchmark {b:?}; known:");
+            for d in olden_benchmarks::all() {
+                eprintln!("  {}", d.name);
+            }
+            return ExitCode::from(2);
+        }
+    }
+    let regen = match bench {
+        Some(b) => format!("scheme {b}"),
+        None => "scheme".to_string(),
+    };
+    golden_check("scheme", &regen, &scheme_report(bench), golden, bless)
+}
+
+/// `oldenc run`: one benchmark on the thread backend under a chosen (or
+/// scheme-pass-selected) coherence protocol, held byte-equal to the
+/// simulator, with the Table-3 counter block printed.
+fn run_cmd(bench: &str, procs: usize, protocol: Option<olden_runtime::Protocol>) -> ExitCode {
+    use olden_benchmarks::generic_run;
+    use olden_exec::{run_exec, ExecConfig};
+    use olden_runtime::{Config, OldenCtx, Protocol};
+    let Some(d) = olden_benchmarks::by_name(bench) else {
+        eprintln!("oldenc: unknown benchmark {bench:?}; known:");
+        for d in olden_benchmarks::all() {
+            eprintln!("  {}", d.name);
+        }
+        return ExitCode::from(2);
+    };
+    let (protocol, why) = match protocol {
+        Some(p) => (p, "requested"),
+        None => {
+            // `auto`: ask the scheme-selection pass.
+            let v = match olden_analysis::select_scheme_src(d.dsl) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("oldenc: {} DSL: {e}", d.name);
+                    return ExitCode::from(2);
+                }
+            };
+            let p = Protocol::from_name(v.scheme.name()).expect("scheme names match protocols");
+            (p, "scheme pass")
+        }
+    };
+    let name = d.name;
+    let mut sim = OldenCtx::new(Config::olden(procs).with_protocol(protocol));
+    let sim_val = generic_run(name, &mut sim, SizeClass::Tiny).expect("registry benchmark");
+    let (val, rep) = run_exec(
+        ExecConfig::lockstep(procs).with_protocol(protocol),
+        move |ctx| generic_run(name, ctx, SizeClass::Tiny).expect("registry benchmark"),
+    );
+    println!(
+        "{name} on {procs} procs, protocol {} ({why}): value {val}",
+        protocol.name()
+    );
+    let cols: Vec<String> = rep
+        .cache
+        .counters()
+        .iter()
+        .map(|(k, n)| format!("{k}={n}"))
+        .collect();
+    println!("cache: {}", cols.join(" "));
+    println!(
+        "runtime: migrations={} futures={} steals={} messages={}",
+        rep.stats.migrations, rep.stats.futures, rep.stats.steals, rep.messages
+    );
+    if val == sim_val && rep.stats == *sim.stats() && rep.cache == *sim.cache().stats() {
+        println!("parity: byte-equal to the simulator");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "oldenc: {name} DIVERGED from the simulator under {}",
+            protocol.name()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// `oldenc predict`: the static cost model (§4 affinities pushed through
@@ -731,7 +854,7 @@ const DIFF_BAND: (f64, f64) = (0.01, 5000.0);
 /// predicate the delta-debugging shrinker minimizes under; sources that
 /// stop compiling don't count (the divergence must survive the front
 /// gate to be a *differential* finding).
-fn difftest_diverges(src: &str, seed: u64) -> bool {
+fn difftest_diverges(src: &str, seed: u64, protocol: olden_runtime::Protocol) -> bool {
     use olden_analysis::compile;
     use olden_exec::{try_run_exec, ExecConfig};
     use olden_runtime::{run_ir, Config, OldenCtx, DEFAULT_FUEL};
@@ -742,19 +865,20 @@ fn difftest_diverges(src: &str, seed: u64) -> bool {
     };
     let ir = Arc::new(ir);
     catch_unwind(AssertUnwindSafe(|| {
-        let mut sim = OldenCtx::new(Config::olden(DIFF_PROCS));
+        let mut sim = OldenCtx::new(Config::olden(DIFF_PROCS).with_protocol(protocol));
         let out_sim = run_ir(&mut sim, &ir, seed, DEFAULT_FUEL, None);
         let stats = *sim.stats();
-        let (hits, misses) = (sim.cache().stats().hits, sim.cache().stats().misses);
+        let cache = *sim.cache().stats();
         let pages = sim.cache().pages_cached();
         let ir2 = Arc::clone(&ir);
-        match try_run_exec(ExecConfig::lockstep(DIFF_PROCS), move |ctx| {
-            run_ir(ctx, &ir2, seed, DEFAULT_FUEL, None)
-        }) {
+        match try_run_exec(
+            ExecConfig::lockstep(DIFF_PROCS).with_protocol(protocol),
+            move |ctx| run_ir(ctx, &ir2, seed, DEFAULT_FUEL, None),
+        ) {
             Ok((out, rep)) => {
                 out != out_sim
                     || rep.stats != stats
-                    || (rep.cache.hits, rep.cache.misses) != (hits, misses)
+                    || rep.cache != cache
                     || rep.pages_cached != pages
             }
             Err(_) => true,
@@ -779,10 +903,10 @@ fn difftest_diverges(src: &str, seed: u64) -> bool {
 /// (results slotted back by seed before aggregation, as in
 /// [`chaos_report`]). Returns the report, the divergent seeds
 /// (parity or chaos), and the band-miss count.
-fn difftest_report(seeds: u64) -> (String, Vec<u64>, usize) {
+fn difftest_report(seeds: u64, protocol: olden_runtime::Protocol) -> (String, Vec<u64>, usize) {
     use olden_analysis::{compile, predict, Mech};
     use olden_exec::{run_exec, ExecConfig};
-    use olden_runtime::{run_ir, Config, OldenCtx, DEFAULT_FUEL};
+    use olden_runtime::{run_ir, Config, OldenCtx, Protocol, DEFAULT_FUEL};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -799,32 +923,37 @@ fn difftest_report(seeds: u64) -> (String, Vec<u64>, usize) {
         totals: [u64; 4],
     }
 
-    fn run_seed(seed: u64) -> SeedOutcome {
+    fn run_seed(seed: u64, protocol: Protocol) -> SeedOutcome {
         let src = gen_source(seed);
         let (prog, table, ir) =
             compile(&src).unwrap_or_else(|e| panic!("seed {seed} failed to lower: {e}"));
         let ir = Arc::new(ir);
-        let mut sim = OldenCtx::new(Config::olden(DIFF_PROCS));
+        let mut sim = OldenCtx::new(Config::olden(DIFF_PROCS).with_protocol(protocol));
         let out_sim = run_ir(&mut sim, &ir, seed, DEFAULT_FUEL, None);
         let stats = *sim.stats();
-        let (hits, misses) = (sim.cache().stats().hits, sim.cache().stats().misses);
+        let cache = *sim.cache().stats();
+        let misses = cache.misses;
         let pages = sim.cache().pages_cached();
         let ir2 = Arc::clone(&ir);
-        let (out_exec, rep) = run_exec(ExecConfig::lockstep(DIFF_PROCS), move |ctx| {
-            run_ir(ctx, &ir2, seed, DEFAULT_FUEL, None)
-        });
+        let (out_exec, rep) = run_exec(
+            ExecConfig::lockstep(DIFF_PROCS).with_protocol(protocol),
+            move |ctx| run_ir(ctx, &ir2, seed, DEFAULT_FUEL, None),
+        );
         let parity_ok = out_exec == out_sim
             && rep.stats == stats
-            && (rep.cache.hits, rep.cache.misses) == (hits, misses)
+            && rep.cache == cache
             && rep.pages_cached == pages;
         let chaos_ok = seed.is_multiple_of(DIFF_CHAOS_EVERY).then(|| {
             let ir3 = Arc::clone(&ir);
-            let (cv, crep) = run_exec(ExecConfig::lockstep(DIFF_PROCS).chaotic(seed), move |ctx| {
-                run_ir(ctx, &ir3, seed, DEFAULT_FUEL, None)
-            });
+            let (cv, crep) = run_exec(
+                ExecConfig::lockstep(DIFF_PROCS)
+                    .with_protocol(protocol)
+                    .chaotic(seed),
+                move |ctx| run_ir(ctx, &ir3, seed, DEFAULT_FUEL, None),
+            );
             cv == out_sim
                 && crep.stats == stats
-                && (crep.cache.hits, crep.cache.misses) == (hits, misses)
+                && crep.cache == cache
                 && crep.pages_cached == pages
                 && crep.messages == rep.messages
         });
@@ -876,7 +1005,8 @@ fn difftest_report(seeds: u64) -> (String, Vec<u64>, usize) {
                 if seed >= seeds {
                     break;
                 }
-                tx.send((seed, run_seed(seed))).expect("collector alive");
+                tx.send((seed, run_seed(seed, protocol)))
+                    .expect("collector alive");
             });
         }
         drop(tx);
@@ -889,8 +1019,9 @@ fn difftest_report(seeds: u64) -> (String, Vec<u64>, usize) {
     let _ = writeln!(
         out,
         "difftest: {seeds} generated programs on {DIFF_PROCS} procs, \
-         fuel {}, input seed = program seed",
-        olden_runtime::DEFAULT_FUEL
+         fuel {}, protocol {}, input seed = program seed",
+        olden_runtime::DEFAULT_FUEL,
+        protocol.name()
     );
     let mut divergent = Vec::new();
     let mut parity_bad = 0u64;
@@ -977,7 +1108,7 @@ fn difftest_report(seeds: u64) -> (String, Vec<u64>, usize) {
         let (_, _, ir) = compile(&src).expect("mixed seed lowers");
         let ir = Arc::new(ir);
         let counters = |force: Option<Mech>| {
-            let mut ctx = OldenCtx::new(Config::olden(DIFF_PROCS));
+            let mut ctx = OldenCtx::new(Config::olden(DIFF_PROCS).with_protocol(protocol));
             run_ir(&mut ctx, &ir, seed, DEFAULT_FUEL, force);
             (ctx.stats().migrations, ctx.cache().stats().misses)
         };
@@ -1000,17 +1131,22 @@ fn difftest_report(seeds: u64) -> (String, Vec<u64>, usize) {
     (out, divergent, band_misses)
 }
 
-fn difftest(seeds: u64, golden: Option<&str>, bless: bool) -> ExitCode {
-    let (report, divergent, band_misses) = difftest_report(seeds);
-    let regen = format!("difftest --seeds {seeds}");
+fn difftest(
+    seeds: u64,
+    protocol: olden_runtime::Protocol,
+    golden: Option<&str>,
+    bless: bool,
+) -> ExitCode {
+    let (report, divergent, band_misses) = difftest_report(seeds, protocol);
+    let regen = format!("difftest --seeds {seeds} --protocol {}", protocol.name());
     let code = golden_check("difftest", &regen, &report, golden, bless);
     // Any divergence gets delta-debugged down to a minimal reproducer in
     // the corpus, where `corpus_repros_execute_differentially` replays it
     // on both backends forever.
     for seed in &divergent {
         let seed = *seed;
-        let small = shrink(&gen_source(seed), &|s| difftest_diverges(s, seed));
-        let path = format!("tests/corpus/difftest-seed{seed}.dsl");
+        let small = shrink(&gen_source(seed), &|s| difftest_diverges(s, seed, protocol));
+        let path = format!("tests/corpus/difftest-seed{}-{}.dsl", seed, protocol.name());
         match std::fs::write(&path, &small) {
             Ok(()) => eprintln!("oldenc: shrunken reproducer written to {path}"),
             Err(e) => eprintln!("oldenc: cannot write {path}: {e}; reproducer:\n{small}"),
@@ -1027,7 +1163,8 @@ fn difftest(seeds: u64, golden: Option<&str>, bless: bool) -> ExitCode {
 }
 
 /// The command prefix that re-enters this binary as a net worker: the
-/// parent appends `<proc> <parent_port> <record>` per process.
+/// parent appends `<proc> <parent_port> <record> <protocol>` per
+/// process.
 fn self_worker_cmd() -> Result<Vec<String>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
     let exe = exe
@@ -1046,6 +1183,7 @@ fn net_run_cmd(
     bench: Option<&str>,
     procs: usize,
     seeds: u64,
+    protocol: olden_runtime::Protocol,
     stall: Option<std::time::Duration>,
 ) -> ExitCode {
     use olden_benchmarks::generic_run;
@@ -1068,7 +1206,7 @@ fn net_run_cmd(
         }
     };
     let exec_cfg = || {
-        let cfg = ExecConfig::lockstep(procs);
+        let cfg = ExecConfig::lockstep(procs).with_protocol(protocol);
         match stall {
             Some(d) => cfg.with_stall_timeout(d),
             None => cfg,
@@ -1099,15 +1237,14 @@ fn net_run_cmd(
     let mut divergent = 0usize;
     for d in &descriptors {
         let name = d.name;
-        let mut sim = OldenCtx::new(Config::olden(procs));
+        let mut sim = OldenCtx::new(Config::olden(procs).with_protocol(protocol));
         let sim_val = generic_run(name, &mut sim, SizeClass::Tiny).expect("registry benchmark");
         let t = Instant::now();
         let (val, rep) = net_with(name, exec_cfg());
         let wall_ms = t.elapsed().as_nanos() as f64 / 1e6;
         let clean = val == sim_val
             && rep.stats == *sim.stats()
-            && (rep.cache.hits, rep.cache.misses)
-                == (sim.cache().stats().hits, sim.cache().stats().misses)
+            && rep.cache == *sim.cache().stats()
             && rep.pages_cached == sim.cache().pages_cached();
         if !clean {
             println!("{name}: DIVERGED from the simulator over TCP");
@@ -1135,8 +1272,10 @@ fn net_run_cmd(
     }
     if divergent == 0 {
         println!(
-            "net: {} benchmark(s) byte-equal to the simulator across process boundaries",
-            descriptors.len()
+            "net: {} benchmark(s) byte-equal to the simulator across process boundaries \
+             (protocol {})",
+            descriptors.len(),
+            protocol.name()
         );
         ExitCode::SUCCESS
     } else {
@@ -1391,6 +1530,11 @@ fn check(files: &[String]) -> ExitCode {
     }
 }
 
+/// Parse a `--protocol` value: an Appendix-A scheme name.
+fn parse_protocol(s: &str) -> Option<olden_runtime::Protocol> {
+    olden_runtime::Protocol::from_name(s)
+}
+
 /// Parse `[--golden PATH] [--bless]`.
 fn golden_flags(args: &[String]) -> Option<(Option<String>, bool)> {
     let (mut golden, mut bless) = (None, false);
@@ -1497,6 +1641,41 @@ fn main() -> ExitCode {
                 None => usage(),
             }
         }
+        Some("scheme") => {
+            let bench = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+            let flags_from = if bench.is_some() { 2 } else { 1 };
+            match golden_flags(&args[flags_from..]) {
+                Some((golden, bless)) => scheme_cmd(bench.as_deref(), golden.as_deref(), bless),
+                None => usage(),
+            }
+        }
+        Some("run") => {
+            let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")).cloned() else {
+                return usage();
+            };
+            let mut procs = 8usize;
+            let mut protocol = None;
+            let mut rest = args[2..].iter();
+            loop {
+                match rest.next().map(String::as_str) {
+                    None => break,
+                    Some("--procs") => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if (1..=64).contains(&n) => procs = n,
+                        _ => return usage(),
+                    },
+                    Some("--protocol") => match rest.next().map(String::as_str) {
+                        Some("auto") => protocol = None,
+                        Some(p) => match parse_protocol(p) {
+                            Some(p) => protocol = Some(p),
+                            None => return usage(),
+                        },
+                        None => return usage(),
+                    },
+                    Some(_) => return usage(),
+                }
+            }
+            run_cmd(&bench, procs, protocol)
+        }
         Some("predict") => {
             let bench = args.get(1).filter(|a| !a.starts_with("--")).cloned();
             let flags_from = if bench.is_some() { 2 } else { 1 };
@@ -1513,7 +1692,7 @@ fn main() -> ExitCode {
         // Hidden: the net backend's worker processes re-enter this binary
         // here. Spawned by the orchestrator, never typed by a user, so it
         // stays out of usage().
-        Some("net-worker") if args.len() == 4 => {
+        Some("net-worker") if args.len() == 5 => {
             let proc: u8 = args[1].parse().expect("net-worker: <proc> must be a u8");
             let port: u16 = args[2]
                 .parse()
@@ -1523,7 +1702,9 @@ fn main() -> ExitCode {
                 "1" => true,
                 other => panic!("net-worker: <record> must be 0 or 1, got {other:?}"),
             };
-            olden_net::worker::worker_main(proc, port, record);
+            let protocol = olden_exec::Protocol::from_name(&args[4])
+                .unwrap_or_else(|| panic!("net-worker: unknown protocol {:?}", args[4]));
+            olden_net::worker::worker_main(proc, port, record, protocol);
         }
         Some("chaos") => {
             let (mut seeds, mut golden, mut bless) = (32u64, None::<String>, false);
@@ -1557,6 +1738,7 @@ fn main() -> ExitCode {
         }
         Some("difftest") => {
             let (mut seeds, mut golden, mut bless) = (200u64, None::<String>, false);
+            let mut protocol = olden_runtime::Protocol::LocalKnowledge;
             let mut rest = args[1..].iter();
             loop {
                 match rest.next().map(String::as_str) {
@@ -1564,6 +1746,10 @@ fn main() -> ExitCode {
                     Some("--seeds") => match rest.next().and_then(|s| s.parse().ok()) {
                         Some(n) if n > 0 => seeds = n,
                         _ => return usage(),
+                    },
+                    Some("--protocol") => match rest.next().and_then(|s| parse_protocol(s)) {
+                        Some(p) => protocol = p,
+                        None => return usage(),
                     },
                     Some("--golden") => match rest.next() {
                         Some(p) => golden = Some(p.clone()),
@@ -1576,12 +1762,13 @@ fn main() -> ExitCode {
             if bless && golden.is_none() {
                 return usage();
             }
-            difftest(seeds, golden.as_deref(), bless)
+            difftest(seeds, protocol, golden.as_deref(), bless)
         }
         Some("net") => {
             let bench = args.get(1).filter(|a| !a.starts_with("--")).cloned();
             let flags_from = if bench.is_some() { 2 } else { 1 };
             let (mut procs, mut seeds) = (4usize, 0u64);
+            let mut protocol = olden_runtime::Protocol::LocalKnowledge;
             let mut stall = None;
             let mut rest = args[flags_from..].iter();
             loop {
@@ -1595,6 +1782,10 @@ fn main() -> ExitCode {
                         Some(n) => seeds = n,
                         _ => return usage(),
                     },
+                    Some("--protocol") => match rest.next().and_then(|s| parse_protocol(s)) {
+                        Some(p) => protocol = p,
+                        None => return usage(),
+                    },
                     Some("--stall-timeout") => match rest.next().and_then(|s| s.parse().ok()) {
                         Some(secs) if secs > 0.0 && secs <= 3600.0 => {
                             stall = Some(std::time::Duration::from_secs_f64(secs));
@@ -1604,7 +1795,7 @@ fn main() -> ExitCode {
                     Some(_) => return usage(),
                 }
             }
-            net_run_cmd(bench.as_deref(), procs, seeds, stall)
+            net_run_cmd(bench.as_deref(), procs, seeds, protocol, stall)
         }
         Some("profile") => {
             let Some(bench) = args.get(1).filter(|a| !a.starts_with("--")) else {
@@ -1777,7 +1968,8 @@ mod tests {
     #[test]
     fn difftest_golden_file_is_current() {
         let want = include_str!("../../../../tests/golden/oldenc-difftest-25.txt");
-        let (report, divergent, band_misses) = difftest_report(25);
+        let (report, divergent, band_misses) =
+            difftest_report(25, olden_runtime::Protocol::LocalKnowledge);
         assert!(
             divergent.is_empty(),
             "divergent seeds {divergent:?}:\n{report}"
@@ -1787,6 +1979,58 @@ mod tests {
             report, want,
             "difftest surface drifted; re-record tests/golden/oldenc-difftest-25.txt"
         );
+    }
+
+    /// The differential harness is clean under the other two Appendix-A
+    /// schemes as well — a narrow sweep here (the 200-seed-per-scheme
+    /// matrix lives in ci.sh) that still crosses one chaos seed each and
+    /// compares the *full* cache-counter block, scheme-specific Table-3
+    /// columns included.
+    #[test]
+    fn difftest_clean_under_every_scheme() {
+        use olden_runtime::Protocol;
+        for protocol in [Protocol::GlobalKnowledge, Protocol::Bilateral] {
+            let (report, divergent, band_misses) = difftest_report(8, protocol);
+            assert!(
+                divergent.is_empty(),
+                "{protocol:?} divergent seeds {divergent:?}:\n{report}"
+            );
+            assert_eq!(band_misses, 0, "{protocol:?} band misses:\n{report}");
+            assert!(
+                report.contains(&format!("protocol {}", protocol.name())),
+                "{protocol:?} report must name its scheme:\n{report}"
+            );
+        }
+    }
+
+    /// Same pinning for the coherence-scheme surface:
+    /// `tests/golden/oldenc-scheme.txt` is exactly what `oldenc scheme`
+    /// prints today.
+    #[test]
+    fn scheme_golden_file_is_current() {
+        let want = include_str!("../../../../tests/golden/oldenc-scheme.txt");
+        assert_eq!(
+            scheme_report(None),
+            want,
+            "scheme-selection surface drifted; re-record tests/golden/oldenc-scheme.txt"
+        );
+    }
+
+    /// Every scheme verdict names a scheme the runtime can actually run:
+    /// the analysis-side `Scheme` spellings and the runtime's `Protocol`
+    /// spellings are the same namespace.
+    #[test]
+    fn scheme_verdicts_name_runnable_protocols() {
+        for d in olden_benchmarks::all() {
+            let v = olden_analysis::select_scheme_src(d.dsl)
+                .unwrap_or_else(|e| panic!("{} DSL: {e}", d.name));
+            assert!(
+                olden_runtime::Protocol::from_name(v.scheme.name()).is_some(),
+                "{}: scheme {:?} has no runtime protocol",
+                d.name,
+                v.scheme
+            );
+        }
     }
 
     /// Every descriptor's recorded `elided_sites` list is byte-equal to

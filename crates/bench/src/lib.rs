@@ -62,6 +62,18 @@ pub fn table2_row(d: &Descriptor, procs: &[usize], size: SizeClass) -> Table2Row
     }
 }
 
+/// One coherence scheme's column block in a Table-3 row: the miss rate
+/// plus the Appendix-A bookkeeping counters that distinguish the
+/// schemes (pushed invalidations and how many were spurious under
+/// global knowledge, revalidation round trips under bilateral).
+#[derive(Clone, Copy, Default)]
+pub struct SchemeStats {
+    pub miss_pct: f64,
+    pub invalidations_sent: u64,
+    pub invalidations_spurious: u64,
+    pub revalidations: u64,
+}
+
 /// A Table-3 row: caching statistics under each coherence protocol.
 pub struct Table3Row {
     pub name: &'static str,
@@ -69,24 +81,38 @@ pub struct Table3Row {
     pub write_remote_pct: f64,
     pub cacheable_reads: u64,
     pub read_remote_pct: f64,
-    pub miss_pct: [f64; 3], // local, global, bilateral
+    /// Per-scheme blocks in [`Protocol::ALL`] order (local, global,
+    /// bilateral).
+    pub schemes: [SchemeStats; 3],
     pub pages_cached: u64,
 }
 
-/// Compute a Table-3 row at `procs` processors.
+impl Table3Row {
+    /// Miss rates in scheme order — the paper's three `%` columns.
+    pub fn miss_pct(&self) -> [f64; 3] {
+        [
+            self.schemes[0].miss_pct,
+            self.schemes[1].miss_pct,
+            self.schemes[2].miss_pct,
+        ]
+    }
+}
+
+/// Compute a Table-3 row at `procs` processors: one full run per
+/// Appendix-A scheme, with the traffic columns taken from the
+/// local-knowledge baseline (they are scheme-independent and the parity
+/// suites hold them equal).
 pub fn table3_row(d: &Descriptor, procs: usize, size: SizeClass) -> Table3Row {
-    let mut miss = [0.0f64; 3];
+    let mut schemes = [SchemeStats::default(); 3];
     let mut base = None;
-    for (i, proto) in [
-        Protocol::LocalKnowledge,
-        Protocol::GlobalKnowledge,
-        Protocol::Bilateral,
-    ]
-    .into_iter()
-    .enumerate()
-    {
+    for (i, proto) in Protocol::ALL.into_iter().enumerate() {
         let rep = run_checked(d, Config::olden(procs).with_protocol(proto), size);
-        miss[i] = rep.cache.miss_pct();
+        schemes[i] = SchemeStats {
+            miss_pct: rep.cache.miss_pct(),
+            invalidations_sent: rep.cache.invalidations_sent,
+            invalidations_spurious: rep.cache.invalidations_spurious,
+            revalidations: rep.cache.revalidations,
+        };
         if i == 0 {
             base = Some(rep);
         }
@@ -98,7 +124,7 @@ pub fn table3_row(d: &Descriptor, procs: usize, size: SizeClass) -> Table3Row {
         write_remote_pct: rep.cache.write_remote_pct(),
         cacheable_reads: rep.cache.cacheable_reads,
         read_remote_pct: rep.cache.read_remote_pct(),
-        miss_pct: miss,
+        schemes,
         pages_cached: rep.pages_cached,
     }
 }
@@ -122,7 +148,16 @@ mod tests {
         let d = by_name("EM3D").unwrap();
         let row = table3_row(&d, 4, SizeClass::Tiny);
         assert!(row.cacheable_reads > 0);
-        assert!(row.miss_pct.iter().all(|&m| (0.0..=100.0).contains(&m)));
+        assert!(row.miss_pct().iter().all(|&m| (0.0..=100.0).contains(&m)));
         assert!(row.pages_cached > 0);
+        // Scheme bookkeeping shows up in the right columns only: local
+        // knowledge does neither, global never revalidates, bilateral
+        // never pushes invalidations.
+        let [local, global, bilateral] = row.schemes;
+        assert_eq!(local.invalidations_sent, 0);
+        assert_eq!(local.revalidations, 0);
+        assert_eq!(global.revalidations, 0);
+        assert_eq!(bilateral.invalidations_sent, 0);
+        assert!(global.invalidations_spurious <= global.invalidations_sent);
     }
 }

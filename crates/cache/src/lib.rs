@@ -31,6 +31,8 @@ pub mod protocol;
 pub mod stats;
 pub mod table;
 
-pub use protocol::{Access, Arrival, CacheSystem, Protocol};
+pub use protocol::{
+    Access, Arrival, CacheSystem, HomePage, Protocol, TRACK_NONSHARED, TRACK_SHARED,
+};
 pub use stats::CacheStats;
 pub use table::{CachedPage, ProcCache, HASH_BUCKETS};

@@ -45,6 +45,16 @@ impl Protocol {
             Protocol::Bilateral => "bilateral",
         }
     }
+
+    /// Inverse of [`Protocol::name`] — the CLI flag and wire spellings.
+    pub fn from_name(s: &str) -> Option<Protocol> {
+        match s {
+            "local" => Some(Protocol::LocalKnowledge),
+            "global" => Some(Protocol::GlobalKnowledge),
+            "bilateral" => Some(Protocol::Bilateral),
+            _ => None,
+        }
+    }
 }
 
 /// Outcome of a remote cacheable access.
@@ -69,25 +79,42 @@ pub enum Arrival<'a> {
     Return { written_homes: &'a [ProcId] },
 }
 
-/// Home-side metadata for one page.
+/// Home-side metadata for one page. Public so the distributed backends
+/// (olden-exec workers, and through them olden-net) keep byte-identical
+/// directory state to the simulator's.
 #[derive(Clone, Debug, Default)]
-struct HomePage {
+pub struct HomePage {
     /// Processors that have requested lines of this page (page-granularity
     /// sharer tracking, Appendix A).
-    sharers: Vec<ProcId>,
+    pub sharers: Vec<ProcId>,
     /// Bilateral: current timestamp; bumped at migration departure if the
     /// page was written during the epoch.
-    ts: u64,
+    pub ts: u64,
     /// Bilateral: timestamp at which each line was last written (the value
     /// the page's `ts` will take at the *next* departure).
-    line_ts: [u64; LINES_PER_PAGE],
+    pub line_ts: [u64; LINES_PER_PAGE],
+}
+
+impl HomePage {
+    /// Bilateral revalidation: the mask of lines written since the
+    /// requester last validated against this page.
+    pub fn stale_mask(&self, validated_ts: u64) -> u32 {
+        let mut mask = 0u32;
+        for l in 0..LINES_PER_PAGE {
+            if self.line_ts[l] > validated_ts {
+                mask |= 1 << l;
+            }
+        }
+        mask
+    }
 }
 
 /// Instruction costs of the compiler-inserted write-tracking code
 /// (Appendix A: "seven instructions for non-shared pages, and twenty-three
-/// instructions for shared pages").
-const TRACK_NONSHARED: u64 = 7;
-const TRACK_SHARED: u64 = 23;
+/// instructions for shared pages"). Public so the distributed backends
+/// charge the same cycles at their home workers.
+pub const TRACK_NONSHARED: u64 = 7;
+pub const TRACK_SHARED: u64 = 23;
 
 /// All caches plus the home directories, under one protocol.
 #[derive(Clone, Debug)]
@@ -187,13 +214,7 @@ impl CacheSystem {
         if reval_needed {
             let (ts, stale_mask) = {
                 let hp = self.homes[home as usize].entry(page).or_default();
-                let mut mask = 0u32;
-                for l in 0..LINES_PER_PAGE {
-                    if hp.line_ts[l] > validated_ts {
-                        mask |= 1 << l;
-                    }
-                }
-                (hp.ts, mask)
+                (hp.ts, hp.stale_mask(validated_ts))
             };
             let cache = &mut self.caches[requester as usize];
             if let Some(cp) = cache.lookup(home, page) {

@@ -48,6 +48,19 @@ pub enum MsgKind {
     CacheLookup,
     CacheInstall,
     Migrate,
+    /// Global knowledge: the departing thread asks a home for a page's
+    /// sharer list.
+    SharerQuery,
+    /// Global knowledge: a pushed invalidation of specific lines, sent to
+    /// a sharer on the departing thread's behalf.
+    InvalidateLines,
+    /// Bilateral: bump the home timestamps of pages the departing thread
+    /// wrote.
+    BumpTs,
+    /// Bilateral: ask a home which lines went stale since a validation.
+    RevalQuery,
+    /// Bilateral: apply a home's revalidation verdict to the local cache.
+    RevalApply,
     /// Control plane: never faulted (a worker exits on its first
     /// shutdown, so a duplicate would hit a closed mailbox).
     Shutdown,
@@ -55,7 +68,7 @@ pub enum MsgKind {
 
 impl MsgKind {
     /// Every data-plane kind (the ones the fault layer may target).
-    pub const DATA_PLANE: [MsgKind; 9] = [
+    pub const DATA_PLANE: [MsgKind; 14] = [
         MsgKind::Alloc,
         MsgKind::ReadHome,
         MsgKind::WriteHome,
@@ -65,6 +78,11 @@ impl MsgKind {
         MsgKind::CacheLookup,
         MsgKind::CacheInstall,
         MsgKind::Migrate,
+        MsgKind::SharerQuery,
+        MsgKind::InvalidateLines,
+        MsgKind::BumpTs,
+        MsgKind::RevalQuery,
+        MsgKind::RevalApply,
     ];
 
     pub fn name(self) -> &'static str {
@@ -78,6 +96,11 @@ impl MsgKind {
             MsgKind::CacheLookup => "CacheLookup",
             MsgKind::CacheInstall => "CacheInstall",
             MsgKind::Migrate => "Migrate",
+            MsgKind::SharerQuery => "SharerQuery",
+            MsgKind::InvalidateLines => "InvalidateLines",
+            MsgKind::BumpTs => "BumpTs",
+            MsgKind::RevalQuery => "RevalQuery",
+            MsgKind::RevalApply => "RevalApply",
             MsgKind::Shutdown => "Shutdown",
         }
     }

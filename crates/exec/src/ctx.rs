@@ -31,12 +31,14 @@ use crate::frame::{CompleteOnDrop, FrameHandle};
 use crate::msg::{ArrivalKind, Envelope, LookupReply, Reply, Request};
 use crate::transport::ClientConn;
 use crate::{ClientSlot, Mode, Shared, C_DONE, C_JOINING, C_RUNNING, C_WAITING_BODY};
-use olden_gptr::{GPtr, ProcId, Word, LINE_WORDS};
+use olden_cache::Protocol;
+use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS};
 use olden_obs::{EventKind, Recorder};
 use olden_runtime::{
     Backend, Check, FaultEvent, FaultTag, Mechanism, RaceViolation, RunStats, TransportStats,
     VClock,
 };
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -49,6 +51,9 @@ pub(crate) struct BodyOutcome<T> {
     stats: RunStats,
     cacheable_reads: u64,
     cacheable_writes: u64,
+    /// Write-tracking schemes: the body's accumulated dirty-line masks
+    /// (continues the spawner's epoch when the body completed inline).
+    dirty: HashMap<(ProcId, PageNum), u32>,
     /// Sanitizer: the body's final vector clock, joined into the
     /// toucher's clock (the simulator's `Join` edge).
     clock: VClock,
@@ -114,6 +119,12 @@ pub struct ExecCtx {
     /// the workers).
     cacheable_reads: u64,
     cacheable_writes: u64,
+    /// Write-tracking schemes (global/bilateral): lines this logical
+    /// thread wrote since its last migration departure, (home, page) →
+    /// line mask — the thread-side half of `CacheSystem::note_write`,
+    /// flushed by [`ExecCtx::depart_release`]. Empty under local
+    /// knowledge.
+    dirty: HashMap<(ProcId, PageNum), u32>,
     /// Sanitizer: this logical thread's vector clock, mirroring the
     /// simulator's per-segment clocks — advanced (with a fresh shared
     /// tick) on every migration, steal resume, and touch join. Untouched
@@ -154,6 +165,7 @@ impl ExecCtx {
             stats: RunStats::default(),
             cacheable_reads: 0,
             cacheable_writes: 0,
+            dirty: HashMap::new(),
             clock: VClock::new(),
             slot,
             conn,
@@ -356,12 +368,17 @@ impl ExecCtx {
 
     fn write_home(&mut self, p: GPtr, value: Word) {
         let clock = self.clock_for_msg();
+        // Charged writes run the home-side half of the write-tracking
+        // instrumentation (global/bilateral); uncharged writes — like the
+        // simulator's — are invisible to the coherence machinery.
+        let track = self.free_depth == 0 && self.shared.protocol != Protocol::LocalKnowledge;
         self.req(
             p.proc(),
             Request::WriteHome {
                 local: p.local(),
                 value,
                 clock,
+                track,
             },
         )
         .expect_unit()
@@ -411,6 +428,54 @@ impl ExecCtx {
                 }
                 (w, matches!(reply, LookupReply::ElidedHit(_)))
             }
+            LookupReply::RevalNeeded { validated_ts } => {
+                // Bilateral: the page is epoch-marked, so the access takes
+                // a round trip to the home whatever happens — the same
+                // miss-class event the simulator records.
+                self.rec_instant(EventKind::LineFetch, cur, home as u64);
+                // The revalidation doubles as the sanitized read access
+                // (writes carry their clock on the write-through), so each
+                // logged access still maps to exactly one clocked message.
+                let clock = if write { None } else { self.clock_for_msg() };
+                let (ts, stale_mask) = self
+                    .req(
+                        home,
+                        Request::RevalQuery {
+                            page,
+                            line,
+                            validated_ts,
+                            clock,
+                        },
+                    )
+                    .expect_reval();
+                let applied = self
+                    .req(
+                        cur,
+                        Request::RevalApply {
+                            home,
+                            page,
+                            line,
+                            ts,
+                            stale_mask,
+                            word,
+                            write,
+                            wval,
+                        },
+                    )
+                    .expect_lookup();
+                match applied {
+                    // The line survived revalidation: answered like a hit
+                    // (one round trip total, counted as a revalidation).
+                    LookupReply::Hit(w) => (w, false),
+                    // Stale: fetch the line for real. The read was already
+                    // sanitized by the revalidation query, so no clock.
+                    LookupReply::Miss => {
+                        let w = self.fetch_and_install(cur, home, page, line, word, write, wval);
+                        (w, false)
+                    }
+                    other => unreachable!("RevalApply answered {other:?}"),
+                }
+            }
             LookupReply::Miss => {
                 self.rec_instant(EventKind::LineFetch, cur, home as u64);
                 // The fetch doubles as the sanitized read access; a write
@@ -418,8 +483,16 @@ impl ExecCtx {
                 // each simulator-side logged access maps to exactly one
                 // clocked message.
                 let clock = if write { None } else { self.clock_for_msg() };
-                let data = self
-                    .req(home, Request::LineFetchReq { page, line, clock })
+                let (data, ts) = self
+                    .req(
+                        home,
+                        Request::LineFetchReq {
+                            page,
+                            line,
+                            requester: cur,
+                            clock,
+                        },
+                    )
                     .expect_line();
                 let w = self
                     .req(
@@ -432,12 +505,54 @@ impl ExecCtx {
                             word,
                             write,
                             wval,
+                            ts,
                         },
                     )
                     .expect_word();
                 (w, false)
             }
         }
+    }
+
+    /// The fetch + install round trips of a true miss, clock-free (used
+    /// on the revalidation path, where the query already carried the
+    /// sanitizer clock).
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_and_install(
+        &mut self,
+        cur: ProcId,
+        home: ProcId,
+        page: PageNum,
+        line: LineInPage,
+        word: usize,
+        write: bool,
+        wval: Option<Word>,
+    ) -> Word {
+        let (data, ts) = self
+            .req(
+                home,
+                Request::LineFetchReq {
+                    page,
+                    line,
+                    requester: cur,
+                    clock: None,
+                },
+            )
+            .expect_line();
+        self.req(
+            cur,
+            Request::CacheInstall {
+                home,
+                page,
+                line,
+                data,
+                word,
+                write,
+                wval,
+                ts,
+            },
+        )
+        .expect_word()
     }
 
     fn note_written(&mut self, home: ProcId) {
@@ -453,14 +568,62 @@ impl ExecCtx {
         }
     }
 
-    /// Thread migration to `target`: release at the origin (a no-op under
-    /// local knowledge), make futures spawned from the vacated processor
-    /// stealable, and acquire at the destination (whole-cache clear).
+    /// The release half of a migration send: flush this thread's dirty
+    /// lines per the coherence scheme. Local knowledge keeps no write
+    /// state, so it releases for free; global knowledge pushes
+    /// invalidations to every other sharer of each written page;
+    /// bilateral bumps the written pages' home timestamps. All traffic is
+    /// client-driven round trips (workers never talk to each other), and
+    /// the flush order is sorted so chaotic runs see a deterministic
+    /// message sequence.
+    fn depart_release(&mut self, from: ProcId) {
+        match self.shared.protocol {
+            Protocol::LocalKnowledge => {}
+            Protocol::GlobalKnowledge => {
+                if self.dirty.is_empty() {
+                    return;
+                }
+                let mut dirty: Vec<((ProcId, PageNum), u32)> = self.dirty.drain().collect();
+                dirty.sort_unstable_by_key(|&(key, _)| key);
+                for ((home, page), mask) in dirty {
+                    let sharers = self
+                        .req(home, Request::SharerQuery { page })
+                        .expect_sharers();
+                    for s in sharers {
+                        if s == from {
+                            continue; // the writer's own copy is current
+                        }
+                        self.req(s, Request::InvalidateLines { home, page, mask })
+                            .expect_unit();
+                    }
+                }
+            }
+            Protocol::Bilateral => {
+                if self.dirty.is_empty() {
+                    return;
+                }
+                let mut by_home: BTreeMap<ProcId, Vec<PageNum>> = BTreeMap::new();
+                for (home, page) in self.dirty.drain().map(|(key, _)| key) {
+                    by_home.entry(home).or_default().push(page);
+                }
+                for (home, mut pages) in by_home {
+                    pages.sort_unstable();
+                    self.req(home, Request::BumpTs { pages }).expect_unit();
+                }
+            }
+        }
+    }
+
+    /// Thread migration to `target`: release at the origin (scheme-
+    /// dependent — see [`ExecCtx::depart_release`]), make futures spawned
+    /// from the vacated processor stealable, and acquire at the
+    /// destination.
     fn migrate_to(&mut self, target: ProcId) {
         let from = self.cur_proc;
         debug_assert_ne!(from, target);
         self.stats.migrations += 1;
         self.rec_instant(EventKind::MigrateSend, from, target as u64);
+        self.depart_release(from);
         // Steals are marked with the *departing* segment's clock, before
         // the bump: the resumed continuation is ordered after everything
         // up to the migration, not after the body's later work.
@@ -608,6 +771,11 @@ impl ExecCtx {
         } else {
             self.stats.checks_performed += 1;
         }
+        if self.shared.protocol != Protocol::LocalKnowledge {
+            // The thread-side half of the write tracking: remember the
+            // dirty line for the next departure's release.
+            *self.dirty.entry((p.proc(), p.page())).or_insert(0) |= 1u32 << p.line_in_page();
+        }
         self.note_written(p.proc());
     }
 
@@ -624,6 +792,7 @@ impl ExecCtx {
             self.stats.return_migrations += 1;
             let from = self.cur_proc;
             self.rec_instant(EventKind::ReturnSend, from, entry as u64);
+            self.depart_release(from);
             self.mark_steals(from);
             self.cur_proc = entry;
             self.slot.proc.store(entry, Ordering::Relaxed);
@@ -666,6 +835,9 @@ impl ExecCtx {
                 self.rec_end(EventKind::FutureBody, self.cur_proc);
                 if frame.is_stolen() {
                     self.stats.steals += 1;
+                    // The body thread releases as it sends its value home
+                    // (the simulator's depart at the stolen arm).
+                    self.depart_release(self.cur_proc);
                     // The idle spawn processor grabbed the continuation;
                     // resume there (no acquire — the continuation never
                     // left). Clock-wise this rewinds to the steal point:
@@ -708,6 +880,10 @@ impl ExecCtx {
                     stats: RunStats::default(),
                     cacheable_reads: 0,
                     cacheable_writes: 0,
+                    // The body continues the spawner's write epoch: dirty
+                    // lines accumulated here travel with it and flush at
+                    // its next departure (one thread in the simulator).
+                    dirty: self.dirty.clone(),
                     // The body continues the spawner's segment (no bump
                     // until it migrates), exactly as in the simulator.
                     clock: self.clock.clone(),
@@ -730,6 +906,14 @@ impl ExecCtx {
                         let value = f(&mut child);
                         let written = child.write_scopes.pop().expect("scope underflow");
                         child.rec_end(EventKind::FutureBody, child.cur_proc);
+                        if _complete.0.is_stolen() {
+                            // A forked body releases as it sends its value
+                            // home (the simulator's depart at the stolen
+                            // arm); an inline body's dirty lines return to
+                            // the spawner instead.
+                            let end_proc = child.cur_proc;
+                            child.depart_release(end_proc);
+                        }
                         child.park_lane();
                         child.slot.state.store(C_DONE, Ordering::Relaxed);
                         BodyOutcome {
@@ -738,6 +922,7 @@ impl ExecCtx {
                             stats: child.stats,
                             cacheable_reads: child.cacheable_reads,
                             cacheable_writes: child.cacheable_writes,
+                            dirty: std::mem::take(&mut child.dirty),
                             clock: child.clock,
                         }
                     })
@@ -753,6 +938,10 @@ impl ExecCtx {
                 self.frames.pop().expect("frame underflow");
                 if st.stolen {
                     self.stats.steals += 1;
+                    // The stolen body took the write epoch with it (it
+                    // cloned our dirty set and departs at its end); the
+                    // continuation starts a fresh epoch here.
+                    self.dirty.clear();
                     // Resume from the steal point's clock (see the
                     // lockstep arm for the reasoning).
                     if let Some(sc) = st.steal_clock {
@@ -770,6 +959,9 @@ impl ExecCtx {
                     let out = join_body(join);
                     self.absorb(&out.stats, out.cacheable_reads, out.cacheable_writes);
                     self.merge_written(&out.written);
+                    // The inline body extended our write epoch; adopt its
+                    // final dirty set (ours was a prefix of it).
+                    self.dirty = out.dirty;
                     ExecHandle(HandleInner::Ready {
                         value: out.value,
                         written: out.written,

@@ -42,6 +42,7 @@ mod ctx;
 
 pub use chaos::{ExecError, FaultPlan, MsgKind, Verdict};
 pub use ctx::{ClientFinal, ExecCtx, ExecHandle};
+pub use olden_cache::Protocol;
 pub use transport::{ClientConn, MailboxTransport, Transport, WorkerPort};
 
 use crate::msg::{Envelope, Request, WorkerReport, CONTROL_SRC};
@@ -93,6 +94,10 @@ pub struct ExecConfig {
     /// access sites (the simulator's `Config::elide_checks`). Off by
     /// default; force overrides disable it regardless.
     pub elide_checks: bool,
+    /// Coherence scheme (Appendix A) the worker fleet runs under — the
+    /// simulator's `Config::protocol`. Local knowledge by default, like
+    /// the paper's measured configuration.
+    pub protocol: Protocol,
     /// Deterministic fault schedule for the transport. The default
     /// ([`FaultPlan::none`]) injects nothing and the transport behaves
     /// exactly as if the chaos layer did not exist.
@@ -114,6 +119,7 @@ impl ExecConfig {
             stall_timeout: Duration::from_secs(10),
             sanitize: false,
             elide_checks: false,
+            protocol: Protocol::LocalKnowledge,
             plan: FaultPlan::none(),
             record: false,
         }
@@ -147,6 +153,13 @@ impl ExecConfig {
     /// honored.
     pub fn optimized(mut self) -> ExecConfig {
         self.elide_checks = true;
+        self
+    }
+
+    /// Same configuration under another coherence scheme — the
+    /// simulator's `Config::with_protocol`.
+    pub fn with_protocol(mut self, p: Protocol) -> ExecConfig {
+        self.protocol = p;
         self
     }
 
@@ -229,6 +242,7 @@ pub struct Shared {
     pub force: Option<Mechanism>,
     pub sanitize: bool,
     pub elide_checks: bool,
+    pub protocol: Protocol,
     pub plan: FaultPlan,
     pub transport: Arc<TransportCounters>,
     /// The run's link to its worker fleet; every client connection is
@@ -270,6 +284,7 @@ impl Shared {
             force: cfg.force,
             sanitize: cfg.sanitize,
             elide_checks: cfg.elide_checks,
+            protocol: cfg.protocol,
             plan: cfg.plan,
             transport: counters,
             link,
@@ -472,6 +487,10 @@ pub fn assemble_report(
         cache.remote_writes += r.cache.remote_writes;
         cache.hits += r.cache.hits;
         cache.misses += r.cache.misses;
+        cache.revalidations += r.cache.revalidations;
+        cache.invalidations_sent += r.cache.invalidations_sent;
+        cache.invalidations_spurious += r.cache.invalidations_spurious;
+        cache.write_track_cycles += r.cache.write_track_cycles;
         cache.checks_performed += r.cache.checks_performed;
         cache.checks_elided += r.cache.checks_elided;
         pages_cached += r.pages_ever;
@@ -544,6 +563,7 @@ where
         let slot = Arc::new(WorkerSlot::default());
         let worker = Worker::new(
             p as ProcId,
+            cfg.protocol,
             Arc::clone(&slot),
             Arc::clone(&progress),
             Arc::clone(&counters),

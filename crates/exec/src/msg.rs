@@ -60,6 +60,12 @@ pub enum LookupReply {
     /// so the worker answered from an *uncounted* probe — no table lookup
     /// charged, `checks_elided` bumped instead of `checks_performed`.
     ElidedHit(Word),
+    /// Bilateral only: the page is epoch-marked, so the access must
+    /// revalidate against the home before it can hit. Carries the cached
+    /// page's last-validated timestamp; the client performs the
+    /// [`Request::RevalQuery`] / [`Request::RevalApply`] round trips.
+    /// Neither hit nor miss has been counted yet.
+    RevalNeeded { validated_ts: u64 },
 }
 
 /// Everything a worker can be asked to do. Pure data: every variant is
@@ -74,19 +80,26 @@ pub enum Request {
     /// happens-before state. → [`Reply::Word`].
     ReadHome { local: u64, clock: Option<VClock> },
     /// Write the home copy of one word (the write-through of every heap
-    /// write, however its address was resolved). → [`Reply::Unit`].
+    /// write, however its address was resolved). `track` is set for
+    /// charged writes: the home runs the compiler-inserted write-tracking
+    /// code of the global/bilateral schemes (dirty line timestamps, the
+    /// 7-vs-23-instruction shared check). → [`Reply::Unit`].
     WriteHome {
         local: u64,
         value: Word,
         clock: Option<VClock>,
+        track: bool,
     },
     /// Home side of a cache miss: ship one line of this worker's section.
-    /// `clock` is set for sanitized cache-read misses; cached writes
-    /// leave it `None` (their write-through carries the clock).
-    /// → [`Reply::Line`].
+    /// `requester` is the processor installing the line — under the
+    /// global/bilateral schemes the home registers it as a sharer of the
+    /// page and returns the page's current timestamp. `clock` is set for
+    /// sanitized cache-read misses; cached writes leave it `None` (their
+    /// write-through carries the clock). → [`Reply::Line`].
     LineFetchReq {
         page: PageNum,
         line: LineInPage,
+        requester: ProcId,
         clock: Option<VClock>,
     },
     /// Sanitizer only: a cache **read hit** on a line homed here — the
@@ -122,7 +135,8 @@ pub enum Request {
     },
     /// Install a line fetched from its home into this worker's cache and
     /// return the requested word (after applying `wval` for a write).
-    /// → [`Reply::Word`].
+    /// `ts` is the home page's timestamp from the fetch reply (bilateral:
+    /// the installed line is valid as of that epoch). → [`Reply::Word`].
     CacheInstall {
         home: ProcId,
         page: PageNum,
@@ -131,11 +145,56 @@ pub enum Request {
         word: usize,
         write: bool,
         wval: Option<Word>,
+        ts: u64,
     },
     /// The logical thread arrives here by migration: perform the acquire
-    /// (local-knowledge invalidation per [`ArrivalKind`]).
+    /// (per-protocol — local knowledge invalidates, bilateral epoch-marks,
+    /// global knowledge did its work at departure).
     /// → [`Reply::Unit`].
     MigrateThread { arrival: ArrivalKind },
+    /// Global knowledge, from a departing thread (release): read this
+    /// home's sharer list for one of its pages. Read-only — no directory
+    /// state changes. → [`Reply::Sharers`].
+    SharerQuery { page: PageNum },
+    /// Global knowledge: invalidate specific lines of a remotely homed
+    /// page in *this* worker's cache (a pushed invalidation, delivered on
+    /// the departing thread's behalf). The worker counts it sent, and
+    /// spurious when the page was not cached. → [`Reply::Unit`].
+    InvalidateLines {
+        home: ProcId,
+        page: PageNum,
+        mask: u32,
+    },
+    /// Bilateral, from a departing thread (release): bump the home
+    /// timestamp of each written page. → [`Reply::Unit`].
+    BumpTs { pages: Vec<PageNum> },
+    /// Bilateral revalidation, home side: report the page's current
+    /// timestamp and the mask of lines written since `validated_ts`.
+    /// `clock` is set for sanitized reads (the revalidation doubles as
+    /// the logged access; writes carry their clock on the write-through).
+    /// → [`Reply::Reval`].
+    RevalQuery {
+        page: PageNum,
+        line: LineInPage,
+        validated_ts: u64,
+        clock: Option<VClock>,
+    },
+    /// Bilateral revalidation, requester side: apply the home's verdict to
+    /// the cached page (drop stale lines, unmark, adopt `ts`), then
+    /// re-examine the wanted line. A surviving line answers like a hit
+    /// (`revalidations` counted); a stale one reports
+    /// [`LookupReply::Miss`] and the client performs the ordinary fetch.
+    /// Either way the round trip counts as a miss. → [`Reply::Lookup`].
+    RevalApply {
+        home: ProcId,
+        page: PageNum,
+        line: LineInPage,
+        ts: u64,
+        stale_mask: u32,
+        word: usize,
+        write: bool,
+        wval: Option<Word>,
+    },
     /// Deterministic shutdown: reply with the worker's final statistics
     /// and exit the service loop. → [`Reply::Report`].
     Shutdown,
@@ -154,6 +213,11 @@ impl Request {
             Request::CacheLookup { .. } => MsgKind::CacheLookup,
             Request::CacheInstall { .. } => MsgKind::CacheInstall,
             Request::MigrateThread { .. } => MsgKind::Migrate,
+            Request::SharerQuery { .. } => MsgKind::SharerQuery,
+            Request::InvalidateLines { .. } => MsgKind::InvalidateLines,
+            Request::BumpTs { .. } => MsgKind::BumpTs,
+            Request::RevalQuery { .. } => MsgKind::RevalQuery,
+            Request::RevalApply { .. } => MsgKind::RevalApply,
             Request::Shutdown => MsgKind::Shutdown,
         }
     }
@@ -167,9 +231,19 @@ pub enum Reply {
     Ptr(GPtr),
     Word(Word),
     Unit,
-    Line(LineData),
+    /// A fetched line plus the home page's timestamp (0 under local
+    /// knowledge, where homes keep no directory state).
+    Line(LineData, u64),
     Races(Vec<RaceViolation>),
     Lookup(LookupReply),
+    /// A page's sharer list, answering [`Request::SharerQuery`].
+    Sharers(Vec<ProcId>),
+    /// A home's revalidation verdict, answering [`Request::RevalQuery`]:
+    /// the page's current timestamp and the stale-line mask.
+    Reval {
+        ts: u64,
+        stale_mask: u32,
+    },
     Report(Box<WorkerReport>),
 }
 
@@ -188,10 +262,26 @@ macro_rules! expect_variant {
 impl Reply {
     expect_variant!(expect_ptr, Ptr, GPtr, "Ptr");
     expect_variant!(expect_word, Word, Word, "Word");
-    expect_variant!(expect_line, Line, LineData, "Line");
     expect_variant!(expect_races, Races, Vec<RaceViolation>, "Races");
     expect_variant!(expect_lookup, Lookup, LookupReply, "Lookup");
+    expect_variant!(expect_sharers, Sharers, Vec<ProcId>, "Sharers");
     expect_variant!(expect_report, Report, Box<WorkerReport>, "Report");
+
+    #[track_caller]
+    pub fn expect_line(self) -> (LineData, u64) {
+        match self {
+            Reply::Line(data, ts) => (data, ts),
+            other => panic!("protocol: expected Line, got {other:?}"),
+        }
+    }
+
+    #[track_caller]
+    pub fn expect_reval(self) -> (u64, u32) {
+        match self {
+            Reply::Reval { ts, stale_mask } => (ts, stale_mask),
+            other => panic!("protocol: expected Reval, got {other:?}"),
+        }
+    }
 
     #[track_caller]
     pub fn expect_unit(self) {

@@ -19,7 +19,7 @@ use crate::envelope::{Dedup, CONTROL_SRC};
 use crate::msg::{ArrivalKind, LineData, LookupReply, Reply, Request, WorkerReport};
 use crate::transport::WorkerPort;
 use crate::TransportCounters;
-use olden_cache::{CacheStats, ProcCache};
+use olden_cache::{CacheStats, HomePage, ProcCache, Protocol, TRACK_NONSHARED, TRACK_SHARED};
 use olden_gptr::{GPtr, LineInPage, PageNum, ProcId, Word, LINE_WORDS, PAGE_WORDS};
 use olden_obs::{EventKind, Recorder};
 use olden_runtime::{LineKey, LineSanitizer};
@@ -44,11 +44,19 @@ pub const W_EXITED: u8 = 2;
 
 pub struct Worker {
     proc: ProcId,
+    /// Coherence scheme in force for this run (identical across the
+    /// fleet; decides arrival invalidation, write tracking, and the
+    /// revalidation protocol).
+    protocol: Protocol,
     /// Heap section; word 0's line reserved so the all-zero GPtr stays
     /// null (identical layout to `olden_runtime::DistributedHeap`).
     section: Vec<Word>,
     /// Line-validity metadata: the Figure-1 translation table.
     cache: ProcCache,
+    /// Home-side directory for pages homed here (global/bilateral
+    /// schemes): sharer lists and epoch timestamps, byte-identical to the
+    /// simulator's `CacheSystem` homes. Empty under local knowledge.
+    homes: HashMap<PageNum, HomePage>,
     /// The cached lines' payloads. Cleared metadata leaves entries behind
     /// (unreachable until re-installed), which keeps invalidation O(table)
     /// as in the protocol.
@@ -82,6 +90,7 @@ pub struct Worker {
 impl Worker {
     pub fn new(
         proc: ProcId,
+        protocol: Protocol,
         slot: Arc<WorkerSlot>,
         progress: Arc<AtomicU64>,
         transport: Arc<TransportCounters>,
@@ -89,8 +98,10 @@ impl Worker {
     ) -> Worker {
         Worker {
             proc,
+            protocol,
             section: vec![Word::ZERO; LINE_WORDS],
             cache: ProcCache::new(),
+            homes: HashMap::new(),
             lines: HashMap::new(),
             stats: CacheStats::default(),
             san: LineSanitizer::new(),
@@ -169,18 +180,54 @@ impl Worker {
                 local,
                 value,
                 clock,
+                track,
             } => {
                 if let Some(c) = clock {
                     self.san.access(self.line_of(local), true, &c);
                 }
                 self.section[local as usize] = value;
+                if track && self.protocol != Protocol::LocalKnowledge {
+                    // The compiler-inserted write tracking of Appendix A,
+                    // mirroring `CacheSystem::note_write`'s home-side half
+                    // (the dirty-line mask lives with the writing thread).
+                    let (_, page, line) = self.line_of(local);
+                    if self.protocol == Protocol::Bilateral {
+                        let hp = self.homes.entry(page).or_default();
+                        hp.line_ts[line as usize] = hp.ts + 1;
+                    }
+                    let shared = self
+                        .homes
+                        .get(&page)
+                        .is_some_and(|hp| !hp.sharers.is_empty());
+                    self.stats.write_track_cycles += if shared {
+                        TRACK_SHARED
+                    } else {
+                        TRACK_NONSHARED
+                    };
+                }
                 Reply::Unit
             }
-            Request::LineFetchReq { page, line, clock } => {
+            Request::LineFetchReq {
+                page,
+                line,
+                requester,
+                clock,
+            } => {
                 if let Some(c) = clock {
                     self.san.access((self.proc, page, line), false, &c);
                 }
-                Reply::Line(self.read_line(page, line))
+                let ts = if self.protocol != Protocol::LocalKnowledge {
+                    // Page-granularity sharer tracking (Appendix A); the
+                    // local scheme keeps no directory state at all.
+                    let hp = self.homes.entry(page).or_default();
+                    if !hp.sharers.contains(&requester) {
+                        hp.sharers.push(requester);
+                    }
+                    hp.ts
+                } else {
+                    0
+                };
+                Reply::Line(self.read_line(page, line), ts)
             }
             Request::SanitizeHit { page, line, clock } => {
                 self.san.access((self.proc, page, line), false, &clock);
@@ -202,10 +249,13 @@ impl Worker {
                 } else {
                     self.stats.remote_reads += 1;
                 }
-                if elide {
+                if elide && self.protocol != Protocol::Bilateral {
                     // Verified elision hint: answer from an uncounted probe
                     // (mirroring `CacheSystem::access_checked`'s fast path).
                     // A stale hint falls through to the counted path below.
+                    // Bilateral refuses elision outright: epoch marks are
+                    // set behind the static analysis's back and a marked
+                    // page must take the revalidation round trip.
                     let resident = self
                         .cache
                         .peek(home, page)
@@ -224,10 +274,20 @@ impl Worker {
                     }
                 }
                 self.stats.checks_performed += 1;
-                let valid = self
-                    .cache
-                    .lookup(home, page)
-                    .is_some_and(|cp| cp.line_valid(line));
+                let bilateral = self.protocol == Protocol::Bilateral;
+                let mut reval = None;
+                let valid = self.cache.lookup(home, page).is_some_and(|cp| {
+                    if bilateral && cp.marked {
+                        reval = Some(cp.validated_ts);
+                    }
+                    cp.line_valid(line)
+                });
+                if let Some(validated_ts) = reval {
+                    // Marked page: the client must consult the home before
+                    // this access can be decided. Neither hit nor miss is
+                    // counted yet — [`Request::RevalApply`] settles it.
+                    return Reply::Lookup(LookupReply::RevalNeeded { validated_ts });
+                }
                 if valid {
                     self.stats.hits += 1;
                     let data = self
@@ -254,6 +314,7 @@ impl Worker {
                 word,
                 write,
                 wval,
+                ts,
             } => {
                 if write {
                     data[word] = wval.expect("write carries a value");
@@ -262,6 +323,9 @@ impl Worker {
                 // here used to double-count the miss path's table walks).
                 let cp = self.cache.ensure(home, page);
                 cp.set_line(line);
+                if self.protocol == Protocol::Bilateral && cp.validated_ts < ts {
+                    cp.validated_ts = ts;
+                }
                 self.lines.insert((home, page, line), data);
                 Reply::Word(data[word])
             }
@@ -269,18 +333,96 @@ impl Worker {
                 if let Some(r) = self.rec.as_mut() {
                     // Mirror the simulator's invalidate event exactly:
                     // `u64::MAX` = whole-cache call acquire, otherwise the
-                    // return acquire's written-home count.
+                    // return acquire's written-home count. Recorded under
+                    // every protocol — the *acquire* happens regardless of
+                    // what bookkeeping it costs.
                     let arg = match &arrival {
                         ArrivalKind::Call => u64::MAX,
                         ArrivalKind::Return(written) => written.len() as u64,
                     };
                     r.instant(EventKind::Invalidate, self.proc, arg);
                 }
-                match arrival {
-                    ArrivalKind::Call => self.cache.clear_all(),
-                    ArrivalKind::Return(written) => self.cache.clear_homes(&written),
+                match self.protocol {
+                    Protocol::LocalKnowledge => match arrival {
+                        ArrivalKind::Call => self.cache.clear_all(),
+                        ArrivalKind::Return(written) => self.cache.clear_homes(&written),
+                    },
+                    Protocol::GlobalKnowledge => {
+                        // Invalidations were pushed eagerly at departure.
+                    }
+                    Protocol::Bilateral => self.cache.mark_all(),
                 }
                 Reply::Unit
+            }
+            Request::SharerQuery { page } => Reply::Sharers(
+                self.homes
+                    .get(&page)
+                    .map(|hp| hp.sharers.clone())
+                    .unwrap_or_default(),
+            ),
+            Request::InvalidateLines { home, page, mask } => {
+                self.stats.invalidations_sent += 1;
+                if !self.cache.invalidate_lines(home, page, mask) {
+                    self.stats.invalidations_spurious += 1;
+                }
+                Reply::Unit
+            }
+            Request::BumpTs { pages } => {
+                for page in pages {
+                    self.homes.entry(page).or_default().ts += 1;
+                }
+                Reply::Unit
+            }
+            Request::RevalQuery {
+                page,
+                line,
+                validated_ts,
+                clock,
+            } => {
+                if let Some(c) = clock {
+                    self.san.access((self.proc, page, line), false, &c);
+                }
+                let hp = self.homes.entry(page).or_default();
+                Reply::Reval {
+                    ts: hp.ts,
+                    stale_mask: hp.stale_mask(validated_ts),
+                }
+            }
+            Request::RevalApply {
+                home,
+                page,
+                line,
+                ts,
+                stale_mask,
+                word,
+                write,
+                wval,
+            } => {
+                // Mirror the revalidation arm of `CacheSystem::access`:
+                // drop the stale lines, unmark, adopt the home's epoch,
+                // then re-examine the wanted line. The round trip counts
+                // as a miss whether or not the line survived.
+                let mut valid = false;
+                if let Some(cp) = self.cache.lookup(home, page) {
+                    cp.clear_lines(stale_mask);
+                    cp.marked = false;
+                    cp.validated_ts = ts;
+                    valid = cp.line_valid(line);
+                }
+                self.stats.misses += 1;
+                if valid {
+                    self.stats.revalidations += 1;
+                    let data = self
+                        .lines
+                        .get_mut(&(home, page, line))
+                        .expect("valid line has data");
+                    if write {
+                        data[word] = wval.expect("write carries a value");
+                    }
+                    Reply::Lookup(LookupReply::Hit(data[word]))
+                } else {
+                    Reply::Lookup(LookupReply::Miss)
+                }
             }
             Request::Shutdown => Reply::Report(Box::new(WorkerReport {
                 cache: self.stats,

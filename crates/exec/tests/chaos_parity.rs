@@ -23,8 +23,8 @@
 //! drops, back-to-back duplicates, and delayed duplicates.
 
 use olden_benchmarks::{generic_run, SizeClass};
-use olden_exec::{run_exec, ExecConfig, ExecReport};
-use olden_runtime::{Config, FaultTag, OldenCtx, RunStats, TransportStats};
+use olden_exec::{run_exec, ExecConfig, ExecReport, Protocol};
+use olden_runtime::{CacheStats, Config, FaultTag, OldenCtx, RunStats, TransportStats};
 
 const PROCS: usize = 4;
 const SEEDS: u64 = 100;
@@ -41,7 +41,7 @@ fn exec_with(name: &'static str, cfg: ExecConfig) -> (u64, ExecReport) {
 struct Fingerprint {
     value: u64,
     stats: RunStats,
-    cache: (u64, u64, u64, u64, u64, u64),
+    cache: CacheStats,
     pages_cached: u64,
     messages: u64,
 }
@@ -51,14 +51,7 @@ impl Fingerprint {
         Fingerprint {
             value,
             stats: rep.stats,
-            cache: (
-                rep.cache.cacheable_reads,
-                rep.cache.cacheable_writes,
-                rep.cache.remote_reads,
-                rep.cache.remote_writes,
-                rep.cache.hits,
-                rep.cache.misses,
-            ),
+            cache: rep.cache,
             pages_cached: rep.pages_cached,
             messages: rep.messages,
         }
@@ -119,6 +112,34 @@ fn chaos_sweep(name: &'static str) {
         "{name}: the sweep must inject every fault kind, got {injected:?} \
          (drops / duplicates / delayed duplicates)"
     );
+}
+
+/// The coherence schemes' extra traffic — sharer queries, pushed
+/// invalidations, timestamp bumps, revalidation round trips — is itself
+/// chaos-proof: under global knowledge and the bilateral scheme every
+/// chaotic run's fingerprint (including the scheme-specific Table-3
+/// counters, via the full [`CacheStats`]) equals the quiet run's.
+#[test]
+fn coherence_schemes_survive_chaos() {
+    for protocol in [Protocol::GlobalKnowledge, Protocol::Bilateral] {
+        for name in ["TreeAdd", "EM3D", "Health"] {
+            let cfg = ExecConfig::lockstep(PROCS).with_protocol(protocol);
+            let (base_val, base_rep) = exec_with(name, cfg);
+            let base = Fingerprint::of(base_val, &base_rep);
+            let mut injected = 0;
+            for seed in 0..25 {
+                let (val, rep) = exec_with(name, cfg.chaotic(seed));
+                assert_eq!(
+                    Fingerprint::of(val, &rep),
+                    base,
+                    "{name} under {protocol:?} seed {seed}: faults must stay \
+                     invisible to the coherence traffic"
+                );
+                injected += rep.faults.total();
+            }
+            assert!(injected > 0, "{name} under {protocol:?}: nothing injected");
+        }
+    }
 }
 
 #[test]

@@ -11,7 +11,7 @@
 //! exactly what [`Recording::site_sequences`] normalizes away.
 
 use olden_benchmarks::{all, generic_run, SizeClass};
-use olden_exec::{run_exec, ExecConfig, ExecReport};
+use olden_exec::{run_exec, ExecConfig, ExecReport, Protocol};
 use olden_runtime::{Config, EventKind, OldenCtx, Site};
 
 const PROCS: usize = 8;
@@ -48,6 +48,37 @@ fn lockstep_event_sequences_match_simulator_per_processor() {
                 sim_rec.site_sequences(site),
                 exec_rec.site_sequences(site),
                 "{name}: per-processor {site:?}-site event sequences diverge"
+            );
+        }
+    }
+}
+
+/// The other coherence schemes leave the event stream in lockstep with
+/// the simulator too: revalidation misses still record one `LineFetch`
+/// each (`LineFetch == misses` holds per scheme), and the unconditional
+/// `Invalidate` acquire at every migration receipt keeps both sites'
+/// sequences identical.
+#[test]
+fn coherence_scheme_event_streams_match_simulator() {
+    for protocol in [Protocol::GlobalKnowledge, Protocol::Bilateral] {
+        for name in ["TreeAdd", "Power", "EM3D", "Health"] {
+            let mut sim = OldenCtx::new(Config::olden(PROCS).with_protocol(protocol).recorded());
+            generic_run(name, &mut sim, SizeClass::Tiny).unwrap();
+            let sim_rec = sim.take_recording().expect("recorded sim run");
+            let rep = recorded_exec(name, ExecConfig::lockstep(PROCS).with_protocol(protocol));
+            let rec = rep.recording.as_ref().expect("recorded exec run");
+            for site in [Site::Client, Site::Worker] {
+                assert_eq!(
+                    sim_rec.site_sequences(site),
+                    rec.site_sequences(site),
+                    "{name} under {protocol:?}: {site:?}-site sequences diverge"
+                );
+            }
+            assert_eq!(
+                rec.count(EventKind::LineFetch),
+                rep.cache.misses,
+                "{name} under {protocol:?}: one fetch span per miss, \
+                 revalidations included"
             );
         }
     }

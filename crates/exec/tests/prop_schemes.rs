@@ -1,0 +1,165 @@
+//! Randomized coherence-scheme properties on the *thread backend* — the
+//! executable mirror of `crates/cache/tests/prop_protocols.rs`, which
+//! drives the reference `CacheSystem` directly. Here the same seeded
+//! access/migration traces run as real programs over worker threads,
+//! once per Appendix-A scheme, and are held to:
+//!
+//! - **Value independence** — the coherence scheme is a performance
+//!   knob, not a semantics knob: every read returns the same word under
+//!   all three schemes (and as the simulator says it should).
+//! - **Counter parity** — each scheme's full [`CacheStats`] equals the
+//!   simulator's for the same trace.
+//! - **Scheme consistency** — counters only a given scheme can produce
+//!   stay zero elsewhere (no revalidations outside bilateral, no pushed
+//!   invalidations outside global knowledge, no write tracking under
+//!   local knowledge), and the structural inequalities hold.
+
+use olden_exec::{run_exec, ExecConfig, Protocol};
+use olden_rng::SplitMix64;
+use olden_runtime::{Backend, Config, Mechanism, OldenCtx};
+
+const PROCS: usize = 4;
+const SLOTS: usize = 12;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// A direct access of `slot` (cached or migrating).
+    Access {
+        slot: usize,
+        write: bool,
+        val: i64,
+        migrate: bool,
+    },
+    /// The same accesses inside a `call` scope: the return path is a
+    /// return migration with the scope's written-homes set.
+    Call { inner: Vec<Op> },
+}
+
+fn random_access(r: &mut SplitMix64) -> Op {
+    Op::Access {
+        slot: r.below(SLOTS as u64) as usize,
+        write: r.chance(0.4),
+        val: r.below(1000) as i64,
+        migrate: r.chance(0.25),
+    }
+}
+
+fn random_trace(r: &mut SplitMix64, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            if r.chance(0.2) {
+                Op::Call {
+                    inner: (0..1 + r.below(3)).map(|_| random_access(r)).collect(),
+                }
+            } else {
+                random_access(r)
+            }
+        })
+        .collect()
+}
+
+/// Replay `trace` on any backend, returning a checksum over every value
+/// read (order-sensitive, so a single wrong word shifts it).
+fn replay<B: Backend>(ctx: &mut B, trace: &[Op]) -> i64 {
+    let slots: Vec<_> = (0..SLOTS)
+        .map(|i| ctx.alloc((i % PROCS) as u8, 1))
+        .collect();
+    fn step<B: Backend>(ctx: &mut B, slots: &[olden_gptr::GPtr], op: &Op, sum: &mut i64) {
+        match op {
+            Op::Access {
+                slot,
+                write,
+                val,
+                migrate,
+            } => {
+                let mech = if *migrate {
+                    Mechanism::Migrate
+                } else {
+                    Mechanism::Cache
+                };
+                if *write {
+                    ctx.write(slots[*slot], 0, *val, mech);
+                } else {
+                    *sum = sum.wrapping_mul(31) ^ ctx.read_i64(slots[*slot], 0, mech);
+                }
+            }
+            Op::Call { inner } => ctx.call(|c| {
+                for op in inner {
+                    step(c, slots, op, sum);
+                }
+            }),
+        }
+    }
+    let mut sum = 0i64;
+    for op in trace {
+        step(ctx, &slots, op, &mut sum);
+    }
+    sum
+}
+
+#[test]
+fn random_traces_are_scheme_independent_and_reconcile() {
+    let mut r = SplitMix64::new(0x5C4E3E);
+    for round in 0..24 {
+        let trace = random_trace(&mut r, 40);
+        let mut checksums = Vec::new();
+        for protocol in Protocol::ALL {
+            let mut sim = OldenCtx::new(Config::olden(PROCS).with_protocol(protocol));
+            let sim_val = replay(&mut sim, &trace);
+            let t = trace.clone();
+            let (val, rep) = run_exec(
+                ExecConfig::lockstep(PROCS).with_protocol(protocol),
+                move |ctx| replay(ctx, &t),
+            );
+            assert_eq!(
+                val, sim_val,
+                "round {round} under {protocol:?}: exec vs simulator value"
+            );
+            assert_eq!(
+                rep.cache,
+                *sim.cache().stats(),
+                "round {round} under {protocol:?}: cache counters"
+            );
+            assert_eq!(
+                rep.stats,
+                *sim.stats(),
+                "round {round} under {protocol:?}: runtime counters"
+            );
+
+            // Scheme-consistent deltas: each scheme's signature counters
+            // are zero under every other scheme.
+            let c = &rep.cache;
+            match protocol {
+                Protocol::LocalKnowledge => {
+                    assert_eq!(c.revalidations, 0, "round {round}");
+                    assert_eq!(c.invalidations_sent, 0, "round {round}");
+                    assert_eq!(c.write_track_cycles, 0, "round {round}");
+                }
+                Protocol::GlobalKnowledge => {
+                    assert_eq!(c.revalidations, 0, "round {round}");
+                }
+                Protocol::Bilateral => {
+                    assert_eq!(c.invalidations_sent, 0, "round {round}");
+                }
+            }
+            assert!(
+                c.invalidations_spurious <= c.invalidations_sent,
+                "round {round} under {protocol:?}: spurious ⊆ sent"
+            );
+            assert!(
+                c.revalidations <= c.misses,
+                "round {round} under {protocol:?}: a revalidation is a miss"
+            );
+            assert_eq!(
+                c.hits + c.misses,
+                c.remote_reads + c.remote_writes,
+                "round {round} under {protocol:?}: every remote access hits or misses"
+            );
+            checksums.push(val);
+        }
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "round {round}: schemes changed a value: {checksums:?}"
+        );
+    }
+}

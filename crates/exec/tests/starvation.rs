@@ -2,15 +2,19 @@
 //! the run with a typed [`ExecError::Starved`] naming the starved kind —
 //! never a raw panic payload, never a deadlock, never a watchdog trip.
 //!
-//! One kernel exercises every data-plane message kind (allocation, home
-//! reads/writes, cache lookup + line fetch + install, a sanitized cache
-//! hit, a migration, a race query); each kind is then starved in turn.
+//! The nine scheme-independent kinds are exercised by one kernel under
+//! local knowledge; the coherence-traffic kinds need the scheme that
+//! emits them (sharer queries and pushed invalidations exist only under
+//! global knowledge, timestamp bumps and revalidations only under the
+//! bilateral scheme), so each kind runs its own (protocol, kernel) pair.
 
-use olden_exec::{try_run_exec, ExecConfig, ExecCtx, ExecError, FaultPlan, MsgKind};
+use olden_exec::{try_run_exec, ExecConfig, ExecCtx, ExecError, FaultPlan, MsgKind, Protocol};
 use olden_runtime::{Backend, Mechanism};
 use std::time::Duration;
 
-/// Touches every data-plane [`MsgKind`] at least once when unfaulted.
+/// Touches every scheme-independent data-plane [`MsgKind`] at least once
+/// when unfaulted (allocation, home reads/writes, cache lookup + line
+/// fetch + install, a sanitized cache hit, a migration, a race query).
 fn universal_kernel(ctx: &mut ExecCtx) {
     let a = ctx.alloc(1, 2); // Alloc, on a remote home
     ctx.write(a, 0, 7i64, Mechanism::Cache); // CacheLookup miss → LineFetch → CacheInstall → WriteHome
@@ -19,21 +23,66 @@ fn universal_kernel(ctx: &mut ExecCtx) {
     ctx.race_violations(); // RaceQuery
 }
 
-/// The kernel really does exercise every data-plane kind (otherwise the
+/// Global knowledge: the second departure (the call's return migration)
+/// finds a dirty line whose page has a sharer other than the departing
+/// processor — SharerQuery to the home, then InvalidateLines to proc 0.
+fn global_kernel(ctx: &mut ExecCtx) {
+    let a = ctx.alloc(1, 1);
+    let probe = ctx.alloc(2, 1);
+    ctx.write(a, 0, 1i64, Mechanism::Cache); // proc 0 becomes a sharer, line dirty
+    ctx.call(|c| {
+        c.read_i64(probe, 0, Mechanism::Migrate); // depart 0 → SharerQuery (no sharers but 0)
+        c.write(a, 0, 2i64, Mechanism::Cache); // proc 2 becomes a sharer, line dirty
+    }); // return depart 2 → SharerQuery + InvalidateLines → 0
+}
+
+/// Bilateral: departing with a dirty line sends BumpTs to its home; the
+/// return receipt marks proc 0's cache, so the next cached read of `a`
+/// revalidates — RevalQuery to the home, RevalApply to the local worker.
+fn bilateral_kernel(ctx: &mut ExecCtx) {
+    let a = ctx.alloc(1, 1);
+    let probe = ctx.alloc(2, 1);
+    ctx.write(a, 0, 1i64, Mechanism::Cache); // cache the line, mark it dirty
+    ctx.call(|c| {
+        c.read_i64(probe, 0, Mechanism::Migrate); // depart 0 → BumpTs → home 1
+    }); // return receipt marks proc 0's cached pages
+    ctx.read_i64(a, 0, Mechanism::Cache); // marked page → RevalQuery + RevalApply
+}
+
+/// The scheme whose kernel emits `kind`, with that kernel.
+fn scenario_for(kind: MsgKind) -> (Protocol, fn(&mut ExecCtx)) {
+    match kind {
+        MsgKind::SharerQuery | MsgKind::InvalidateLines => {
+            (Protocol::GlobalKnowledge, global_kernel)
+        }
+        MsgKind::BumpTs | MsgKind::RevalQuery | MsgKind::RevalApply => {
+            (Protocol::Bilateral, bilateral_kernel)
+        }
+        _ => (Protocol::LocalKnowledge, universal_kernel),
+    }
+}
+
+/// The kernels really do exercise every data-plane kind (otherwise the
 /// starvation sweep below would vacuously pass for an unexercised kind).
 #[test]
-fn universal_kernel_covers_every_data_plane_kind() {
-    let (_, rep) = try_run_exec(ExecConfig::lockstep(2).sanitized(), universal_kernel)
-        .expect("unfaulted run succeeds");
-    // Per-kind service counts aren't reported; starve each kind with a
-    // *huge* retry budget instead — if the kernel never sends that kind,
-    // the run would succeed and the assertion below catches it.
-    assert!(rep.messages >= MsgKind::DATA_PLANE.len() as u64);
+fn kernels_cover_every_data_plane_kind() {
     for kind in MsgKind::DATA_PLANE {
+        let (protocol, kernel) = scenario_for(kind);
+        try_run_exec(
+            ExecConfig::lockstep(4).sanitized().with_protocol(protocol),
+            kernel,
+        )
+        .expect("unfaulted run succeeds");
+        // Per-kind service counts aren't reported; starve the kind with a
+        // *huge* retry budget instead — if the kernel never sends that
+        // kind, the run succeeds and the assertion catches it.
         let plan = FaultPlan::none().starving(kind);
         let res = try_run_exec(
-            ExecConfig::lockstep(2).sanitized().with_faults(plan),
-            universal_kernel,
+            ExecConfig::lockstep(4)
+                .sanitized()
+                .with_protocol(protocol)
+                .with_faults(plan),
+            kernel,
         );
         assert!(
             res.is_err(),
@@ -49,13 +98,15 @@ fn universal_kernel_covers_every_data_plane_kind() {
 #[test]
 fn every_starved_class_fails_with_its_own_name() {
     for kind in MsgKind::DATA_PLANE {
+        let (protocol, kernel) = scenario_for(kind);
         let plan = FaultPlan::from_seed(99).starving(kind);
         let err = try_run_exec(
-            ExecConfig::lockstep(2)
+            ExecConfig::lockstep(4)
                 .sanitized()
+                .with_protocol(protocol)
                 .with_stall_timeout(Duration::from_secs(30))
                 .with_faults(plan),
-            universal_kernel,
+            kernel,
         )
         .expect_err("a starved class cannot complete");
         match err {

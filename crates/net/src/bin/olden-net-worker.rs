@@ -1,6 +1,6 @@
 //! Entry point for one network-backend worker process.
 //!
-//! Usage: `olden-net-worker <proc> <parent_port> <record:0|1>`
+//! Usage: `olden-net-worker <proc> <parent_port> <record:0|1> <protocol>`
 //!
 //! Spawned by the parent orchestrator (`olden_net::try_run_net`), never
 //! run by hand; the argument list is the internal spawn protocol, not a
@@ -8,10 +8,12 @@
 //! `net-worker` subcommand so a single installed binary can serve as
 //! both driver and fleet.
 
+use olden_exec::Protocol;
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() != 4 {
-        eprintln!("usage: olden-net-worker <proc> <parent_port> <record:0|1>");
+    if args.len() != 5 {
+        eprintln!("usage: olden-net-worker <proc> <parent_port> <record:0|1> <protocol>");
         std::process::exit(2);
     }
     let proc: u8 = args[1].parse().expect("worker: <proc> must be a u8");
@@ -23,5 +25,7 @@ fn main() {
         "1" => true,
         other => panic!("worker: <record> must be 0 or 1, got {other:?}"),
     };
-    olden_net::worker::worker_main(proc, parent_port, record);
+    let protocol = Protocol::from_name(&args[4])
+        .unwrap_or_else(|| panic!("worker: unknown protocol {:?}", args[4]));
+    olden_net::worker::worker_main(proc, parent_port, record, protocol);
 }

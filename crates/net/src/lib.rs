@@ -68,7 +68,7 @@ pub struct NetConfig {
     /// to the thread backend.
     pub exec: ExecConfig,
     /// Command prefix that execs one worker process; the orchestrator
-    /// appends `<proc> <parent_port> <record>`. Tests use the
+    /// appends `<proc> <parent_port> <record> <protocol>`. Tests use the
     /// `olden-net-worker` binary; `oldenc` uses itself with a hidden
     /// `net-worker` subcommand.
     pub worker_cmd: Vec<String>,
@@ -224,6 +224,7 @@ fn spawn_fleet(
             .arg(p.to_string())
             .arg(parent_port.to_string())
             .arg(if cfg.exec.record { "1" } else { "0" })
+            .arg(cfg.exec.protocol.name())
             .spawn()
             .unwrap_or_else(|e| panic!("net: spawn worker {p} ({bin}): {e}"));
         guard.children.push(child);

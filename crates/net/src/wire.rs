@@ -376,16 +376,24 @@ fn put_request(w: &mut Writer, req: &Request) {
             local,
             value,
             clock,
+            track,
         } => {
             w.u8(2);
             w.u64(*local);
             w.u64(value.0);
             put_opt_clock(w, clock);
+            w.bool(*track);
         }
-        Request::LineFetchReq { page, line, clock } => {
+        Request::LineFetchReq {
+            page,
+            line,
+            requester,
+            clock,
+        } => {
             w.u8(3);
             w.u64(*page);
             w.u8(*line);
+            w.u8(*requester);
             put_opt_clock(w, clock);
         }
         Request::SanitizeHit { page, line, clock } => {
@@ -421,6 +429,7 @@ fn put_request(w: &mut Writer, req: &Request) {
             word,
             write,
             wval,
+            ts,
         } => {
             w.u8(7);
             w.u8(*home);
@@ -430,6 +439,7 @@ fn put_request(w: &mut Writer, req: &Request) {
             w.u8(*word as u8);
             w.bool(*write);
             put_opt_word(w, wval);
+            w.u64(*ts);
         }
         Request::MigrateThread { arrival } => {
             w.u8(8);
@@ -441,7 +451,56 @@ fn put_request(w: &mut Writer, req: &Request) {
                 }
             }
         }
-        Request::Shutdown => w.u8(9),
+        Request::SharerQuery { page } => {
+            w.u8(9);
+            w.u64(*page);
+        }
+        Request::InvalidateLines { home, page, mask } => {
+            w.u8(10);
+            w.u8(*home);
+            w.u64(*page);
+            w.u32(*mask);
+        }
+        Request::BumpTs { pages } => {
+            w.u8(11);
+            w.u32(pages.len() as u32);
+            for &p in pages {
+                w.u64(p);
+            }
+        }
+        Request::RevalQuery {
+            page,
+            line,
+            validated_ts,
+            clock,
+        } => {
+            w.u8(12);
+            w.u64(*page);
+            w.u8(*line);
+            w.u64(*validated_ts);
+            put_opt_clock(w, clock);
+        }
+        Request::RevalApply {
+            home,
+            page,
+            line,
+            ts,
+            stale_mask,
+            word,
+            write,
+            wval,
+        } => {
+            w.u8(13);
+            w.u8(*home);
+            w.u64(*page);
+            w.u8(*line);
+            w.u64(*ts);
+            w.u32(*stale_mask);
+            w.u8(*word as u8);
+            w.bool(*write);
+            put_opt_word(w, wval);
+        }
+        Request::Shutdown => w.u8(14),
     }
 }
 
@@ -458,10 +517,12 @@ fn get_request(r: &mut Reader) -> Result<Request, String> {
             local: r.u64()?,
             value: Word(r.u64()?),
             clock: get_opt_clock(r)?,
+            track: r.bool()?,
         },
         3 => Request::LineFetchReq {
             page: r.u64()?,
             line: r.u8()?,
+            requester: r.u8()?,
             clock: get_opt_clock(r)?,
         },
         4 => Request::SanitizeHit {
@@ -487,6 +548,7 @@ fn get_request(r: &mut Reader) -> Result<Request, String> {
             word: r.u8()? as usize,
             write: r.bool()?,
             wval: get_opt_word(r)?,
+            ts: r.u64()?,
         },
         8 => Request::MigrateThread {
             arrival: match r.u8()? {
@@ -495,7 +557,39 @@ fn get_request(r: &mut Reader) -> Result<Request, String> {
                 b => return Err(format!("bad ArrivalKind tag {b}")),
             },
         },
-        9 => Request::Shutdown,
+        9 => Request::SharerQuery { page: r.u64()? },
+        10 => Request::InvalidateLines {
+            home: r.u8()?,
+            page: r.u64()?,
+            mask: r.u32()?,
+        },
+        11 => Request::BumpTs {
+            pages: {
+                let n = r.u32()? as usize;
+                let mut pages = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    pages.push(r.u64()?);
+                }
+                pages
+            },
+        },
+        12 => Request::RevalQuery {
+            page: r.u64()?,
+            line: r.u8()?,
+            validated_ts: r.u64()?,
+            clock: get_opt_clock(r)?,
+        },
+        13 => Request::RevalApply {
+            home: r.u8()?,
+            page: r.u64()?,
+            line: r.u8()?,
+            ts: r.u64()?,
+            stale_mask: r.u32()?,
+            word: r.u8()? as usize,
+            write: r.bool()?,
+            wval: get_opt_word(r)?,
+        },
+        14 => Request::Shutdown,
         b => return Err(format!("bad Request tag {b}")),
     })
 }
@@ -598,9 +692,10 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             w.u64(v.0);
         }
         Reply::Unit => w.u8(2),
-        Reply::Line(data) => {
+        Reply::Line(data, ts) => {
             w.u8(3);
             put_line(&mut w, data);
+            w.u64(*ts);
         }
         Reply::Races(races) => {
             w.u8(4);
@@ -618,10 +713,23 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                     w.u8(2);
                     w.u64(v.0);
                 }
+                LookupReply::RevalNeeded { validated_ts } => {
+                    w.u8(3);
+                    w.u64(*validated_ts);
+                }
             }
         }
-        Reply::Report(rep) => {
+        Reply::Sharers(procs) => {
             w.u8(6);
+            put_procs(&mut w, procs);
+        }
+        Reply::Reval { ts, stale_mask } => {
+            w.u8(7);
+            w.u64(*ts);
+            w.u32(*stale_mask);
+        }
+        Reply::Report(rep) => {
+            w.u8(8);
             put_report(&mut w, rep);
         }
     }
@@ -635,15 +743,26 @@ pub fn decode_reply(buf: &[u8]) -> Result<Reply, String> {
         0 => Reply::Ptr(GPtr::from_bits(r.u64()?)),
         1 => Reply::Word(Word(r.u64()?)),
         2 => Reply::Unit,
-        3 => Reply::Line(get_line(&mut r)?),
+        3 => {
+            let data = get_line(&mut r)?;
+            Reply::Line(data, r.u64()?)
+        }
         4 => Reply::Races(get_races(&mut r)?),
         5 => Reply::Lookup(match r.u8()? {
             0 => LookupReply::Hit(Word(r.u64()?)),
             1 => LookupReply::Miss,
             2 => LookupReply::ElidedHit(Word(r.u64()?)),
+            3 => LookupReply::RevalNeeded {
+                validated_ts: r.u64()?,
+            },
             b => return Err(format!("bad LookupReply tag {b}")),
         }),
-        6 => Reply::Report(Box::new(get_report(&mut r)?)),
+        6 => Reply::Sharers(get_procs(&mut r)?),
+        7 => Reply::Reval {
+            ts: r.u64()?,
+            stale_mask: r.u32()?,
+        },
+        8 => Reply::Report(Box::new(get_report(&mut r)?)),
         b => return Err(format!("bad Reply tag {b}")),
     };
     r.done()?;

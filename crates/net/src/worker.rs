@@ -27,7 +27,7 @@
 use crate::wire::{decode_envelope, encode_reply, read_frame, write_frame};
 use olden_exec::msg::{Envelope, Reply};
 use olden_exec::worker::{Worker, WorkerSlot};
-use olden_exec::{TransportCounters, WorkerPort};
+use olden_exec::{Protocol, TransportCounters, WorkerPort};
 use olden_gptr::ProcId;
 use olden_obs::Recorder;
 use std::collections::HashMap;
@@ -94,7 +94,7 @@ fn read_loop(mut conn: TcpStream, tx: Sender<Envelope>, writers: Writers) {
 
 /// Run one worker process to completion. Never returns: exits 0 after a
 /// clean shutdown, or immediately when the parent's tether drops.
-pub fn worker_main(proc: ProcId, parent_port: u16, record: bool) -> ! {
+pub fn worker_main(proc: ProcId, parent_port: u16, record: bool, protocol: Protocol) -> ! {
     let listener =
         TcpListener::bind(("127.0.0.1", 0)).expect("worker: bind loopback data listener");
     let port = listener
@@ -151,6 +151,7 @@ pub fn worker_main(proc: ProcId, parent_port: u16, record: bool) -> ! {
     // parity surface compares (kind, phase, arg) only.
     let worker = Worker::new(
         proc,
+        protocol,
         Arc::new(WorkerSlot::default()),
         Arc::new(AtomicU64::new(0)),
         Arc::new(TransportCounters::default()),

@@ -17,7 +17,7 @@
 //! Every test skips (loudly) when the sandbox denies loopback TCP.
 
 use olden_benchmarks::{all, generic_run, SizeClass};
-use olden_exec::{run_exec, ExecConfig, ExecReport};
+use olden_exec::{run_exec, ExecConfig, ExecReport, Protocol};
 use olden_net::{loopback_available, run_net, NetConfig};
 use olden_obs::EventKind;
 use olden_runtime::{Config, FaultTag, OldenCtx, RunStats, TransportStats};
@@ -102,6 +102,37 @@ fn all_benchmark_counters_reconcile_with_simulator_over_tcp() {
             "{} quiet socket transport is perfect",
             d.name
         );
+    }
+}
+
+/// Every benchmark under every Appendix-A coherence scheme: the pushed
+/// invalidations, timestamp bumps, and revalidation round trips cross
+/// real TCP frames (the `<protocol>` argument travels to each worker
+/// process on its command line), and the full cache-counter block —
+/// including the scheme-specific Table-3 columns — still equals the
+/// simulator's.
+#[test]
+fn every_scheme_reconciles_with_simulator_over_tcp() {
+    require_loopback!();
+    for protocol in [Protocol::GlobalKnowledge, Protocol::Bilateral] {
+        for d in all() {
+            let mut sim = OldenCtx::new(Config::olden(PROCS).with_protocol(protocol));
+            let sim_val = generic_run(d.name, &mut sim, SizeClass::Tiny).unwrap();
+            let (got, rep) = net_with(d.name, ExecConfig::lockstep(PROCS).with_protocol(protocol));
+            assert_eq!(got, sim_val, "{} value under {protocol:?}", d.name);
+            assert_eq!(
+                rep.stats,
+                *sim.stats(),
+                "{} runtime counters under {protocol:?}",
+                d.name
+            );
+            assert_eq!(
+                rep.cache,
+                *sim.cache().stats(),
+                "{} cache counters under {protocol:?}",
+                d.name
+            );
+        }
     }
 }
 

@@ -97,6 +97,7 @@ fn every_request_variant_round_trips() {
                 local: rng.next_u64() & LOCAL_MASK,
                 value: Word(rng.next_u64()),
                 clock: rand_opt_clock(&mut rng),
+                track: rng.chance(0.5),
             },
             &mut rng,
         ));
@@ -104,6 +105,7 @@ fn every_request_variant_round_trips() {
             Request::LineFetchReq {
                 page: rng.next_u64(),
                 line: rng.below(LINES_PER_PAGE as u64) as u8,
+                requester: rng.below(256) as u8,
                 clock: rand_opt_clock(&mut rng),
             },
             &mut rng,
@@ -138,6 +140,7 @@ fn every_request_variant_round_trips() {
                 word: rng.range(0, LINE_WORDS),
                 write: rng.chance(0.5),
                 wval: rng.chance(0.5).then(|| Word(rng.next_u64())),
+                ts: rng.next_u64(),
             },
             &mut rng,
         ));
@@ -148,6 +151,49 @@ fn every_request_variant_round_trips() {
             ArrivalKind::Return((0..n).map(|_| rng.below(256) as u8).collect())
         };
         check_env(envelope(Request::MigrateThread { arrival }, &mut rng));
+        check_env(envelope(
+            Request::SharerQuery {
+                page: rng.next_u64(),
+            },
+            &mut rng,
+        ));
+        check_env(envelope(
+            Request::InvalidateLines {
+                home: rng.below(256) as u8,
+                page: rng.next_u64(),
+                mask: rng.next_u64() as u32,
+            },
+            &mut rng,
+        ));
+        let n = rng.range(0, 32);
+        check_env(envelope(
+            Request::BumpTs {
+                pages: (0..n).map(|_| rng.next_u64()).collect(),
+            },
+            &mut rng,
+        ));
+        check_env(envelope(
+            Request::RevalQuery {
+                page: rng.next_u64(),
+                line: rng.below(LINES_PER_PAGE as u64) as u8,
+                validated_ts: rng.next_u64(),
+                clock: rand_opt_clock(&mut rng),
+            },
+            &mut rng,
+        ));
+        check_env(envelope(
+            Request::RevalApply {
+                home: rng.below(256) as u8,
+                page: rng.next_u64(),
+                line: rng.below(LINES_PER_PAGE as u64) as u8,
+                ts: rng.next_u64(),
+                stale_mask: rng.next_u64() as u32,
+                word: rng.range(0, LINE_WORDS),
+                write: rng.chance(0.5),
+                wval: rng.chance(0.5).then(|| Word(rng.next_u64())),
+            },
+            &mut rng,
+        ));
         check_env(Envelope {
             src: CONTROL_SRC,
             seq: 0,
@@ -167,14 +213,25 @@ fn every_reply_variant_round_trips() {
         check_reply(Reply::Ptr(GPtr::new(proc, local)));
         check_reply(Reply::Word(Word(rng.next_u64())));
         check_reply(Reply::Unit);
-        check_reply(Reply::Line(rand_line(&mut rng)));
+        check_reply(Reply::Line(rand_line(&mut rng), rng.next_u64()));
         let n = rng.range(0, 64);
         check_reply(Reply::Races((0..n).map(|_| rand_race(&mut rng)).collect()));
-        check_reply(Reply::Lookup(match rng.below(3) {
+        check_reply(Reply::Lookup(match rng.below(4) {
             0 => LookupReply::Hit(Word(rng.next_u64())),
             1 => LookupReply::Miss,
-            _ => LookupReply::ElidedHit(Word(rng.next_u64())),
+            2 => LookupReply::ElidedHit(Word(rng.next_u64())),
+            _ => LookupReply::RevalNeeded {
+                validated_ts: rng.next_u64(),
+            },
         }));
+        let n = rng.range(0, MAX_PROCS + 1);
+        check_reply(Reply::Sharers(
+            (0..n).map(|_| rng.below(256) as u8).collect(),
+        ));
+        check_reply(Reply::Reval {
+            ts: rng.next_u64(),
+            stale_mask: rng.next_u64() as u32,
+        });
     }
 }
 
@@ -183,7 +240,7 @@ fn every_reply_variant_round_trips() {
 #[test]
 fn max_size_line_payloads_round_trip() {
     let full = [Word(u64::MAX); LINE_WORDS];
-    check_reply(Reply::Line(full));
+    check_reply(Reply::Line(full, u64::MAX));
     check_env(Envelope {
         src: u64::MAX - 1,
         seq: u64::MAX,
@@ -195,6 +252,7 @@ fn max_size_line_payloads_round_trip() {
             word: LINE_WORDS - 1,
             write: true,
             wval: Some(Word(u64::MAX)),
+            ts: u64::MAX,
         },
     });
 }
@@ -214,6 +272,7 @@ fn page_straddling_fetches_round_trip() {
             req: Request::LineFetchReq {
                 page,
                 line: (LINES_PER_PAGE - 1) as u8,
+                requester: 7,
                 clock: None,
             },
         };
@@ -223,6 +282,7 @@ fn page_straddling_fetches_round_trip() {
             req: Request::LineFetchReq {
                 page: page + 1,
                 line: 0,
+                requester: 7,
                 clock: None,
             },
         };
